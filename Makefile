@@ -1,0 +1,44 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench figures ablation scaling fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/omp/ ./internal/kernels/ .
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's figures (EXPERIMENTS.md documents the recorded runs).
+figures:
+	$(GO) run ./cmd/benchfig -fig all
+
+ablation:
+	$(GO) run ./cmd/benchfig -fig ablation
+
+scaling:
+	$(GO) run ./cmd/benchfig -fig scaling
+
+# Short fuzzing sessions for the two parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/poly/
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/cparse/
+
+clean:
+	$(GO) clean ./...

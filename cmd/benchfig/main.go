@@ -1,0 +1,91 @@
+// Command benchfig regenerates the figures of the paper's evaluation
+// (§VII). Each figure prints as an aligned text table; see EXPERIMENTS.md
+// for the recorded paper-vs-measured comparison.
+//
+//	benchfig -fig 2          Fig. 2  load imbalance of schedule(static)
+//	benchfig -fig 8          Fig. 8  root curves r(i,0,0) - pc
+//	benchfig -fig 9          Fig. 9  gains of collapsing (simulated 12-thread makespans)
+//	benchfig -fig 10         Fig. 10 control overhead of 12 recoveries (measured)
+//	benchfig -fig all        everything
+//
+// Flags: -threads (virtual thread count, default 12), -quick (small
+// problem sizes), -real (also run the goroutine runtime for Fig. 9),
+// -chunks (recovery count for Fig. 10, default 12), -n / -fig2threads
+// (Fig. 2 geometry), -v (calibration details).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2|8|9|10|all")
+	threads := flag.Int("threads", 12, "simulated thread count (paper: 12)")
+	quick := flag.Bool("quick", false, "use small problem sizes")
+	real := flag.Bool("real", false, "also run the goroutine runtime for Fig. 9")
+	chunks := flag.Int("chunks", 12, "recovery count for Fig. 10 (paper: 12)")
+	fig2N := flag.Int64("n", 1000, "Fig. 2 problem size N")
+	fig2T := flag.Int("fig2threads", 5, "Fig. 2 thread count (paper: 5)")
+	verbose := flag.Bool("v", false, "print calibration details")
+	flag.Parse()
+
+	if err := run(*fig, *threads, *quick, *real, *chunks, *fig2N, *fig2T, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, threads int, quick, real bool, chunks int, fig2N int64, fig2T int, verbose bool) error {
+	do := func(f string) bool { return fig == "all" || fig == f }
+	if do("2") {
+		fmt.Print(experiments.Fig2(fig2N, fig2T).Render())
+		fmt.Println()
+	}
+	if do("8") {
+		fmt.Print(experiments.RenderFig8(experiments.Fig8()))
+		fmt.Println()
+	}
+	if do("9") {
+		opts := experiments.Fig9Options{Threads: threads, Quick: quick, Real: real}
+		if verbose {
+			opts.Verbose = func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+			}
+		}
+		rows, err := experiments.Fig9(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig9(rows, threads, real))
+		fmt.Println()
+	}
+	if do("10") {
+		rows, err := experiments.Fig10(experiments.Fig10Options{Chunks: chunks, Quick: quick})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFig10(rows, chunks))
+		fmt.Println()
+	}
+	if fig == "ablation" {
+		rows, err := experiments.Ablation(experiments.AblationOptions{Quick: quick})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderAblation(rows))
+		fmt.Println()
+	}
+	if fig == "scaling" {
+		rows, err := experiments.Scaling(experiments.ScalingOptions{Quick: quick})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderScaling(rows))
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureRun(t *testing.T, fig string, quick bool) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := run(fig, 12, quick, false, 12, 200, 5, false)
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+func TestBenchfigFig2(t *testing.T) {
+	out, err := captureRun(t, "2", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig. 2") || !strings.Contains(out, "thread  0") {
+		t.Errorf("fig 2 output:\n%s", out)
+	}
+}
+
+func TestBenchfigFig8(t *testing.T) {
+	out, err := captureRun(t, "8", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "pc=10") {
+		t.Errorf("fig 8 output:\n%s", out)
+	}
+}
+
+func TestBenchfigFig9Quick(t *testing.T) {
+	out, err := captureRun(t, "9", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Fig. 9", "correlation_tiled", "ltmp", "gain vs dyn"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("fig 9 output missing %q", frag)
+		}
+	}
+}
+
+func TestBenchfigFig10Quick(t *testing.T) {
+	out, err := captureRun(t, "10", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Fig. 10", "symm_full", "overhead(%)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("fig 10 output missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const correlationC = `
+#pragma omp parallel for private(j, k) collapse(2) schedule(static)
+for (i = 0; i < N - 1; i++)
+  for (j = i + 1; j < N; j++) {
+    for (k = 0; k < N; k++)
+      a[i][j] += b[k][i] * c[k][j];
+    a[j][i] = a[i][j];
+  }
+`
+
+func writeInput(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.c")
+	if err := os.WriteFile(path, []byte(correlationC), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture redirects stdout around f.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+func TestRunFirstIteration(t *testing.T) {
+	path := writeInput(t)
+	out, err := capture(t, func() error {
+		return run("first-iteration", 64, 8, 32, false, true, 10, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"ranking polynomial",
+		"first_iteration = 1;",
+		"csqrt(",
+		"a[j][i] = a[i][j];",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	path := writeInput(t)
+	for _, scheme := range []string{"per-iteration", "first-iteration", "chunked"} {
+		if _, err := capture(t, func() error {
+			return run(scheme, 32, 4, 16, false, false, 0, []string{path})
+		}); err != nil {
+			t.Errorf("scheme %s: %v", scheme, err)
+		}
+	}
+	// simd/warp require full collapse; the correlation input collapses
+	// 2 of 2 parsed loops (the k loop is body text), so they work too.
+	for _, scheme := range []string{"simd", "warp"} {
+		if _, err := capture(t, func() error {
+			return run(scheme, 32, 4, 16, false, false, 0, []string{path})
+		}); err != nil {
+			t.Errorf("scheme %s: %v", scheme, err)
+		}
+	}
+}
+
+func TestRunGoEmission(t *testing.T) {
+	path := writeInput(t)
+	out, err := capture(t, func() error {
+		return run("first-iteration", 64, 8, 32, true, false, 0, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "package collapsed") || !strings.Contains(out, "cmplx.Sqrt(") {
+		t.Errorf("Go emission missing:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeInput(t)
+	if err := run("bogus", 1, 1, 1, false, false, 0, []string{path}); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+	if err := run("chunked", 1, 1, 1, false, false, 0, []string{"a", "b"}); err == nil {
+		t.Error("two files accepted")
+	}
+	if err := run("chunked", 1, 1, 1, false, false, 0, []string{"/does/not/exist.c"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.c")
+	os.WriteFile(bad, []byte("int main() {}"), 0o644)
+	if err := run("chunked", 1, 1, 1, false, false, 0, []string{bad}); err == nil {
+		t.Error("non-annotated input accepted")
+	}
+}
+
+// TestRunRepositoryTestdata self-checks the transformation on every
+// sample input shipped in testdata/, including the quartic §IV.B limit
+// case.
+func TestRunRepositoryTestdata(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.c")
+	if err != nil || len(files) < 4 {
+		t.Fatalf("testdata inputs: %v (err %v)", files, err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			if _, err := capture(t, func() error {
+				return run("first-iteration", 64, 8, 32, false, false, 6, []string{f})
+			}); err != nil {
+				t.Errorf("%s: %v", f, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,197 @@
+// Command rankq answers ranking/unranking queries about affine loop
+// nests: the total iteration count, the rank of a given iteration tuple,
+// the tuple at a given rank, the ranking polynomial itself, and the
+// symbolic convenient roots.
+//
+// The nest is given with -nest as semicolon-separated loops
+// "index=lower:upper" (upper exclusive), parameters bound with repeated
+// -p name=value flags:
+//
+//	rankq -nest 'i=0:N-1; j=i+1:N' -p N=10 total
+//	rankq -nest 'i=0:N-1; j=i+1:N' -p N=10 rank 3 5
+//	rankq -nest 'i=0:N-1; j=i+1:N' -p N=10 unrank 29
+//	rankq -nest 'i=0:N-1; j=i+1:N' poly
+//	rankq -nest 'i=0:N-1; j=i+1:N' roots
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/ehrhart"
+	"repro/internal/nest"
+	"repro/internal/poly"
+	"repro/internal/roots"
+	"repro/internal/unrank"
+)
+
+type paramFlags map[string]int64
+
+func (p paramFlags) String() string { return fmt.Sprint(map[string]int64(p)) }
+
+func (p paramFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+	if err != nil {
+		return err
+	}
+	p[strings.TrimSpace(name)] = v
+	return nil
+}
+
+func main() {
+	nestSpec := flag.String("nest", "", "loops as 'i=lo:hi; j=lo:hi; ...' (hi exclusive)")
+	params := paramFlags{}
+	flag.Var(params, "p", "parameter binding name=value (repeatable)")
+	flag.Parse()
+
+	if err := run(*nestSpec, params, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "rankq:", err)
+		os.Exit(1)
+	}
+}
+
+func parseNest(spec string, params paramFlags) (*nest.Nest, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("missing -nest")
+	}
+	var loops []nest.Loop
+	indexSet := map[string]bool{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, bounds, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("loop %q: want index=lo:hi", part)
+		}
+		loSrc, hiSrc, ok := strings.Cut(bounds, ":")
+		if !ok {
+			return nil, fmt.Errorf("loop %q: want index=lo:hi", part)
+		}
+		lo, err := poly.Parse(loSrc)
+		if err != nil {
+			return nil, fmt.Errorf("loop %q lower: %w", part, err)
+		}
+		hi, err := poly.Parse(hiSrc)
+		if err != nil {
+			return nil, fmt.Errorf("loop %q upper: %w", part, err)
+		}
+		idx := strings.TrimSpace(name)
+		loops = append(loops, nest.Loop{Index: idx, Lower: lo, Upper: hi})
+		indexSet[idx] = true
+	}
+	// Free identifiers become parameters.
+	pset := map[string]bool{}
+	for _, l := range loops {
+		for _, v := range append(l.Lower.Vars(), l.Upper.Vars()...) {
+			if !indexSet[v] {
+				pset[v] = true
+			}
+		}
+	}
+	var ps []string
+	for p := range pset {
+		ps = append(ps, p)
+	}
+	// Deterministic order.
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			if ps[j] < ps[i] {
+				ps[i], ps[j] = ps[j], ps[i]
+			}
+		}
+	}
+	return nest.New(ps, loops...)
+}
+
+func run(nestSpec string, params paramFlags, args []string) error {
+	n, err := parseNest(nestSpec, params)
+	if err != nil {
+		return err
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("missing command: total|rank|unrank|poly|roots|list")
+	}
+	cmd, rest := args[0], args[1:]
+
+	switch cmd {
+	case "poly":
+		fmt.Printf("r(%s) = %s\n", strings.Join(n.Indices(), ", "), ehrhart.Ranking(n))
+		fmt.Printf("count = %s\n", ehrhart.Count(n))
+		return nil
+	case "roots":
+		u, err := unrank.New(n, unrank.Options{})
+		if err != nil {
+			return err
+		}
+		for k := 0; k < n.Depth()-1; k++ {
+			fmt.Printf("%s = floor(Re( %s ))\n", n.Loops[k].Index, roots.String(u.RootExpr(k)))
+		}
+		fmt.Printf("%s: direct formula (pc minus rank of prefix lexmin)\n", n.Loops[n.Depth()-1].Index)
+		return nil
+	}
+
+	u, err := unrank.New(n, unrank.Options{})
+	if err != nil {
+		return err
+	}
+	b, err := u.Bind(params)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "total":
+		fmt.Println(b.Total())
+	case "rank":
+		if len(rest) != n.Depth() {
+			return fmt.Errorf("rank wants %d indices", n.Depth())
+		}
+		idx := make([]int64, n.Depth())
+		for q, s := range rest {
+			if idx[q], err = strconv.ParseInt(s, 10, 64); err != nil {
+				return err
+			}
+		}
+		if !b.Instance().Contains(idx) {
+			return fmt.Errorf("%v is not in the iteration domain", idx)
+		}
+		fmt.Println(b.Rank(idx))
+	case "unrank":
+		if len(rest) != 1 {
+			return fmt.Errorf("unrank wants one pc value")
+		}
+		pc, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		idx := make([]int64, n.Depth())
+		if err := b.Unrank(pc, idx); err != nil {
+			return err
+		}
+		out := make([]string, len(idx))
+		for q, v := range idx {
+			out[q] = fmt.Sprintf("%s=%d", n.Loops[q].Index, v)
+		}
+		fmt.Println(strings.Join(out, " "))
+	case "list":
+		idx := make([]int64, n.Depth())
+		var pc int64
+		b.Instance().Enumerate(func(truth []int64) bool {
+			pc++
+			copy(idx, truth)
+			fmt.Printf("%6d: %v\n", pc, idx)
+			return true
+		})
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}

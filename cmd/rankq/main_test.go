@@ -1,0 +1,127 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureRun(t *testing.T, nestSpec string, params paramFlags, args []string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := run(nestSpec, params, args)
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+const triSpec = "i=0:N-1; j=i+1:N"
+
+func TestRankqTotal(t *testing.T) {
+	out, err := captureRun(t, triSpec, paramFlags{"N": 10}, []string{"total"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "45" {
+		t.Errorf("total = %q", out)
+	}
+}
+
+func TestRankqRankUnrankRoundTrip(t *testing.T) {
+	out, err := captureRun(t, triSpec, paramFlags{"N": 10}, []string{"rank", "3", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := strings.TrimSpace(out)
+	out, err = captureRun(t, triSpec, paramFlags{"N": 10}, []string{"unrank", rank})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "i=3 j=5" {
+		t.Errorf("unrank(%s) = %q", rank, out)
+	}
+}
+
+func TestRankqPolyAndRoots(t *testing.T) {
+	out, err := captureRun(t, triSpec, nil, []string{"poly"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "r(i, j)") || !strings.Contains(out, "count") {
+		t.Errorf("poly output: %q", out)
+	}
+	out, err = captureRun(t, triSpec, nil, []string{"roots"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sqrt(") || !strings.Contains(out, "direct formula") {
+		t.Errorf("roots output: %q", out)
+	}
+}
+
+func TestRankqList(t *testing.T) {
+	out, err := captureRun(t, "i=0:3; j=i:3", paramFlags{}, []string{"list"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // (0,0)(0,1)(0,2)(1,1)(1,2)(2,2)
+		t.Errorf("list lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRankqErrors(t *testing.T) {
+	cases := []struct {
+		spec   string
+		params paramFlags
+		args   []string
+	}{
+		{"", nil, []string{"total"}},
+		{"i=0", nil, []string{"total"}},
+		{"i0:N", nil, []string{"total"}},
+		{triSpec, paramFlags{"N": 10}, []string{}},
+		{triSpec, paramFlags{"N": 10}, []string{"bogus"}},
+		{triSpec, paramFlags{"N": 10}, []string{"rank", "1"}},
+		{triSpec, paramFlags{"N": 10}, []string{"rank", "5", "5"}}, // not in domain
+		{triSpec, paramFlags{"N": 10}, []string{"unrank"}},
+		{triSpec, paramFlags{"N": 10}, []string{"unrank", "9999"}},
+		{triSpec, paramFlags{"N": 10}, []string{"unrank", "x"}},
+		{triSpec, nil, []string{"total"}}, // missing param binding
+		{"i=0:i^2", nil, []string{"total"}},
+	}
+	for _, c := range cases {
+		if _, err := captureRun(t, c.spec, c.params, c.args); err == nil {
+			t.Errorf("spec %q args %v: expected error", c.spec, c.args)
+		}
+	}
+}
+
+func TestParamFlags(t *testing.T) {
+	p := paramFlags{}
+	if err := p.Set("N=10"); err != nil || p["N"] != 10 {
+		t.Errorf("Set: %v, %v", p, err)
+	}
+	if err := p.Set(" M = 5 "); err != nil || p["M"] != 5 {
+		t.Errorf("Set with spaces: %v, %v", p, err)
+	}
+	if err := p.Set("bad"); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := p.Set("N=x"); err == nil {
+		t.Error("non-integer accepted")
+	}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,81 @@
+// The paper's motivating example end-to-end (§II): the correlation
+// kernel is parallelized three ways — outer loop with schedule(static),
+// outer loop with schedule(dynamic), and collapsed with schedule(static)
+// — results are compared for exactness, and the generated C code of
+// Figs. 3 and 4 is printed.
+//
+//	go run ./examples/correlation [-N 500] [-threads 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	nonrect "repro"
+	"repro/internal/kernels"
+	"repro/internal/omp"
+)
+
+func main() {
+	N := flag.Int64("N", 500, "matrix dimension")
+	threads := flag.Int("threads", 8, "goroutine team size")
+	flag.Parse()
+
+	k := kernels.Correlation
+	params := map[string]int64{"N": *N}
+	inst := k.New(params)
+
+	res, err := nonrect.Collapse(k.Nest, k.Collapse)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== generated collapsed code, per-iteration recovery (paper Fig. 3) ===")
+	src, err := nonrect.EmitC(res, nonrect.CodegenOptions{
+		Scheme: nonrect.SchemePerIteration,
+		Body:   "a[i][j] += b[k][i]*c[k][j];\na[j][i] = a[i][j];",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(src)
+
+	fmt.Println("=== generated collapsed code, first-iteration recovery (paper Fig. 4) ===")
+	src, err = nonrect.EmitC(res, nonrect.CodegenOptions{
+		Scheme: nonrect.SchemeFirstIteration,
+		Body:   "a[i][j] += b[k][i]*c[k][j];\na[j][i] = a[i][j];",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(src)
+
+	run := func(name string, f func() error) float64 {
+		inst.Reset()
+		start := time.Now()
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		sec := time.Since(start).Seconds()
+		fmt.Printf("%-28s %8.4fs  checksum %.6e\n", name, sec, inst.Checksum())
+		return sec
+	}
+
+	fmt.Printf("=== execution, N=%d, %d goroutines ===\n", *N, *threads)
+	run("sequential", func() error { kernels.RunSeq(inst); return nil })
+	run("outer schedule(static)", func() error {
+		kernels.RunOuterParallel(inst, *threads, omp.Schedule{Kind: omp.Static})
+		return nil
+	})
+	run("outer schedule(dynamic)", func() error {
+		kernels.RunOuterParallel(inst, *threads, omp.Schedule{Kind: omp.Dynamic})
+		return nil
+	})
+	run("collapsed schedule(static)", func() error {
+		return kernels.RunCollapsedParallel(k, inst, res, params, *threads, omp.Schedule{Kind: omp.Static})
+	})
+	fmt.Println("\n(wall-clock speedups require as many cores as goroutines;")
+	fmt.Println(" the checksums prove all variants compute identical results)")
+}

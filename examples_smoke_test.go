@@ -1,0 +1,55 @@
+package nonrect
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program (with small problem
+// sizes) and checks its self-verification output, so the examples cannot
+// rot silently. Skipped with -short (each `go run` pays a link step).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want []string
+	}{
+		{"quickstart", nil, []string{"match = true", "rank back"}},
+		{"correlation", []string{"-N", "120", "-threads", "4"},
+			[]string{"first_iteration = 1;", "collapsed schedule(static)"}},
+		{"tetrahedral", []string{"-N", "40"},
+			[]string{"complex intermediates", "match = true"}},
+		{"sourcetosource", nil, []string{"=== Go rendition ===", "#pragma omp simd"}},
+		{"gpuwarp", []string{"-N", "80", "-M", "8", "-W", "8"},
+			[]string{"full coverage verified"}},
+		{"reshape", nil, []string{"match true", "fused space"}},
+		{"tiling", []string{"-NT", "8", "-T", "4", "-threads", "4"},
+			[]string{"match = true", "imbalance"}},
+		{"timestep", []string{"-N", "60", "-steps", "5", "-threads", "3"},
+			[]string{"bitwise match with sequential reference: true"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			args := append([]string{"run", "./examples/" + c.dir}, c.args...)
+			cmd := exec.Command("go", args...)
+			cmd.Dir = "."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run failed: %v\n%s", err, out)
+			}
+			for _, frag := range c.want {
+				if !strings.Contains(string(out), frag) {
+					t.Errorf("output missing %q:\n%s", frag, out)
+				}
+			}
+		})
+	}
+}

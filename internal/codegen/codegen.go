@@ -1,0 +1,279 @@
+// Package codegen emits source code for collapsed loop nests: the C
+// programs of the paper's Figs. 3, 4 and 7, the §V chunked scheme, the
+// §VI.A SIMD scheme and the §VI.B GPU-warp scheme, plus a runnable Go
+// rendition of the collapsed loop. Together with the cparse front end it
+// forms the source-to-source tool described in §VII.
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/roots"
+)
+
+// Scheme selects the index-recovery strategy of the generated code.
+type Scheme int
+
+const (
+	// PerIteration recovers all indices from pc at every iteration
+	// (paper Fig. 3 and Fig. 7).
+	PerIteration Scheme = iota
+	// FirstIteration performs the costly recovery once per thread and
+	// increments afterwards (paper Fig. 4, §V static scheme).
+	FirstIteration
+	// Chunked recovers once per CHUNK iterations
+	// (§V schedule(static, CHUNK) scheme).
+	Chunked
+	// SIMD pre-computes vlength index tuples per batch and vectorises the
+	// statement loop (§VI.A).
+	SIMD
+	// Warp distributes consecutive iterations across W lanes, each
+	// recovering once and incrementing W times between iterations (§VI.B).
+	Warp
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case PerIteration:
+		return "per-iteration"
+	case FirstIteration:
+		return "first-iteration"
+	case Chunked:
+		return "chunked"
+	case SIMD:
+		return "simd"
+	case Warp:
+		return "warp"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Options configure emission.
+type Options struct {
+	Scheme   Scheme
+	Schedule string // schedule clause body, default "static"
+	Chunk    int    // Chunked scheme chunk size, default 64
+	VLength  int    // SIMD vector length, default 8
+	Warp     int    // Warp width, default 32
+	// Body is the statement text; occurrences of the original index names
+	// remain valid because recovery assigns those very variables. When
+	// empty, a call S(i1, ..., ic) is emitted. For nests deeper than the
+	// collapse count, the remaining inner loops are emitted around Body.
+	Body string
+	// FuncName names the emitted Go function (Go emission only);
+	// default "CollapsedLoop".
+	FuncName string
+}
+
+func (o *Options) fill() {
+	if o.Schedule == "" {
+		o.Schedule = "static"
+	}
+	if o.Chunk <= 0 {
+		o.Chunk = 64
+	}
+	if o.VLength <= 0 {
+		o.VLength = 8
+	}
+	if o.Warp <= 0 {
+		o.Warp = 32
+	}
+	if o.FuncName == "" {
+		o.FuncName = "CollapsedLoop"
+	}
+}
+
+// defaultBody builds the S(i1,...,id) placeholder call.
+func defaultBody(r *core.Result) string {
+	return "S(" + strings.Join(r.Nest.Indices(), ", ") + ");"
+}
+
+// recoveryC returns the C statements recovering the collapsed indices
+// from variable pcVar, one per line.
+func recoveryC(r *core.Result, pcVar string) []string {
+	var lines []string
+	for k := 0; k < r.C-1; k++ {
+		e := r.Unranker.RootExpr(k)
+		expr := roots.CString(e)
+		if pcVar != "pc" {
+			expr = strings.ReplaceAll(expr, "pc", pcVar)
+		}
+		lines = append(lines, fmt.Sprintf("%s = floor(creal(%s));",
+			r.SubNest.Loops[k].Index, expr))
+	}
+	// Last collapsed index: i = lb + (pc - r(prefix, lb)).
+	last := r.SubNest.Loops[r.C-1]
+	tail := r.SubNest.LexMinTail(r.C - 2)
+	base := r.Ranking.SubstAll(tail)
+	lines = append(lines, fmt.Sprintf("%s = %s + (%s - (%s));",
+		last.Index, roots.PolyInt(last.Lower), pcVar, roots.PolyInt(base)))
+	return lines
+}
+
+// incrementC returns the C statements advancing the collapsed indices to
+// the lexicographic successor (valid for regular nests, as in Fig. 4).
+func incrementC(r *core.Result) []string {
+	var lines []string
+	var rec func(k int) []string
+	rec = func(k int) []string {
+		l := r.SubNest.Loops[k]
+		inc := []string{fmt.Sprintf("%s++;", l.Index)}
+		if k == 0 {
+			return inc
+		}
+		guard := fmt.Sprintf("if (%s >= %s) {", l.Index, roots.PolyInt(l.Upper))
+		inner := rec(k - 1)
+		var out []string
+		out = append(out, inc...)
+		out = append(out, guard)
+		for _, s := range inner {
+			out = append(out, "  "+s)
+		}
+		out = append(out, fmt.Sprintf("  %s = %s;", l.Index, roots.PolyInt(l.Lower)))
+		out = append(out, "}")
+		return out
+	}
+	lines = rec(r.C - 1)
+	return lines
+}
+
+// innerLoopsC wraps body with the non-collapsed inner loops (levels
+// C..depth-1) and returns the indented lines.
+func innerLoopsC(r *core.Result, body string, indent string) []string {
+	var lines []string
+	depth := r.Nest.Depth()
+	pad := indent
+	for k := r.C; k < depth; k++ {
+		l := r.Nest.Loops[k]
+		lines = append(lines, fmt.Sprintf("%sfor (%s = %s ; %s < %s ; %s++)",
+			pad, l.Index, roots.PolyInt(l.Lower), l.Index, roots.PolyInt(l.Upper), l.Index))
+		pad += "  "
+	}
+	for _, bl := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		lines = append(lines, pad+bl)
+	}
+	return lines
+}
+
+// privateList returns the comma-separated private variable list.
+func privateList(r *core.Result) string {
+	return strings.Join(r.Nest.Indices(), ", ")
+}
+
+// EmitC renders the collapsed nest as C code in the requested scheme.
+func EmitC(r *core.Result, opts Options) (string, error) {
+	opts.fill()
+	body := opts.Body
+	if body == "" {
+		body = defaultBody(r)
+	}
+	var b strings.Builder
+	w := func(format string, args ...interface{}) { fmt.Fprintf(&b, format+"\n", args...) }
+	total := roots.PolyInt(r.Total)
+
+	switch opts.Scheme {
+	case PerIteration:
+		w("#pragma omp parallel for private(%s) schedule(%s)", privateList(r), opts.Schedule)
+		w("for (pc = 1 ; pc <= %s ; pc++) {", total)
+		for _, l := range recoveryC(r, "pc") {
+			w("  %s", l)
+		}
+		for _, l := range innerLoopsC(r, body, "  ") {
+			w("%s", l)
+		}
+		w("}")
+
+	case FirstIteration:
+		w("first_iteration = 1;")
+		w("#pragma omp parallel for private(%s) firstprivate(first_iteration) schedule(%s)",
+			privateList(r), opts.Schedule)
+		w("for (pc = 1 ; pc <= %s ; pc++) {", total)
+		w("  if (first_iteration) {")
+		for _, l := range recoveryC(r, "pc") {
+			w("    %s", l)
+		}
+		w("    first_iteration = 0;")
+		w("  }")
+		for _, l := range innerLoopsC(r, body, "  ") {
+			w("%s", l)
+		}
+		for _, l := range incrementC(r) {
+			w("  %s", l)
+		}
+		w("}")
+
+	case Chunked:
+		w("#pragma omp parallel for private(%s) schedule(static, %d)", privateList(r), opts.Chunk)
+		w("for (pc = 1 ; pc <= %s ; pc++) {", total)
+		w("  if ((pc-1) %% %d == 0) {", opts.Chunk)
+		for _, l := range recoveryC(r, "pc") {
+			w("    %s", l)
+		}
+		w("  }")
+		for _, l := range innerLoopsC(r, body, "  ") {
+			w("%s", l)
+		}
+		for _, l := range incrementC(r) {
+			w("  %s", l)
+		}
+		w("}")
+
+	case SIMD:
+		if r.C != r.Nest.Depth() {
+			return "", fmt.Errorf("codegen: SIMD scheme requires all loops collapsed (c = depth)")
+		}
+		v := opts.VLength
+		w("first_iteration = 1;")
+		w("#pragma omp parallel for private(%s, v, T) firstprivate(first_iteration) schedule(%s)",
+			privateList(r), opts.Schedule)
+		w("for (pc = 1 ; pc <= %s ; pc += %d) {", total, v)
+		w("  if (first_iteration) {")
+		for _, l := range recoveryC(r, "pc") {
+			w("    %s", l)
+		}
+		w("    first_iteration = 0;")
+		w("  }")
+		w("  for (v = pc ; v <= min(pc+%d, %s) ; v++) {", v-1, total)
+		w("    T[v-pc] = Indices(%s);", privateList(r))
+		for _, l := range incrementC(r) {
+			w("    %s", l)
+		}
+		w("  }")
+		w("  #pragma omp simd")
+		w("  for (v = pc ; v <= min(pc+%d, %s) ; v++) {", v-1, total)
+		w("    %s", strings.ReplaceAll(body, "\n", "\n    "))
+		w("  }")
+		w("}")
+
+	case Warp:
+		if r.C != r.Nest.Depth() {
+			return "", fmt.Errorf("codegen: warp scheme requires all loops collapsed (c = depth)")
+		}
+		W := opts.Warp
+		w("/* parallel threads in a warp */")
+		w("for (thread = 0 ; thread < %d ; thread++) {", W)
+		w("  for (pc = thread+1 ; pc <= %s ; pc += %d) {", total, W)
+		w("    if (pc == thread+1) {")
+		for _, l := range recoveryC(r, "pc") {
+			w("      %s", l)
+		}
+		w("    }")
+		for _, l := range innerLoopsC(r, body, "    ") {
+			w("%s", l)
+		}
+		w("    for (inc = 0 ; inc < %d ; inc++) {", W)
+		for _, l := range incrementC(r) {
+			w("      %s", l)
+		}
+		w("    }")
+		w("  }")
+		w("}")
+
+	default:
+		return "", fmt.Errorf("codegen: unknown scheme %v", opts.Scheme)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,241 @@
+package codegen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nest"
+	"repro/internal/unrank"
+)
+
+func correlationResult(t *testing.T) *core.Result {
+	t.Helper()
+	n := nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N-1"),
+		nest.L("j", "i+1", "N"),
+		nest.L("k", "0", "N"),
+	)
+	return core.MustCollapse(n, 2, unrank.Options{})
+}
+
+func tetraResult(t *testing.T) *core.Result {
+	t.Helper()
+	n := nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N-1"),
+		nest.L("j", "0", "i+1"),
+		nest.L("k", "j", "i+1"),
+	)
+	return core.MustCollapse(n, 3, unrank.Options{})
+}
+
+// Fig. 3: per-iteration recovery with sqrt/floor of the quadratic root.
+func TestEmitCPerIterationCorrelation(t *testing.T) {
+	r := correlationResult(t)
+	src, err := EmitC(r, Options{Scheme: PerIteration, Body: "a[i][j] += b[k][i]*c[k][j];"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"#pragma omp parallel for private(i, j, k) schedule(static)",
+		"for (pc = 1 ; pc <= (N*N - N)/2 ; pc++)",
+		"i = floor(creal(",
+		"csqrt(",
+		"j = ",
+		"for (k = 0 ; k < N ; k++)",
+		"a[i][j] += b[k][i]*c[k][j];",
+	} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("missing fragment %q in:\n%s", frag, src)
+		}
+	}
+}
+
+// Fig. 4: first-iteration recovery plus incrementation.
+func TestEmitCFirstIterationCorrelation(t *testing.T) {
+	r := correlationResult(t)
+	src, err := EmitC(r, Options{Scheme: FirstIteration})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"first_iteration = 1;",
+		"firstprivate(first_iteration)",
+		"if (first_iteration) {",
+		"first_iteration = 0;",
+		"j++;",
+		"if (j >= N) {",
+		"i++;",
+		"j = i + 1;",
+		"S(i, j, k);",
+	} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("missing fragment %q in:\n%s", frag, src)
+		}
+	}
+}
+
+// Fig. 7: 3-deep collapse with cpow/csqrt complex recovery.
+func TestEmitCTetraUsesComplexFunctions(t *testing.T) {
+	r := tetraResult(t)
+	src, err := EmitC(r, Options{Scheme: PerIteration})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"for (pc = 1 ; pc <= (N*N*N - N)/6 ; pc++)",
+		"cpow(",
+		"csqrt(",
+		"i = floor(creal(",
+		"j = floor(creal(",
+		"S(i, j, k);",
+	} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("missing fragment %q in:\n%s", frag, src)
+		}
+	}
+	// The last index is recovered by the direct formula, not a root.
+	if strings.Count(src, "floor(creal(") != 2 {
+		t.Errorf("expected exactly 2 radical recoveries:\n%s", src)
+	}
+}
+
+func TestEmitCChunked(t *testing.T) {
+	r := correlationResult(t)
+	src, err := EmitC(r, Options{Scheme: Chunked, Chunk: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"schedule(static, 128)",
+		"if ((pc-1) % 128 == 0) {",
+		"j++;",
+	} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("missing fragment %q in:\n%s", frag, src)
+		}
+	}
+}
+
+func TestEmitCSIMDAndWarp(t *testing.T) {
+	r := tetraResult(t)
+	simd, err := EmitC(r, Options{Scheme: SIMD, VLength: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"#pragma omp simd", "T[v-pc]", "pc += 4"} {
+		if !strings.Contains(simd, frag) {
+			t.Errorf("SIMD missing %q in:\n%s", frag, simd)
+		}
+	}
+	warp, err := EmitC(r, Options{Scheme: Warp, Warp: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"for (thread = 0 ; thread < 32", "pc += 32", "if (pc == thread+1)"} {
+		if !strings.Contains(warp, frag) {
+			t.Errorf("warp missing %q in:\n%s", frag, warp)
+		}
+	}
+	// SIMD/warp require full collapse.
+	partial := correlationResult(t)
+	if _, err := EmitC(partial, Options{Scheme: SIMD}); err == nil {
+		t.Error("SIMD with partial collapse accepted")
+	}
+	if _, err := EmitC(partial, Options{Scheme: Warp}); err == nil {
+		t.Error("warp with partial collapse accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	names := map[Scheme]string{
+		PerIteration: "per-iteration", FirstIteration: "first-iteration",
+		Chunked: "chunked", SIMD: "simd", Warp: "warp",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("Scheme(%d).String() = %q", int(s), s.String())
+		}
+	}
+	if Scheme(99).String() == "" {
+		t.Error("unknown scheme renders empty")
+	}
+}
+
+// TestEmitGoCompilesAndMatchesEnumeration generates Go code for the
+// correlation and tetrahedral nests, compiles it with the host
+// toolchain, runs it, and compares the produced iteration order with
+// brute-force enumeration — an end-to-end check of the whole pipeline.
+func TestEmitGoCompilesAndMatchesEnumeration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping toolchain round-trip in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	r2 := correlationResult(t)
+	f2, err := EmitGo(r2, Options{Scheme: PerIteration, FuncName: "Corr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := tetraResult(t)
+	f3, err := EmitGo(r3, Options{Scheme: FirstIteration, FuncName: "Tetra"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainSrc := `
+func main() {
+	Corr(7, func(idx ...int64) { fmt.Println("C", idx[0], idx[1], idx[2]) })
+	Tetra(6, func(idx ...int64) { fmt.Println("T", idx[0], idx[1], idx[2]) })
+}
+`
+	file := GoFile("main", f2, f3, mainSrc)
+	// GoFile only adds math imports; add fmt.
+	file = strings.Replace(file, "import (", "import (\n\t\"fmt\"", 1)
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(file), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module gen\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run failed: %v\n%s\n--- generated source ---\n%s", err, out, file)
+	}
+
+	// Compare lines in order against brute-force enumeration.
+	gotLines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	var wantLines []string
+	r2.Nest.MustBind(map[string]int64{"N": 7}).Enumerate(func(idx []int64) bool {
+		wantLines = append(wantLines, "C "+fmtInts(idx))
+		return true
+	})
+	r3.Nest.MustBind(map[string]int64{"N": 6}).Enumerate(func(idx []int64) bool {
+		wantLines = append(wantLines, "T "+fmtInts(idx))
+		return true
+	})
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("generated program printed %d lines, want %d\n%s", len(gotLines), len(wantLines), out)
+	}
+	for i := range wantLines {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("line %d: got %q, want %q", i, gotLines[i], wantLines[i])
+		}
+	}
+}
+
+func fmtInts(idx []int64) string {
+	parts := make([]string, len(idx))
+	for i, v := range idx {
+		parts[i] = strconv.FormatInt(v, 10)
+	}
+	return strings.Join(parts, " ")
+}

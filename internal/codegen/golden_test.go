@@ -1,0 +1,73 @@
+package codegen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGolden locks the exact emitted source for every scheme against
+// golden files, guarding formatting and formula regressions. Run with
+// -update to regenerate after intentional changes.
+func TestGolden(t *testing.T) {
+	corr := correlationResult(t)
+	tetra := tetraResult(t)
+	body := "a[i][j] += b[k][i]*c[k][j];\na[j][i] = a[i][j];"
+	cases := []struct {
+		file string
+		gen  func() (string, error)
+	}{
+		{"correlation_fig3.c", func() (string, error) {
+			return EmitC(corr, Options{Scheme: PerIteration, Body: body})
+		}},
+		{"correlation_fig4.c", func() (string, error) {
+			return EmitC(corr, Options{Scheme: FirstIteration, Body: body})
+		}},
+		{"correlation_chunked.c", func() (string, error) {
+			return EmitC(corr, Options{Scheme: Chunked, Chunk: 128, Body: body})
+		}},
+		{"tetra_fig7.c", func() (string, error) {
+			return EmitC(tetra, Options{Scheme: PerIteration})
+		}},
+		{"tetra_simd.c", func() (string, error) {
+			return EmitC(tetra, Options{Scheme: SIMD, VLength: 8})
+		}},
+		{"tetra_warp.c", func() (string, error) {
+			return EmitC(tetra, Options{Scheme: Warp, Warp: 32})
+		}},
+		{"correlation_fig4.go.txt", func() (string, error) {
+			fn, err := EmitGo(corr, Options{Scheme: FirstIteration, FuncName: "Correlation"})
+			if err != nil {
+				return "", err
+			}
+			return GoFile("collapsed", fn), nil
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.file, func(t *testing.T) {
+			got, err := c.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", c.file)
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("emitted source differs from %s; run `go test ./internal/codegen -update` if intentional.\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,15 @@
+#pragma omp parallel for private(i, j, k) schedule(static, 128)
+for (pc = 1 ; pc <= (N*N - N)/2 ; pc++) {
+  if ((pc-1) % 128 == 0) {
+    i = floor(creal(-(-N + 1.0/2.0 + csqrt(N*N - N - 2*pc + 9.0/4.0))));
+    j = i + 1 + (pc - ((2*N*i - i*i - i + 2)/2));
+  }
+  for (k = 0 ; k < N ; k++)
+    a[i][j] += b[k][i]*c[k][j];
+    a[j][i] = a[i][j];
+  j++;
+  if (j >= N) {
+    i++;
+    j = i + 1;
+  }
+}

@@ -1,0 +1,22 @@
+/* parallel threads in a warp */
+for (thread = 0 ; thread < 32 ; thread++) {
+  for (pc = thread+1 ; pc <= (N*N*N - N)/6 ; pc += 32) {
+    if (pc == thread+1) {
+      i = floor(creal(-((1.0/2.0 + ((-1 + csqrt(-3))*1.0/2.0*cpow((-3.0/4.0*pc + 3.0/4.0 + csqrt(9.0/16.0*pc*pc - 9.0/8.0*pc + 121.0/216.0))*1.0/2.0, 1.0/3.0) + 1.0/12.0/((-1 + csqrt(-3))*1.0/2.0*cpow((-3.0/4.0*pc + 3.0/4.0 + csqrt(9.0/16.0*pc*pc - 9.0/8.0*pc + 121.0/216.0))*1.0/2.0, 1.0/3.0))))*2)));
+      j = floor(creal(-(-i - 3.0/2.0 + csqrt(1.0/3.0*i*i*i + 2*i*i + 11.0/3.0*i - 2*pc + 17.0/4.0))));
+      k = j + (pc - ((i*i*i + 6*i*j + 3*i*i - 3*j*j + 2*i + 9*j + 6)/6));
+    }
+    S(i, j, k);
+    for (inc = 0 ; inc < 32 ; inc++) {
+      k++;
+      if (k >= i + 1) {
+        j++;
+        if (j >= i + 1) {
+          i++;
+          j = 0;
+        }
+        k = j;
+      }
+    }
+  }
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/nest"
+	"repro/internal/unrank"
+)
+
+// TestCollapseAtInnerBand collapses the (j, k) band of a 3-deep
+// triangular chain, with the outer i acting as a symbolic parameter of
+// the ranking polynomial; the bijection must hold for every value of i.
+func TestCollapseAtInnerBand(t *testing.T) {
+	n := nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N"),
+		nest.L("j", "i", "N"),
+		nest.L("k", "j", "N"),
+	)
+	r, err := CollapseAt(n, 1, 2, unrank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.C != 2 {
+		t.Fatalf("C = %d", r.C)
+	}
+	// The sub-nest's parameters are N and the outer iterator i.
+	if got := r.SubNest.Params; !reflect.DeepEqual(got, []string{"N", "i"}) {
+		t.Fatalf("sub params = %v", got)
+	}
+	N := int64(9)
+	for i := int64(0); i < N; i++ {
+		b, err := r.Unranker.Bind(map[string]int64{"N": N, "i": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Total = number of (j, k) pairs with i <= j <= k < N.
+		m := N - i
+		want := m * (m + 1) / 2
+		if b.Total() != want {
+			t.Fatalf("i=%d: Total = %d, want %d", i, b.Total(), want)
+		}
+		idx := make([]int64, 2)
+		var pc int64
+		b.Instance().Enumerate(func(truth []int64) bool {
+			pc++
+			if err := b.Unrank(pc, idx); err != nil {
+				t.Fatalf("i=%d pc=%d: %v", i, pc, err)
+			}
+			if !reflect.DeepEqual(idx, truth) {
+				t.Fatalf("i=%d pc=%d: got %v want %v", i, pc, idx, truth)
+			}
+			return true
+		})
+	}
+}
+
+// TestCollapseAtMiddleBand leaves a loop below the collapsed band.
+func TestCollapseAtMiddleBand(t *testing.T) {
+	n := nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N"),
+		nest.L("j", "0", "i+1"),
+		nest.L("k", "j", "i+1"),
+		nest.L("l", "0", "N"),
+	)
+	r, err := CollapseAt(n, 1, 2, unrank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SubNest.Depth() != 2 || r.SubNest.Loops[0].Index != "j" {
+		t.Fatalf("band = %v", r.SubNest.Indices())
+	}
+	b, err := r.Unranker.Bind(map[string]int64{"N": 8, "i": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (j, k) with 0 <= j <= k <= 5: 21 pairs.
+	if b.Total() != 21 {
+		t.Errorf("Total = %d", b.Total())
+	}
+}
+
+func TestCollapseAtFromZeroDelegates(t *testing.T) {
+	n := nest.MustNew([]string{"N"}, nest.L("i", "0", "N-1"), nest.L("j", "i+1", "N"))
+	r, err := CollapseAt(n, 0, 2, unrank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SubNest.Params) != 1 {
+		t.Errorf("params = %v", r.SubNest.Params)
+	}
+}
+
+func TestCollapseAtErrors(t *testing.T) {
+	n := nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N"), nest.L("j", "i", "N"))
+	if _, err := CollapseAt(n, -1, 1, unrank.Options{}); err == nil {
+		t.Error("negative from accepted")
+	}
+	if _, err := CollapseAt(n, 2, 1, unrank.Options{}); err == nil {
+		t.Error("from beyond depth accepted")
+	}
+	if _, err := CollapseAt(n, 1, 2, unrank.Options{}); err == nil {
+		t.Error("band beyond depth accepted")
+	}
+	if _, err := CollapseAt(n, 1, 0, unrank.Options{}); err == nil {
+		t.Error("zero band accepted")
+	}
+	if _, err := CollapseAt(&nest.Nest{}, 0, 1, unrank.Options{}); err == nil {
+		t.Error("invalid nest accepted")
+	}
+}

@@ -1,0 +1,230 @@
+// Package core implements the paper's primary contribution: automatic
+// collapsing of non-rectangular loop nests (Clauss, Altıntaş, Kuhn,
+// "Automatic Collapsing of Non-Rectangular Loops", IPDPS 2017).
+//
+// Collapse takes a perfect affine loop nest (the Fig. 5 model) and a
+// count c of outermost loops to collapse, and produces everything needed
+// to run — or generate — the collapsed program:
+//
+//   - the ranking Ehrhart polynomial r(i_0,…,i_{c-1}) of the collapsed
+//     sub-nest and the total iteration count polynomial (the collapsed
+//     loop runs pc = 1 .. Total);
+//   - the unranking function recovering the original indices from pc,
+//     built from symbolic radical roots with exact integer correction;
+//   - per-range iteration drivers implementing the §V cost-minimisation
+//     scheme (one costly recovery per chunk, then lexicographic
+//     incrementation), which the runtime schedules across goroutines.
+//
+// Parallel execution requires the collapsed loops to carry no dependence,
+// as in the paper; the transformation itself preserves lexicographic
+// order within each chunk.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ehrhart"
+	"repro/internal/nest"
+	"repro/internal/poly"
+	"repro/internal/unrank"
+)
+
+// Result is a collapsed loop nest.
+type Result struct {
+	// Nest is the full input nest (depth d).
+	Nest *nest.Nest
+	// C is the number of outermost loops collapsed (1 <= C <= d).
+	C int
+	// SubNest is the collapsed sub-nest (the C outermost loops).
+	SubNest *nest.Nest
+	// Ranking is the ranking Ehrhart polynomial of SubNest.
+	Ranking *poly.Poly
+	// Total is the iteration-count polynomial of SubNest in the
+	// parameters; the collapsed loop header is
+	// for (pc = 1; pc <= Total; pc++).
+	Total *poly.Poly
+	// Unranker recovers (i_0,…,i_{C-1}) from pc.
+	Unranker *unrank.Unranker
+}
+
+// Collapse builds the collapsed form of the c outermost loops of n.
+// opts configures the unranking construction (recovery mode, root
+// selection samples).
+func Collapse(n *nest.Nest, c int, opts unrank.Options) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if c < 1 || c > n.Depth() {
+		return nil, fmt.Errorf("core: collapse count %d out of range 1..%d", c, n.Depth())
+	}
+	sub := &nest.Nest{
+		Params: append([]string(nil), n.Params...),
+		Loops:  append([]nest.Loop(nil), n.Loops[:c]...),
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, fmt.Errorf("core: collapsed sub-nest invalid: %w", err)
+	}
+	u, err := unrank.New(sub, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Nest:     n,
+		C:        c,
+		SubNest:  sub,
+		Ranking:  u.Ranking(),
+		Total:    u.Count(),
+		Unranker: u,
+	}, nil
+}
+
+// MustCollapse is Collapse but panics on error.
+func MustCollapse(n *nest.Nest, c int, opts unrank.Options) *Result {
+	r, err := Collapse(n, c, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// CollapseAt collapses c successive loops starting at level `from`
+// (0-based) — the general form of the paper's §IV.A "collapse c
+// successive loops of this nest": the iterators of the loops surrounding
+// the collapsed band become additional symbolic parameters of the
+// ranking polynomial, exactly like the size parameters. The caller runs
+// the outer loops itself and binds each outer iteration's index values
+// through Unranker.Bind (together with the size parameters).
+//
+// The loops deeper than the band stay inside the body, as with Collapse.
+func CollapseAt(n *nest.Nest, from, c int, opts unrank.Options) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if from < 0 || from >= n.Depth() {
+		return nil, fmt.Errorf("core: start level %d out of range 0..%d", from, n.Depth()-1)
+	}
+	if from == 0 {
+		return Collapse(n, c, opts)
+	}
+	if c < 1 || from+c > n.Depth() {
+		return nil, fmt.Errorf("core: band [%d,%d) exceeds depth %d", from, from+c, n.Depth())
+	}
+	params := append([]string(nil), n.Params...)
+	for _, l := range n.Loops[:from] {
+		params = append(params, l.Index)
+	}
+	sub := &nest.Nest{
+		Params: params,
+		Loops:  append([]nest.Loop(nil), n.Loops[from:from+c]...),
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, fmt.Errorf("core: collapsed band invalid: %w", err)
+	}
+	// Root selection needs sample values for the outer iterators too.
+	// The generic defaults would give iterators the same magnitude as
+	// size parameters, often sampling an empty band (e.g. j = i..N with
+	// i = N); sample outer iterators near their lower bounds instead.
+	if opts.SampleParams == nil {
+		for _, size := range []int64{6, 9, 13} {
+			for _, ov := range []int64{0, 1, 2} {
+				m := make(map[string]int64, len(params))
+				for _, p := range n.Params {
+					m[p] = size
+				}
+				for _, l := range n.Loops[:from] {
+					m[l.Index] = ov
+				}
+				opts.SampleParams = append(opts.SampleParams, m)
+			}
+		}
+	}
+	u, err := unrank.New(sub, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Nest:     n,
+		C:        c,
+		SubNest:  sub,
+		Ranking:  u.Ranking(),
+		Total:    u.Count(),
+		Unranker: u,
+	}, nil
+}
+
+// ForRange executes body for every pc in [pcLo, pcHi] using the §V
+// scheme: the costly index recovery runs once, at pcLo, and subsequent
+// tuples are produced by ordinary lexicographic incrementation, exactly
+// like the "first_iteration / Incrementation(Indices)" code the paper
+// generates. The bound b must come from r.Unranker.Bind and must not be
+// shared across goroutines.
+//
+// body receives the collapsed rank pc and the recovered indices (the
+// slice is reused across calls).
+func ForRange(b *unrank.Bound, pcLo, pcHi int64, body func(pc int64, idx []int64)) error {
+	if pcLo > pcHi {
+		return nil
+	}
+	idx := make([]int64, b.Instance().Depth())
+	if err := b.Unrank(pcLo, idx); err != nil {
+		return err
+	}
+	for pc := pcLo; ; pc++ {
+		body(pc, idx)
+		if pc == pcHi {
+			return nil
+		}
+		if !b.Increment(idx) {
+			return fmt.Errorf("core: iteration space exhausted at pc=%d before reaching %d", pc, pcHi)
+		}
+	}
+}
+
+// ForRangeEvery executes body for every pc in [pcLo, pcHi], performing
+// the full closed-form recovery at every iteration (no incrementation).
+// This is the maximum-cost variant the paper associates with dynamic
+// scheduling (§V: "dynamic scheduling requires indices to be recovered by
+// evaluating the roots at each iteration").
+func ForRangeEvery(b *unrank.Bound, pcLo, pcHi int64, body func(pc int64, idx []int64)) error {
+	idx := make([]int64, b.Instance().Depth())
+	for pc := pcLo; pc <= pcHi; pc++ {
+		if err := b.Unrank(pc, idx); err != nil {
+			return err
+		}
+		body(pc, idx)
+	}
+	return nil
+}
+
+// CheckTotalMatchesRanking verifies, for a parameter binding, the §III
+// consistency identity: the ranking polynomial evaluated at the last
+// iteration equals the iteration-count polynomial. Used by tests and the
+// CLI tool's self-check.
+func (r *Result) CheckTotalMatchesRanking(params map[string]int64) error {
+	b, err := r.Unranker.Bind(params)
+	if err != nil {
+		return err
+	}
+	inst := b.Instance()
+	idx := make([]int64, r.C)
+	if !inst.First(idx) {
+		if b.Total() != 0 {
+			return fmt.Errorf("core: empty space but Total = %d", b.Total())
+		}
+		return nil
+	}
+	var last []int64
+	inst.Enumerate(func(i []int64) bool {
+		last = append(last[:0], i...)
+		return true
+	})
+	if got := b.Rank(last); got != b.Total() {
+		return fmt.Errorf("core: rank(last) = %d but Total = %d", got, b.Total())
+	}
+	return nil
+}
+
+// TripCounts exposes the per-level trip-count polynomials of the full
+// nest (used by the schedule simulator to compute exact per-iteration
+// work without running the kernel).
+func (r *Result) TripCounts() []*poly.Poly { return ehrhart.TripCounts(r.Nest) }

@@ -1,0 +1,177 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/poly"
+)
+
+const correlationSrc = `
+#pragma omp parallel for private(j, k) collapse(2) schedule(static)
+for (i = 0; i < N - 1; i++)
+  for (j = i + 1; j < N; j++) {
+    for (k = 0; k < N; k++)
+      a[i][j] += b[k][i] * c[k][j];
+    a[j][i] = a[i][j];
+  }
+`
+
+func TestParseCorrelation(t *testing.T) {
+	prog, err := Parse(correlationSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.CollapseCount != 2 {
+		t.Errorf("CollapseCount = %d", prog.CollapseCount)
+	}
+	if prog.Schedule != "static" {
+		t.Errorf("Schedule = %q", prog.Schedule)
+	}
+	if got := prog.Nest.Depth(); got != 2 {
+		t.Fatalf("Depth = %d", got)
+	}
+	if prog.Nest.Loops[0].Index != "i" || prog.Nest.Loops[1].Index != "j" {
+		t.Errorf("indices = %v", prog.Nest.Indices())
+	}
+	if !prog.Nest.Loops[0].Upper.Equal(poly.MustParse("N-1")) {
+		t.Errorf("upper(i) = %s", prog.Nest.Loops[0].Upper)
+	}
+	if !prog.Nest.Loops[1].Lower.Equal(poly.MustParse("i+1")) {
+		t.Errorf("lower(j) = %s", prog.Nest.Loops[1].Lower)
+	}
+	if len(prog.Nest.Params) != 1 || prog.Nest.Params[0] != "N" {
+		t.Errorf("params = %v", prog.Nest.Params)
+	}
+	if !strings.Contains(prog.Body, "a[i][j] += b[k][i] * c[k][j];") ||
+		!strings.Contains(prog.Body, "a[j][i] = a[i][j];") {
+		t.Errorf("body = %q", prog.Body)
+	}
+}
+
+func TestParseTetraNoBraces(t *testing.T) {
+	src := `
+#pragma omp parallel for collapse(3)
+for (i = 0; i < N-1; i++)
+  for (j = 0; j < i+1; j++)
+    for (k = j; k < i+1; k++)
+      S(i, j, k);
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Nest.Depth() != 3 {
+		t.Fatalf("Depth = %d", prog.Nest.Depth())
+	}
+	if prog.Body != "S(i, j, k);" {
+		t.Errorf("body = %q", prog.Body)
+	}
+	if prog.Schedule != "" {
+		t.Errorf("Schedule = %q", prog.Schedule)
+	}
+}
+
+func TestParseBracedNesting(t *testing.T) {
+	src := `
+#pragma omp parallel for collapse(2) schedule(dynamic, 16)
+for (i = 0; i <= M; i++) {
+  for (j = i; j <= i + 4; j++) {
+    work(i, j);
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Schedule != "dynamic, 16" {
+		t.Errorf("Schedule = %q", prog.Schedule)
+	}
+	// <= normalised to < with +1.
+	if !prog.Nest.Loops[0].Upper.Equal(poly.MustParse("M+1")) {
+		t.Errorf("upper(i) = %s", prog.Nest.Loops[0].Upper)
+	}
+	if !prog.Nest.Loops[1].Upper.Equal(poly.MustParse("i+5")) {
+		t.Errorf("upper(j) = %s", prog.Nest.Loops[1].Upper)
+	}
+	if prog.Body != "work(i, j);" {
+		t.Errorf("body = %q", prog.Body)
+	}
+}
+
+func TestParseIncrementForms(t *testing.T) {
+	for _, inc := range []string{"i++", "++i", "i += 1", "i = i + 1"} {
+		src := "#pragma omp parallel for collapse(1)\nfor (i = 0; i < N; " + inc + ")\n  f(i);\n"
+		prog, err := Parse(src)
+		if err != nil {
+			t.Errorf("increment %q rejected: %v", inc, err)
+			continue
+		}
+		if prog.Nest.Depth() != 1 {
+			t.Errorf("increment %q: depth %d", inc, prog.Nest.Depth())
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+#pragma omp parallel for collapse(2)
+// triangular nest
+for (i = 0; i < N; i++) /* outer */
+  for (j = i; j < N; j++)
+    f(i, j);
+`
+	if _, err := Parse(src); err != nil {
+		t.Errorf("comments broke parsing: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"no pragma", "for (i = 0; i < N; i++) f(i);"},
+		{"no collapse", "#pragma omp parallel for\nfor (i = 0; i < N; i++) f(i);"},
+		{"zero collapse", "#pragma omp parallel for collapse(0)\nfor (i = 0; i < N; i++) f(i);"},
+		{"too few loops", "#pragma omp parallel for collapse(2)\nfor (i = 0; i < N; i++) f(i);"},
+		{"downward loop", "#pragma omp parallel for collapse(1)\nfor (i = N; i > 0; i--) f(i);"},
+		{"non-unit stride", "#pragma omp parallel for collapse(1)\nfor (i = 0; i < N; i += 2) f(i);"},
+		{"mismatched var", "#pragma omp parallel for collapse(1)\nfor (i = 0; j < N; i++) f(i);"},
+		{"non-affine", "#pragma omp parallel for collapse(2)\nfor (i = 0; i < N; i++)\nfor (j = 0; j < i*i; j++) f(i,j);"},
+		{"unbalanced brace", "#pragma omp parallel for collapse(1)\nfor (i = 0; i < N; i++) { f(i);"},
+		{"unterminated", "#pragma omp parallel for collapse(1)\nfor (i = 0; i < N"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: Parse unexpectedly succeeded", c.name)
+		}
+	}
+}
+
+func TestParseMultipleParams(t *testing.T) {
+	src := `
+#pragma omp parallel for collapse(2)
+for (i = 0; i < N; i++)
+  for (j = i; j < i + M; j++)
+    f(i, j);
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Nest.Params) != 2 || prog.Nest.Params[0] != "M" || prog.Nest.Params[1] != "N" {
+		t.Errorf("params = %v", prog.Nest.Params)
+	}
+}
+
+func TestParsedNestRoundTrip(t *testing.T) {
+	// The parsed correlation nest must produce the paper's ranking
+	// polynomial when fed to the pipeline.
+	prog, err := Parse(correlationSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := prog.Nest.MustBind(map[string]int64{"N": 6})
+	if got := inst.Count(); got != 15 {
+		t.Errorf("Count = %d, want 15", got)
+	}
+}

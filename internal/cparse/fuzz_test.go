@@ -1,0 +1,36 @@
+package cparse
+
+import "testing"
+
+// FuzzParse checks the C front end never panics on arbitrary input and
+// that accepted programs yield valid nests.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		correlationSrc,
+		"#pragma omp parallel for collapse(1)\nfor (i = 0; i < N; i++) f(i);",
+		"#pragma omp parallel for collapse(2)\nfor (i = 0; i < N; i++)\nfor (j = i; j <= i+4; j++) { g(); }",
+		"#pragma omp for collapse(3)",
+		"#pragma omp parallel for collapse(2)\nfor (i = 0; i < N; i++) {",
+		"for (i = 0; i < N; i++) f(i);",
+		"#pragma omp parallel for collapse(1)\nfor (i = 0; i < N; i -= 1) f(i);",
+		"#pragma omp parallel for collapse(1) schedule(dynamic, 4)\nfor (i = 2; i < 2*N - 3; ++i) /*c*/ f(i);",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if prog.Nest == nil {
+			t.Fatal("accepted program with nil nest")
+		}
+		if err := prog.Nest.Validate(); err != nil {
+			t.Fatalf("accepted invalid nest: %v", err)
+		}
+		if prog.Nest.Depth() != prog.CollapseCount {
+			t.Fatalf("depth %d != collapse %d", prog.Nest.Depth(), prog.CollapseCount)
+		}
+	})
+}

@@ -1,0 +1,288 @@
+package ehrhart
+
+import (
+	"math/rand"
+	"testing"
+
+	"testing/quick"
+
+	"repro/internal/nest"
+	"repro/internal/nest/nesttest"
+	"repro/internal/poly"
+)
+
+func correlationNest() *nest.Nest {
+	return nest.MustNew([]string{"N"}, nest.L("i", "0", "N-1"), nest.L("j", "i+1", "N"))
+}
+
+func tetraNest() *nest.Nest {
+	return nest.MustNew([]string{"N"}, nest.L("i", "0", "N-1"), nest.L("j", "0", "i+1"), nest.L("k", "j", "i+1"))
+}
+
+func TestSumPowerAgainstBruteForce(t *testing.T) {
+	for m := 0; m <= 6; m++ {
+		s := SumPower(m, poly.Var("n"))
+		for nv := int64(0); nv <= 20; nv++ {
+			want := int64(0)
+			for x := int64(1); x <= nv; x++ {
+				p := int64(1)
+				for k := 0; k < m; k++ {
+					p *= x
+				}
+				want += p
+			}
+			got, err := s.EvalInt64(map[string]int64{"n": nv})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.IsInt() || got.Num().Int64() != want {
+				t.Fatalf("SumPower(%d) at n=%d: got %s, want %d", m, nv, got, want)
+			}
+		}
+	}
+}
+
+func TestSumPowerPolynomialLimit(t *testing.T) {
+	// Σ_{x=1}^{2m+1} x should equal (2m+1)(2m+2)/2 as a polynomial in m.
+	s := SumPower(1, poly.MustParse("2*m+1"))
+	want := poly.MustParse("(2*m+1)*(2*m+2)/2")
+	if !s.Equal(want) {
+		t.Errorf("SumPower(1, 2m+1) = %s, want %s", s, want)
+	}
+}
+
+func TestSumAgainstBruteForce(t *testing.T) {
+	// Σ_{j=i+1}^{N-1} (j + 2i) with polynomial limits.
+	p := poly.MustParse("j + 2*i")
+	s := Sum(p, "j", poly.MustParse("i+1"), poly.MustParse("N-1"))
+	if s.HasVar("j") {
+		t.Fatalf("summation variable survived: %s", s)
+	}
+	for N := int64(1); N <= 10; N++ {
+		for i := int64(0); i < N; i++ {
+			want := int64(0)
+			for j := i + 1; j <= N-1; j++ {
+				want += j + 2*i
+			}
+			got, err := s.EvalInt64(map[string]int64{"i": i, "N": N})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.IsInt() || got.Num().Int64() != want {
+				t.Fatalf("Sum at i=%d N=%d: got %s, want %d", i, N, got, want)
+			}
+		}
+	}
+}
+
+func TestSumEmptyRange(t *testing.T) {
+	// Σ_{x=5}^{4} anything = 0.
+	s := Sum(poly.MustParse("x^2+1"), "x", poly.Int(5), poly.Int(4))
+	if !s.IsZero() {
+		t.Errorf("empty sum = %s", s)
+	}
+}
+
+func TestCountCorrelation(t *testing.T) {
+	// Paper: total iterations = (N-1)N/2.
+	c := Count(correlationNest())
+	want := poly.MustParse("(N-1)*N/2")
+	if !c.Equal(want) {
+		t.Errorf("Count = %s, want %s", c, want)
+	}
+}
+
+func TestCountTetra(t *testing.T) {
+	// Paper: total iterations = (N^3 - N)/6.
+	c := Count(tetraNest())
+	want := poly.MustParse("(N^3 - N)/6")
+	if !c.Equal(want) {
+		t.Errorf("Count = %s, want %s", c, want)
+	}
+}
+
+func TestRankingCorrelationMatchesPaper(t *testing.T) {
+	// Paper §III: r(i,j) = (2iN + 2j - i² - 3i)/2.
+	r := Ranking(correlationNest())
+	want := poly.MustParse("(2*i*N + 2*j - i^2 - 3*i)/2")
+	if !r.Equal(want) {
+		t.Errorf("Ranking = %s, want %s", r, want)
+	}
+}
+
+func TestRankingTetraMatchesPaper(t *testing.T) {
+	// Paper §IV.C: r(i,j,k) = (6k - 3j² + 6ij + 3j + i³ + 3i² + 2i + 6)/6.
+	r := Ranking(tetraNest())
+	want := poly.MustParse("(6*k - 3*j^2 + 6*i*j + 3*j + i^3 + 3*i^2 + 2*i + 6)/6")
+	if !r.Equal(want) {
+		t.Errorf("Ranking = %s, want %s", r, want)
+	}
+}
+
+func TestRankingPaperSpotChecks(t *testing.T) {
+	r := Ranking(correlationNest())
+	eval := func(i, j, N int64) int64 {
+		v, err := r.EvalInt64(map[string]int64{"i": i, "j": j, "N": N})
+		if err != nil || !v.IsInt() {
+			t.Fatalf("eval(%d,%d,%d): %v %v", i, j, N, v, err)
+		}
+		return v.Num().Int64()
+	}
+	N := int64(10)
+	if got := eval(0, 1, N); got != 1 {
+		t.Errorf("r(0,1) = %d", got)
+	}
+	if got := eval(0, N-1, N); got != N-1 {
+		t.Errorf("r(0,N-1) = %d", got)
+	}
+	if got := eval(1, 2, N); got != N {
+		t.Errorf("r(1,2) = %d", got)
+	}
+	if got := eval(N-2, N-1, N); got != (N-1)*N/2 {
+		t.Errorf("r(N-2,N-1) = %d", got)
+	}
+}
+
+// The central property: Ranking enumerates 1,2,3,… in lexicographic
+// order, and Count equals brute-force counting, on random regular nests.
+func TestRankingAndCountPropertyOnRandomNests(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		n, params := nesttest.RandRegularNest(r)
+		inst := n.MustBind(params)
+		rp := Ranking(n)
+		order := append(append([]string(nil), n.Params...), n.Indices()...)
+		comp, err := rp.Compile(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]int64, len(order))
+		vals[0] = params["N"]
+		var rank int64
+		inst.Enumerate(func(idx []int64) bool {
+			rank++
+			copy(vals[1:], idx)
+			if got := comp.EvalExact(vals); got != rank {
+				t.Fatalf("trial %d nest\n%srank(%v) = %d, want %d", trial, n, idx, got, rank)
+			}
+			return true
+		})
+		cnt := Count(n)
+		cv, err := cnt.EvalInt64(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cv.IsInt() || cv.Num().Int64() != rank {
+			t.Fatalf("trial %d: Count = %s, brute = %d", trial, cv, rank)
+		}
+	}
+}
+
+func TestRankingNonZeroLowerBounds(t *testing.T) {
+	n, params := nesttest.NonZeroLowerNest()
+	inst := n.MustBind(params)
+	rp := Ranking(n)
+	var rank int64
+	inst.Enumerate(func(idx []int64) bool {
+		rank++
+		env := map[string]int64{"N": params["N"]}
+		for q, name := range n.Indices() {
+			env[name] = idx[q]
+		}
+		v, err := rp.EvalInt64(env)
+		if err != nil || !v.IsInt() || v.Num().Int64() != rank {
+			t.Fatalf("rank(%v) = %v (err %v), want %d", idx, v, err, rank)
+		}
+		return true
+	})
+}
+
+func TestCheckDegree(t *testing.T) {
+	if err := CheckDegree(Ranking(tetraNest())); err != nil {
+		t.Errorf("tetra ranking rejected: %v", err)
+	}
+	if err := CheckDegree(poly.MustParse("i^5 + j")); err == nil {
+		t.Error("degree-5 polynomial accepted")
+	}
+	// A 5-deep nest all depending on i exceeds the §IV.B limit.
+	deep := nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N"),
+		nest.L("j", "0", "i+1"),
+		nest.L("k", "0", "i+1"),
+		nest.L("l", "0", "i+1"),
+		nest.L("m", "0", "i+1"),
+	)
+	if err := CheckDegree(Ranking(deep)); err == nil {
+		t.Error("5-fold dependence on i accepted")
+	}
+}
+
+func TestRankingRectangularReducesToClassic(t *testing.T) {
+	// For a rectangular nest the ranking must be the classic linearisation
+	// i*N2 + j + 1.
+	n := nest.MustNew([]string{"N1", "N2"}, nest.L("i", "0", "N1"), nest.L("j", "0", "N2"))
+	r := Ranking(n)
+	want := poly.MustParse("i*N2 + j + 1")
+	if !r.Equal(want) {
+		t.Errorf("rectangular ranking = %s, want %s", r, want)
+	}
+}
+
+// Two-parameter nests: ranking and counting must stay exact when several
+// size parameters appear in the bounds.
+func TestRankingTwoParamNests(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 60; trial++ {
+		n, params := nesttest.RandTwoParamNest(r)
+		inst := n.MustBind(params)
+		if err := inst.CheckRegular(); err != nil {
+			t.Fatalf("trial %d nest\n%s: %v", trial, n, err)
+		}
+		rp := Ranking(n)
+		env := map[string]int64{"N": params["N"], "M": params["M"]}
+		var rank int64
+		inst.Enumerate(func(idx []int64) bool {
+			rank++
+			for q, name := range n.Indices() {
+				env[name] = idx[q]
+			}
+			v, err := rp.EvalInt64(env)
+			if err != nil || !v.IsInt() || v.Num().Int64() != rank {
+				t.Fatalf("trial %d nest\n%srank(%v) = %v (err %v), want %d", trial, n, idx, v, err, rank)
+			}
+			return true
+		})
+		cv, err := Count(n).EvalInt64(params)
+		if err != nil || !cv.IsInt() || cv.Num().Int64() != rank {
+			t.Fatalf("trial %d: Count = %v (err %v), brute = %d", trial, cv, err, rank)
+		}
+	}
+}
+
+// Sum is linear: Σ (a·p + b·q) = a·Σp + b·Σq (testing/quick over random
+// polynomials with polynomial limits).
+func TestSumLinearity(t *testing.T) {
+	lo, hi := poly.MustParse("i+1"), poly.MustParse("N-1")
+	f := func(ca, cb int8) bool {
+		p := poly.MustParse("j^2 - 3*j + N")
+		q := poly.MustParse("2*j + i")
+		a, b := int64(ca), int64(cb)
+		lhs := Sum(p.ScaleInt(a).Add(q.ScaleInt(b)), "j", lo, hi)
+		rhs := Sum(p, "j", lo, hi).ScaleInt(a).Add(Sum(q, "j", lo, hi).ScaleInt(b))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Sum splits over adjacent ranges: Σ_{a..c} = Σ_{a..b} + Σ_{b+1..c}.
+func TestSumRangeSplit(t *testing.T) {
+	p := poly.MustParse("x^3 - x + 2")
+	a, b, c := poly.Int(2), poly.MustParse("m"), poly.MustParse("n")
+	whole := Sum(p, "x", a, c)
+	split := Sum(p, "x", a, b).Add(Sum(p, "x", b.Add(poly.One()), c))
+	if !whole.Equal(split) {
+		t.Errorf("range split violated:\n%s\nvs\n%s", whole, split)
+	}
+}

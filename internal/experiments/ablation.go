@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/unrank"
+)
+
+// AblationRow records one (kernel, recovery strategy) measurement of the
+// design-space study behind §V: how often the costly closed-form
+// recovery runs, and what it costs relative to the plain sequential
+// program.
+type AblationRow struct {
+	Kernel      string
+	Strategy    string // "per-iteration", "chunk=N", "once-per-12", "binary-search/chunk=N"
+	SerialSec   float64
+	VariantSec  float64
+	OverheadPct float64
+}
+
+// AblationOptions configure the study.
+type AblationOptions struct {
+	Quick   bool
+	Kernels []string // defaults to correlation, tetra, utma
+	Chunks  []int64  // chunk sizes to sweep; defaults to 1, 16, 256, 4096
+}
+
+func (o *AblationOptions) fill() {
+	if len(o.Kernels) == 0 {
+		o.Kernels = []string{"correlation", "tetra", "utma"}
+	}
+	if len(o.Chunks) == 0 {
+		o.Chunks = []int64{1, 16, 256, 4096}
+	}
+}
+
+// Ablation measures, for each kernel, the serial cost of the collapsed
+// program under different recovery strategies:
+//
+//   - per-iteration: full radical recovery at every iteration (the naive
+//     Fig. 3 scheme, and what dynamic scheduling would force — §V);
+//   - chunk=c: one recovery per c iterations (§V chunked scheme);
+//   - once-per-12: one recovery per simulated thread (§V static scheme,
+//     the Fig. 10 configuration);
+//   - binary-search: the oracle recovery (no radicals) at every
+//     iteration, quantifying what the closed form buys.
+func Ablation(opts AblationOptions) ([]AblationRow, error) {
+	opts.fill()
+	var rows []AblationRow
+	for _, name := range opts.Kernels {
+		k, err := kernels.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		p := k.BenchParams
+		if opts.Quick {
+			p = k.TestParams
+		}
+		inst := k.New(p)
+		res, err := k.Collapsed()
+		if err != nil {
+			return nil, err
+		}
+		resBS, err := core.Collapse(k.Nest, k.Collapse, unrank.Options{Mode: unrank.ModeBinarySearch})
+		if err != nil {
+			return nil, err
+		}
+		serial := bestOf(3, func() error { inst.Reset(); kernels.RunSeq(inst); return nil })
+
+		add := func(strategy string, f func() error) error {
+			sec := bestOf(3, func() error { inst.Reset(); return f() })
+			if sec < 0 {
+				return fmt.Errorf("ablation: %s/%s failed", name, strategy)
+			}
+			rows = append(rows, AblationRow{
+				Kernel:      name,
+				Strategy:    strategy,
+				SerialSec:   serial,
+				VariantSec:  sec,
+				OverheadPct: (sec - serial) / serial * 100,
+			})
+			return nil
+		}
+
+		nestParams := k.NestParams(p)
+		if err := add("per-iteration", func() error {
+			b, err := res.Unranker.Bind(nestParams)
+			if err != nil {
+				return err
+			}
+			return core.ForRangeEvery(b, 1, b.Total(), func(pc int64, idx []int64) {
+				inst.RunCollapsed(idx)
+			})
+		}); err != nil {
+			return nil, err
+		}
+		if err := add("binary-search/per-iteration", func() error {
+			b, err := resBS.Unranker.Bind(nestParams)
+			if err != nil {
+				return err
+			}
+			return core.ForRangeEvery(b, 1, b.Total(), func(pc int64, idx []int64) {
+				inst.RunCollapsed(idx)
+			})
+		}); err != nil {
+			return nil, err
+		}
+		for _, c := range opts.Chunks {
+			c := c
+			if err := add(fmt.Sprintf("chunk=%d", c), func() error {
+				b, err := res.Unranker.Bind(nestParams)
+				if err != nil {
+					return err
+				}
+				total := b.Total()
+				nChunks := int((total + c - 1) / c)
+				return kernels.RunCollapsedSerialChunks(k, inst, res, p, nChunks)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if err := add("once-per-12", func() error {
+			return kernels.RunCollapsedSerialChunks(k, inst, res, p, 12)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func bestOf(reps int, f func() error) float64 {
+	best := -1.0
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return -1
+		}
+		if s := time.Since(start).Seconds(); best < 0 || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// RenderAblation prints the study as a table.
+func RenderAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — cost of the index-recovery strategies (§V design space, serial runs)\n")
+	fmt.Fprintf(&b, "%-14s %-28s %12s %12s %12s\n", "kernel", "strategy", "serial(s)", "variant(s)", "overhead(%)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-28s %12.4f %12.4f %12.1f\n",
+			r.Kernel, r.Strategy, r.SerialSec, r.VariantSec, r.OverheadPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationQuickStructure(t *testing.T) {
+	rows, err := Ablation(AblationOptions{Quick: true, Kernels: []string{"correlation", "utma"}, Chunks: []int64{4, 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 kernels x (per-iteration, binary-search, 2 chunks, once-per-12).
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKernel := map[string]map[string]AblationRow{}
+	for _, r := range rows {
+		if r.SerialSec <= 0 || r.VariantSec <= 0 {
+			t.Errorf("%s/%s: non-positive times", r.Kernel, r.Strategy)
+		}
+		if byKernel[r.Kernel] == nil {
+			byKernel[r.Kernel] = map[string]AblationRow{}
+		}
+		byKernel[r.Kernel][r.Strategy] = r
+	}
+	// The §V claim, robust even at tiny sizes: hoisting recovery to once
+	// per 12 chunks is much cheaper than recovering at every iteration.
+	for kn, m := range byKernel {
+		per := m["per-iteration"]
+		hoisted := m["once-per-12"]
+		if hoisted.VariantSec >= per.VariantSec {
+			t.Errorf("%s: once-per-12 (%g) not cheaper than per-iteration (%g)",
+				kn, hoisted.VariantSec, per.VariantSec)
+		}
+	}
+	out := RenderAblation(rows)
+	if !strings.Contains(out, "once-per-12") || !strings.Contains(out, "chunk=64") {
+		t.Errorf("render missing rows:\n%s", out)
+	}
+}
+
+func TestAblationUnknownKernel(t *testing.T) {
+	if _, err := Ablation(AblationOptions{Kernels: []string{"nope"}}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§VII):
+//
+//	Fig. 2  — per-thread load distribution of schedule(static) on the
+//	          correlation triangle;
+//	Fig. 8  — curves of r(i,0,0) − pc for the tetrahedral nest;
+//	Fig. 9  — gains of collapsing vs outer-loop static and dynamic
+//	          parallelization, for all kernels;
+//	Fig. 10 — serial control overhead of 12 index recoveries.
+//
+// Fig. 10 is measured directly (serial runs). Fig. 9 combines measured
+// per-unit costs with the discrete-event schedule simulator: the paper's
+// 12 hardware threads are replaced by 12 simulated threads whose per-unit
+// work is exact (computed from the kernels' work models) and whose unit
+// cost, dynamic-dequeue overhead and recovery cost are calibrated on the
+// host. An optional "real" mode also runs the goroutine runtime and
+// reports wall-clock times (meaningful only when GOMAXPROCS is at least
+// the thread count).
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/omp"
+	"repro/internal/unrank"
+)
+
+// Calibration holds host-measured unit costs (seconds).
+type Calibration struct {
+	// Dequeue is the per-chunk cost of dynamic scheduling (one atomic
+	// fetch-add plus dispatch).
+	Dequeue float64
+	// Recovery is the cost of one full closed-form index recovery
+	// (Unrank) for the given collapse result.
+	Recovery float64
+	// Increment is the cost of one lexicographic incrementation.
+	Increment float64
+}
+
+// timeIt measures f, repeating until the total elapsed time exceeds
+// minDuration, and returns seconds per call.
+func timeIt(minDuration time.Duration, f func()) float64 {
+	reps := 1
+	for {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			f()
+		}
+		el := time.Since(start)
+		if el >= minDuration || reps >= 1<<28 {
+			return el.Seconds() / float64(reps)
+		}
+		if el <= 0 {
+			reps *= 64
+			continue
+		}
+		grow := int(float64(minDuration)/float64(el)) + 1
+		if grow > 64 {
+			grow = 64
+		}
+		reps *= grow
+	}
+}
+
+// MeasureDequeue calibrates the per-chunk overhead of the dynamic
+// schedule by running an empty-body dynamic loop on one thread and
+// subtracting a static empty loop.
+func MeasureDequeue() float64 {
+	const n = 1 << 17
+	dyn := timeIt(20*time.Millisecond, func() {
+		omp.ParallelFor(1, 0, n, omp.Schedule{Kind: omp.Dynamic}, func(int, int64) {})
+	})
+	stat := timeIt(20*time.Millisecond, func() {
+		omp.ParallelFor(1, 0, n, omp.Schedule{Kind: omp.Static}, func(int, int64) {})
+	})
+	per := (dyn - stat) / n
+	if per < 1e-9 {
+		per = 1e-9 // floor: an atomic RMW is never free
+	}
+	return per
+}
+
+// MeasureRecovery calibrates one closed-form recovery (Unrank) averaged
+// over random ranks of the collapsed space.
+func MeasureRecovery(res *core.Result, params map[string]int64) (float64, error) {
+	b, err := res.Unranker.Bind(params)
+	if err != nil {
+		return 0, err
+	}
+	total := b.Total()
+	if total == 0 {
+		return 0, nil
+	}
+	rnd := rand.New(rand.NewSource(7))
+	const nPCs = 256
+	pcs := make([]int64, nPCs)
+	for i := range pcs {
+		pcs[i] = 1 + rnd.Int63n(total)
+	}
+	idx := make([]int64, res.C)
+	sec := timeIt(10*time.Millisecond, func() {
+		for _, pc := range pcs {
+			_ = b.Unrank(pc, idx)
+		}
+	})
+	return sec / nPCs, nil
+}
+
+// MeasureIncrement calibrates one lexicographic incrementation.
+func MeasureIncrement(res *core.Result, params map[string]int64) (float64, error) {
+	b, err := res.Unranker.Bind(params)
+	if err != nil {
+		return 0, err
+	}
+	total := b.Total()
+	if total < 2 {
+		return 0, nil
+	}
+	idx := make([]int64, res.C)
+	span := total - 1
+	if span > 1<<15 {
+		span = 1 << 15
+	}
+	sec := timeIt(10*time.Millisecond, func() {
+		if err := b.Unrank(1, idx); err != nil {
+			return
+		}
+		for s := int64(0); s < span; s++ {
+			b.Increment(idx)
+		}
+	})
+	return sec / float64(span), nil
+}
+
+// Calibrate performs all host measurements for a collapse result.
+func Calibrate(res *core.Result, params map[string]int64) (Calibration, error) {
+	var c Calibration
+	c.Dequeue = MeasureDequeue()
+	var err error
+	if c.Recovery, err = MeasureRecovery(res, params); err != nil {
+		return c, err
+	}
+	if c.Increment, err = MeasureIncrement(res, params); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// MeasureSerial times one full sequential execution of a kernel instance
+// (resetting it first).
+func MeasureSerial(inst kernels.Instance) float64 {
+	inst.Reset()
+	start := time.Now()
+	kernels.RunSeq(inst)
+	return time.Since(start).Seconds()
+}
+
+// buildResult is a convenience wrapper caching nothing; collapse
+// construction is cheap relative to kernel runs.
+func buildResult(k *kernels.Kernel) (*core.Result, error) {
+	return core.Collapse(k.Nest, k.Collapse, unrank.Options{})
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalingQuickStructure(t *testing.T) {
+	rows, err := Scaling(ScalingOptions{Quick: true, Kernels: []string{"correlation"}, Threads: []int{2, 8, 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Makespans must be non-increasing in P for every strategy.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].CollapsedSec > rows[i-1].CollapsedSec*1.0001 {
+			t.Errorf("collapsed makespan increased with threads: %+v -> %+v", rows[i-1], rows[i])
+		}
+		if rows[i].StaticSec > rows[i-1].StaticSec*1.0001 {
+			t.Errorf("static makespan increased with threads: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+	out := RenderScaling(rows)
+	if !strings.Contains(out, "threads") || !strings.Contains(out, "speedup") {
+		t.Errorf("render missing columns:\n%s", out)
+	}
+}
+
+// TestScalingBenchSaturation asserts the §II scalability claim at bench
+// size: for the triangular correlation kernel, outer-static saturates
+// (bounded below by the heaviest outer row) while collapsed-static keeps
+// scaling, so the gain grows with the thread count.
+func TestScalingBenchSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-size experiment skipped in -short mode")
+	}
+	rows, err := Scaling(ScalingOptions{Kernels: []string{"correlation"}, Threads: []int{4, 48}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	p4, p48 := rows[0], rows[1]
+	if p48.GainVsStatic <= p4.GainVsStatic {
+		t.Errorf("gain did not grow with threads: P=4 %.3f vs P=48 %.3f",
+			p4.GainVsStatic, p48.GainVsStatic)
+	}
+	// At P=48 static is limited by the heaviest row: speedup(static)
+	// stays far below 48 while collapsed exceeds it substantially.
+	if p48.SpeedupCollapsed < 24 {
+		t.Errorf("collapsed speedup at P=48 only %.1fx", p48.SpeedupCollapsed)
+	}
+}
+
+func TestScalingUnknownKernel(t *testing.T) {
+	if _, err := Scaling(ScalingOptions{Kernels: []string{"nope"}}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}

@@ -1,0 +1,188 @@
+package kernels
+
+import "repro/internal/nest"
+
+// ---------------------------------------------------------------------
+// symm: symmetric matrix–matrix product restricted to the lower triangle
+// of the output. A is stored as its lower triangle and accessed
+// symmetrically; each (i, j) with j <= i is independent, so the two
+// triangular outer loops are collapsed while the rectangular k reduction
+// stays in the body.
+//
+//	for (i = 0; i < N; i++)
+//	  for (j = 0; j <= i; j++) {
+//	    acc = 0;
+//	    for (k = 0; k < N; k++)
+//	      acc += SYM(A,i,k) * B[k][j];
+//	    C[i][j] = beta*C[i][j] + alpha*acc;
+//	  }
+// ---------------------------------------------------------------------
+
+// Symm is the symmetric-product kernel.
+var Symm = register(&Kernel{
+	Name: "symm",
+	Nest: nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N"),
+		nest.L("j", "0", "i+1"),
+		nest.L("k", "0", "N"),
+	),
+	Collapse:    2,
+	BenchParams: map[string]int64{"N": 400},
+	TestParams:  map[string]int64{"N": 32},
+	New:         func(p map[string]int64) Instance { return newSymmInst(p["N"]) },
+})
+
+type symmInst struct {
+	n     int64
+	a, b  []float64
+	c, c0 []float64
+}
+
+func newSymmInst(n int64) *symmInst {
+	in := &symmInst{
+		n:  n,
+		a:  make([]float64, n*n),
+		b:  make([]float64, n*n),
+		c:  make([]float64, n*n),
+		c0: make([]float64, n*n),
+	}
+	lcg(in.a, 11)
+	lcg(in.b, 12)
+	lcg(in.c0, 13)
+	copy(in.c, in.c0)
+	return in
+}
+
+func (in *symmInst) OuterRange() (int64, int64) { return 0, in.n }
+
+func (in *symmInst) cell(i, j int64) {
+	n := in.n
+	acc := 0.0
+	for k := int64(0); k < n; k++ {
+		var av float64
+		if k <= i {
+			av = in.a[i*n+k]
+		} else {
+			av = in.a[k*n+i]
+		}
+		acc += av * in.b[k*n+j]
+	}
+	in.c[i*n+j] = 0.5*in.c[i*n+j] + 1.5*acc
+}
+
+func (in *symmInst) RunOuter(i int64) {
+	for j := int64(0); j <= i; j++ {
+		in.cell(i, j)
+	}
+}
+
+func (in *symmInst) RunCollapsed(idx []int64) { in.cell(idx[0], idx[1]) }
+
+func (in *symmInst) WorkPerOuter(i int64) float64 { return float64(i+1) * float64(in.n) }
+
+func (in *symmInst) WorkPerCollapsed([]int64) float64 { return float64(in.n) }
+
+func (in *symmInst) Checksum() float64 { return checksum(in.c) }
+
+func (in *symmInst) Reset() { copy(in.c, in.c0) }
+
+// ---------------------------------------------------------------------
+// syrk: symmetric rank-k update computing only the lower triangle:
+// C[i][j] = beta*C[i][j] + alpha * sum_k A[i][k]*A[j][k], j <= i.
+// ---------------------------------------------------------------------
+
+// Syrk is the rank-k update kernel.
+var Syrk = register(&Kernel{
+	Name: "syrk",
+	Nest: nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N"),
+		nest.L("j", "0", "i+1"),
+		nest.L("k", "0", "N"),
+	),
+	Collapse:    2,
+	BenchParams: map[string]int64{"N": 450},
+	TestParams:  map[string]int64{"N": 32},
+	New:         func(p map[string]int64) Instance { return newSyrkInst(p["N"], false) },
+})
+
+// Syr2k is the rank-2k update kernel (two symmetric products).
+var Syr2k = register(&Kernel{
+	Name: "syr2k",
+	Nest: nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N"),
+		nest.L("j", "0", "i+1"),
+		nest.L("k", "0", "N"),
+	),
+	Collapse:    2,
+	BenchParams: map[string]int64{"N": 400},
+	TestParams:  map[string]int64{"N": 32},
+	New:         func(p map[string]int64) Instance { return newSyrkInst(p["N"], true) },
+})
+
+type syrkInst struct {
+	n     int64
+	rank2 bool
+	a, b  []float64
+	c, c0 []float64
+}
+
+func newSyrkInst(n int64, rank2 bool) *syrkInst {
+	in := &syrkInst{
+		n:     n,
+		rank2: rank2,
+		a:     make([]float64, n*n),
+		b:     make([]float64, n*n),
+		c:     make([]float64, n*n),
+		c0:    make([]float64, n*n),
+	}
+	lcg(in.a, 21)
+	lcg(in.b, 22)
+	lcg(in.c0, 23)
+	copy(in.c, in.c0)
+	return in
+}
+
+func (in *syrkInst) OuterRange() (int64, int64) { return 0, in.n }
+
+func (in *syrkInst) cell(i, j int64) {
+	n := in.n
+	acc := 0.0
+	if in.rank2 {
+		for k := int64(0); k < n; k++ {
+			acc += in.a[i*n+k]*in.b[j*n+k] + in.b[i*n+k]*in.a[j*n+k]
+		}
+	} else {
+		for k := int64(0); k < n; k++ {
+			acc += in.a[i*n+k] * in.a[j*n+k]
+		}
+	}
+	in.c[i*n+j] = 0.75*in.c[i*n+j] + 1.25*acc
+}
+
+func (in *syrkInst) RunOuter(i int64) {
+	for j := int64(0); j <= i; j++ {
+		in.cell(i, j)
+	}
+}
+
+func (in *syrkInst) RunCollapsed(idx []int64) { in.cell(idx[0], idx[1]) }
+
+func (in *syrkInst) WorkPerOuter(i int64) float64 {
+	w := float64(i+1) * float64(in.n)
+	if in.rank2 {
+		w *= 2
+	}
+	return w
+}
+
+func (in *syrkInst) WorkPerCollapsed([]int64) float64 {
+	w := float64(in.n)
+	if in.rank2 {
+		w *= 2
+	}
+	return w
+}
+
+func (in *syrkInst) Checksum() float64 { return checksum(in.c) }
+
+func (in *syrkInst) Reset() { copy(in.c, in.c0) }

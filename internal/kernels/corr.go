@@ -1,0 +1,217 @@
+package kernels
+
+import "repro/internal/nest"
+
+// ---------------------------------------------------------------------
+// correlation (paper Fig. 1): upper-triangle product accumulation with a
+// symmetric write-back; the two outer triangular loops are collapsed,
+// the k reduction stays inside the body.
+//
+//	for (i = 0; i < N-1; i++)
+//	  for (j = i+1; j < N; j++) {
+//	    for (k = 0; k < N; k++)
+//	      a[i][j] += b[k][i]*c[k][j];
+//	    a[j][i] = a[i][j];
+//	  }
+// ---------------------------------------------------------------------
+
+// Correlation is the motivating kernel of the paper.
+var Correlation = register(&Kernel{
+	Name: "correlation",
+	Nest: nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N-1"),
+		nest.L("j", "i+1", "N"),
+		nest.L("k", "0", "N"),
+	),
+	Collapse:    2,
+	BenchParams: map[string]int64{"N": 500},
+	TestParams:  map[string]int64{"N": 40},
+	New:         func(p map[string]int64) Instance { return newCorrInst(p["N"], false) },
+})
+
+// Covariance is the same shape including the diagonal (j >= i).
+var Covariance = register(&Kernel{
+	Name: "covariance",
+	Nest: nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N"),
+		nest.L("j", "i", "N"),
+		nest.L("k", "0", "N"),
+	),
+	Collapse:    2,
+	BenchParams: map[string]int64{"N": 500},
+	TestParams:  map[string]int64{"N": 40},
+	New:         func(p map[string]int64) Instance { return newCorrInst(p["N"], true) },
+})
+
+type corrInst struct {
+	n       int64
+	incDiag bool // covariance includes j == i
+	a, b, c []float64
+	a0      []float64
+}
+
+func newCorrInst(n int64, incDiag bool) *corrInst {
+	inst := &corrInst{
+		n:       n,
+		incDiag: incDiag,
+		a:       make([]float64, n*n),
+		b:       make([]float64, n*n),
+		c:       make([]float64, n*n),
+		a0:      make([]float64, n*n),
+	}
+	lcg(inst.a0, 1)
+	lcg(inst.b, 2)
+	lcg(inst.c, 3)
+	copy(inst.a, inst.a0)
+	return inst
+}
+
+func (in *corrInst) OuterRange() (int64, int64) {
+	if in.incDiag {
+		return 0, in.n
+	}
+	return 0, in.n - 1
+}
+
+func (in *corrInst) jLo(i int64) int64 {
+	if in.incDiag {
+		return i
+	}
+	return i + 1
+}
+
+func (in *corrInst) pair(i, j int64) {
+	n := in.n
+	acc := 0.0
+	bi := in.b[0:] // keep bounds checks cheap via local slices
+	for k := int64(0); k < n; k++ {
+		acc += bi[k*n+i] * in.c[k*n+j]
+	}
+	in.a[i*n+j] += acc
+	if i != j {
+		in.a[j*n+i] = in.a[i*n+j]
+	}
+}
+
+func (in *corrInst) RunOuter(i int64) {
+	for j := in.jLo(i); j < in.n; j++ {
+		in.pair(i, j)
+	}
+}
+
+func (in *corrInst) RunCollapsed(idx []int64) { in.pair(idx[0], idx[1]) }
+
+func (in *corrInst) WorkPerOuter(i int64) float64 {
+	return float64(in.n-in.jLo(i)) * float64(in.n)
+}
+
+func (in *corrInst) WorkPerCollapsed([]int64) float64 { return float64(in.n) }
+
+func (in *corrInst) Checksum() float64 { return checksum(in.a) }
+
+func (in *corrInst) Reset() { copy(in.a, in.a0) }
+
+// ---------------------------------------------------------------------
+// correlation_tiled / covariance_tiled: the same computation after
+// manual rectangular tiling of the (i, j) space. The tile space itself is
+// triangular (jt >= it) with half-filled diagonal tiles — the trapezoidal
+// incomplete-tile situation the paper targets with --tile (§VII). The two
+// tile loops are collapsed; intra-tile loops run in the body.
+// ---------------------------------------------------------------------
+
+// CorrelationTiled collapses the triangular tile space of the tiled
+// correlation kernel.
+var CorrelationTiled = register(&Kernel{
+	Name: "correlation_tiled",
+	Nest: nest.MustNew([]string{"NT"},
+		nest.L("it", "0", "NT"),
+		nest.L("jt", "it", "NT"),
+	),
+	Collapse:    2,
+	BenchParams: map[string]int64{"NT": 15, "T": 32}, // N = 480
+	TestParams:  map[string]int64{"NT": 5, "T": 4},   // N = 20
+	New:         func(p map[string]int64) Instance { return newTiledInst(p["NT"], p["T"], false) },
+})
+
+// CovarianceTiled is the diagonal-inclusive variant.
+var CovarianceTiled = register(&Kernel{
+	Name: "covariance_tiled",
+	Nest: nest.MustNew([]string{"NT"},
+		nest.L("it", "0", "NT"),
+		nest.L("jt", "it", "NT"),
+	),
+	Collapse:    2,
+	BenchParams: map[string]int64{"NT": 15, "T": 32},
+	TestParams:  map[string]int64{"NT": 5, "T": 4},
+	New:         func(p map[string]int64) Instance { return newTiledInst(p["NT"], p["T"], true) },
+})
+
+type tiledInst struct {
+	corrInst
+	nt, t int64
+}
+
+func newTiledInst(nt, t int64, incDiag bool) *tiledInst {
+	return &tiledInst{corrInst: *newCorrInst(nt*t, incDiag), nt: nt, t: t}
+}
+
+func (in *tiledInst) OuterRange() (int64, int64) { return 0, in.nt }
+
+// tile executes tile (it, jt): all (i, j) pairs of the original space
+// falling inside it.
+func (in *tiledInst) tile(it, jt int64) {
+	t := in.t
+	for i := it * t; i < (it+1)*t; i++ {
+		jlo := jt * t
+		if m := in.jLo(i); m > jlo {
+			jlo = m
+		}
+		for j := jlo; j < (jt+1)*t; j++ {
+			in.pair(i, j)
+		}
+	}
+}
+
+func (in *tiledInst) RunOuter(it int64) {
+	for jt := it; jt < in.nt; jt++ {
+		in.tile(it, jt)
+	}
+}
+
+func (in *tiledInst) RunCollapsed(idx []int64) { in.tile(idx[0], idx[1]) }
+
+// tilePairs counts the (i, j) pairs inside tile (it, jt).
+func (in *tiledInst) tilePairs(it, jt int64) float64 {
+	t := in.t
+	if jt > it {
+		return float64(t * t)
+	}
+	// Diagonal tile: strict triangle t(t-1)/2, inclusive t(t+1)/2.
+	if in.incDiag {
+		return float64(t*(t+1)) / 2
+	}
+	return float64(t*(t-1)) / 2
+}
+
+func (in *tiledInst) WorkPerOuter(it int64) float64 {
+	var w float64
+	for jt := it; jt < in.nt; jt++ {
+		w += in.tilePairs(it, jt)
+	}
+	return w * float64(in.n)
+}
+
+func (in *tiledInst) WorkPerCollapsed(idx []int64) float64 {
+	return in.tilePairs(idx[0], idx[1]) * float64(in.n)
+}
+
+// checksum reduces an array exactly and order-independently of variant
+// (always serial), with position-dependent weights so transposed or
+// misplaced writes change the value.
+func checksum(a []float64) float64 {
+	var s float64
+	for x, v := range a {
+		s += v * float64((x%13)+1)
+	}
+	return s
+}

@@ -1,0 +1,124 @@
+package kernels
+
+import "repro/internal/nest"
+
+// ---------------------------------------------------------------------
+// Fully collapsed variants of covariance and symm, used by the Fig. 10
+// overhead experiment: the paper reports the largest control overheads
+// "when all the loops of the target loop nest have been collapsed (for
+// covariance and symm)". Collapsing the k reduction is only meaningful
+// for the *serial* overhead protocol (pc runs in order, so the
+// accumulation order is preserved); parallel execution would need an
+// OpenMP-style reduction clause, which these variants do not provide.
+// ---------------------------------------------------------------------
+
+// CovarianceFull collapses all three covariance loops (Fig. 10 only).
+var CovarianceFull = register(&Kernel{
+	Name: "covariance_full",
+	Nest: nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N"),
+		nest.L("j", "i", "N"),
+		nest.L("k", "0", "N"),
+	),
+	Collapse:    3,
+	BenchParams: map[string]int64{"N": 500},
+	TestParams:  map[string]int64{"N": 40},
+	New:         func(p map[string]int64) Instance { return &covFullInst{corrInst: *newCorrInst(p["N"], true)} },
+})
+
+type covFullInst struct{ corrInst }
+
+func (in *covFullInst) RunCollapsed(idx []int64) {
+	i, j, k := idx[0], idx[1], idx[2]
+	n := in.n
+	in.a[i*n+j] += in.b[k*n+i] * in.c[k*n+j]
+	if k == n-1 && i != j {
+		in.a[j*n+i] = in.a[i*n+j]
+	}
+}
+
+func (in *covFullInst) WorkPerCollapsed([]int64) float64 { return 1 }
+
+// RunCollapsedRange fuses body and 3-level incrementation (§V).
+func (in *covFullInst) RunCollapsedRange(start []int64, count int64) {
+	i, j, k := start[0], start[1], start[2]
+	n := in.n
+	a, b, c := in.a, in.b, in.c
+	for q := int64(0); q < count; q++ {
+		a[i*n+j] += b[k*n+i] * c[k*n+j]
+		if k == n-1 && i != j {
+			a[j*n+i] = a[i*n+j]
+		}
+		k++
+		if k >= n {
+			j++
+			if j >= n {
+				i++
+				j = i
+			}
+			k = 0
+		}
+	}
+}
+
+// SymmFull collapses all three symm loops (Fig. 10 only).
+var SymmFull = register(&Kernel{
+	Name: "symm_full",
+	Nest: nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N"),
+		nest.L("j", "0", "i+1"),
+		nest.L("k", "0", "N"),
+	),
+	Collapse:    3,
+	BenchParams: map[string]int64{"N": 400},
+	TestParams:  map[string]int64{"N": 32},
+	New:         func(p map[string]int64) Instance { return &symmFullInst{symmInst: *newSymmInst(p["N"])} },
+})
+
+type symmFullInst struct{ symmInst }
+
+func (in *symmFullInst) RunCollapsed(idx []int64) {
+	i, j, k := idx[0], idx[1], idx[2]
+	n := in.n
+	if k == 0 {
+		// Fold the beta term in once, at the first reduction step.
+		in.c[i*n+j] = 0.5 * in.c[i*n+j]
+	}
+	var av float64
+	if k <= i {
+		av = in.a[i*n+k]
+	} else {
+		av = in.a[k*n+i]
+	}
+	in.c[i*n+j] += 1.5 * av * in.b[k*n+j]
+}
+
+func (in *symmFullInst) WorkPerCollapsed([]int64) float64 { return 1 }
+
+// RunCollapsedRange fuses body and 3-level incrementation (§V).
+func (in *symmFullInst) RunCollapsedRange(start []int64, count int64) {
+	i, j, k := start[0], start[1], start[2]
+	n := in.n
+	a, b, c := in.a, in.b, in.c
+	for q := int64(0); q < count; q++ {
+		if k == 0 {
+			c[i*n+j] = 0.5 * c[i*n+j]
+		}
+		var av float64
+		if k <= i {
+			av = a[i*n+k]
+		} else {
+			av = a[k*n+i]
+		}
+		c[i*n+j] += 1.5 * av * b[k*n+j]
+		k++
+		if k >= n {
+			j++
+			if j > i {
+				i++
+				j = 0
+			}
+			k = 0
+		}
+	}
+}

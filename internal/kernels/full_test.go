@@ -1,0 +1,59 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+)
+
+// The fully collapsed Fig. 10 variants accumulate the k reduction one
+// step per collapsed iteration, which reorders floating-point additions
+// relative to the reference cell computation; results agree to rounding.
+func TestFullCollapseVariantsMatchWithinTolerance(t *testing.T) {
+	cases := []struct {
+		full *Kernel
+		base *Kernel
+	}{
+		{CovarianceFull, Covariance},
+		{SymmFull, Symm},
+	}
+	for _, c := range cases {
+		p := c.full.TestParams
+		fi := c.full.New(p)
+		bi := c.base.New(p)
+		RunSeq(bi)
+		want := bi.Checksum()
+
+		res, err := c.full.Collapsed()
+		if err != nil {
+			t.Fatalf("%s: %v", c.full.Name, err)
+		}
+		if res.C != 3 {
+			t.Fatalf("%s: collapse = %d, want 3", c.full.Name, res.C)
+		}
+		if err := RunCollapsedSerialChunks(c.full, fi, res, p, 12); err != nil {
+			t.Fatalf("%s: %v", c.full.Name, err)
+		}
+		got := fi.Checksum()
+		if rel := math.Abs(got-want) / math.Abs(want); rel > 1e-9 {
+			t.Errorf("%s: checksum %v vs base %v (rel err %g)", c.full.Name, got, want, rel)
+		}
+	}
+}
+
+// The full variants' collapsed spaces must match brute-force counts of
+// their 3-deep nests.
+func TestFullCollapseTotals(t *testing.T) {
+	for _, k := range []*Kernel{CovarianceFull, SymmFull} {
+		res, err := k.Collapsed()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		b, err := res.Unranker.Bind(k.NestParams(k.TestParams))
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if got, want := b.Total(), b.Instance().Count(); got != want {
+			t.Errorf("%s: Total %d != %d", k.Name, got, want)
+		}
+	}
+}

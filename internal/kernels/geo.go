@@ -1,0 +1,198 @@
+package kernels
+
+import "repro/internal/nest"
+
+// ---------------------------------------------------------------------
+// trapez: an elementwise update over a trapezoidal space
+// { (i, j) : 0 <= i < N, 0 <= j < 2N - i } — row i has 2N-i cells, so
+// outer-static scheduling is mildly imbalanced (first rows do ~2x the
+// work of the last). Rows are stored packed.
+// ---------------------------------------------------------------------
+
+// Trapez is the trapezoidal elementwise kernel.
+var Trapez = register(&Kernel{
+	Name: "trapez",
+	Nest: nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N"),
+		nest.L("j", "0", "2*N - i"),
+	),
+	Collapse:    2,
+	BenchParams: map[string]int64{"N": 2000},
+	TestParams:  map[string]int64{"N": 36},
+	New:         func(p map[string]int64) Instance { return newTrapezInst(p["N"]) },
+})
+
+type trapezInst struct {
+	n    int64
+	x, y []float64 // read-only inputs of length 2N
+	out  []float64 // packed trapezoid: row i starts at 2N*i - i(i-1)/2
+}
+
+func newTrapezInst(n int64) *trapezInst {
+	cells := 2*n*n - n*(n-1)/2
+	in := &trapezInst{
+		n:   n,
+		x:   make([]float64, 2*n),
+		y:   make([]float64, 2*n),
+		out: make([]float64, cells),
+	}
+	lcg(in.x, 51)
+	lcg(in.y, 52)
+	return in
+}
+
+func (in *trapezInst) rowBase(i int64) int64 { return 2*in.n*i - i*(i-1)/2 }
+
+func (in *trapezInst) cell(i, j int64) {
+	v := in.x[j]*in.y[(i+j)%(2*in.n)] + 0.25*in.x[(i)%(2*in.n)]
+	in.out[in.rowBase(i)+j] = v
+}
+
+func (in *trapezInst) OuterRange() (int64, int64) { return 0, in.n }
+
+func (in *trapezInst) RunOuter(i int64) {
+	hi := 2*in.n - i
+	for j := int64(0); j < hi; j++ {
+		in.cell(i, j)
+	}
+}
+
+func (in *trapezInst) RunCollapsed(idx []int64) { in.cell(idx[0], idx[1]) }
+
+// RunCollapsedRange fuses body and incrementation (§V); packed rows make
+// the output offset contiguous in rank order.
+func (in *trapezInst) RunCollapsedRange(start []int64, count int64) {
+	i, j := start[0], start[1]
+	n2 := 2 * in.n
+	o := in.rowBase(i) + j
+	x, y, out := in.x, in.y, in.out
+	for q := int64(0); q < count; q++ {
+		out[o] = x[j]*y[(i+j)%n2] + 0.25*x[i%n2]
+		o++
+		j++
+		if j >= n2-i {
+			i++
+			j = 0
+		}
+	}
+}
+
+func (in *trapezInst) WorkPerOuter(i int64) float64 { return float64(2*in.n - i) }
+
+func (in *trapezInst) WorkPerCollapsed([]int64) float64 { return 1 }
+
+func (in *trapezInst) Checksum() float64 { return checksum(in.out) }
+
+func (in *trapezInst) Reset() {
+	for x := range in.out {
+		in.out[x] = 0
+	}
+}
+
+// ---------------------------------------------------------------------
+// tetra: the paper's Fig. 6 tetrahedral nest with all three loops
+// collapsed. The output is laid out by iteration rank — the memory-layout
+// application of ranking polynomials the paper cites (§III, [8]) — so
+// every (i, j, k) owns a distinct cell and the kernel is elementwise:
+//
+//	for (i = 0; i < N-1; i++)
+//	  for (j = 0; j < i+1; j++)
+//	    for (k = j; k < i+1; k++)
+//	      w[rank(i,j,k)-1] = f(i, j, k);
+// ---------------------------------------------------------------------
+
+// Tetra is the tetrahedral elementwise kernel (collapse 3).
+var Tetra = register(&Kernel{
+	Name: "tetra",
+	Nest: nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N-1"),
+		nest.L("j", "0", "i+1"),
+		nest.L("k", "j", "i+1"),
+	),
+	Collapse:    3,
+	BenchParams: map[string]int64{"N": 250},
+	TestParams:  map[string]int64{"N": 14},
+	New:         func(p map[string]int64) Instance { return newTetraInst(p["N"]) },
+})
+
+type tetraInst struct {
+	n       int64
+	x, y, z []float64
+	w       []float64
+}
+
+func newTetraInst(n int64) *tetraInst {
+	total := (n*n*n - n) / 6
+	in := &tetraInst{
+		n: n,
+		x: make([]float64, n),
+		y: make([]float64, n),
+		z: make([]float64, n),
+		w: make([]float64, total),
+	}
+	lcg(in.x, 61)
+	lcg(in.y, 62)
+	lcg(in.z, 63)
+	return in
+}
+
+// rank is the ranking polynomial of the Fig. 6 nest (paper §IV.C),
+// evaluated in exact integer arithmetic:
+// r(i,j,k) = (6k - 3j² + 6ij + 3j + i³ + 3i² + 2i + 6) / 6.
+func tetraRank(i, j, k int64) int64 {
+	return (6*k - 3*j*j + 6*i*j + 3*j + i*i*i + 3*i*i + 2*i + 6) / 6
+}
+
+func (in *tetraInst) cell(i, j, k int64) {
+	n := in.n
+	in.w[tetraRank(i, j, k)-1] = in.x[i%n]*in.y[j%n] + in.z[k%n]*0.5
+}
+
+func (in *tetraInst) OuterRange() (int64, int64) { return 0, in.n - 1 }
+
+func (in *tetraInst) RunOuter(i int64) {
+	for j := int64(0); j <= i; j++ {
+		for k := j; k <= i; k++ {
+			in.cell(i, j, k)
+		}
+	}
+}
+
+func (in *tetraInst) RunCollapsed(idx []int64) { in.cell(idx[0], idx[1], idx[2]) }
+
+// RunCollapsedRange fuses body and incrementation (§V). The rank-ordered
+// layout makes the output offset pc-1, i.e. contiguous per chunk.
+func (in *tetraInst) RunCollapsedRange(start []int64, count int64) {
+	i, j, k := start[0], start[1], start[2]
+	n := in.n
+	o := tetraRank(i, j, k) - 1
+	x, y, z, w := in.x, in.y, in.z, in.w
+	for q := int64(0); q < count; q++ {
+		w[o] = x[i%n]*y[j%n] + z[k%n]*0.5
+		o++
+		k++
+		if k > i {
+			j++
+			if j > i {
+				i++
+				j = 0
+			}
+			k = j
+		}
+	}
+}
+
+func (in *tetraInst) WorkPerOuter(i int64) float64 {
+	// sum_{j=0}^{i} (i-j+1) = (i+1)(i+2)/2
+	return float64((i + 1) * (i + 2) / 2)
+}
+
+func (in *tetraInst) WorkPerCollapsed([]int64) float64 { return 1 }
+
+func (in *tetraInst) Checksum() float64 { return checksum(in.w) }
+
+func (in *tetraInst) Reset() {
+	for x := range in.w {
+		in.w[x] = 0
+	}
+}

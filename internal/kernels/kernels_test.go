@@ -1,0 +1,190 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/omp"
+)
+
+// TestAllVariantsMatchSequential is the central correctness test of the
+// kernel suite: for every kernel, the outer-parallel (static, dynamic)
+// and collapsed (static, static-chunked, dynamic) variants must produce
+// bit-identical results to the sequential reference.
+func TestAllVariantsMatchSequential(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			p := k.TestParams
+			inst := k.New(p)
+			RunSeq(inst)
+			want := inst.Checksum()
+			if want == 0 {
+				t.Fatalf("reference checksum is zero — kernel likely did nothing")
+			}
+
+			res, err := k.Collapsed()
+			if err != nil {
+				t.Fatalf("Collapsed: %v", err)
+			}
+
+			runs := []struct {
+				name string
+				run  func() error
+			}{
+				{"outer-static", func() error {
+					RunOuterParallel(inst, 4, omp.Schedule{Kind: omp.Static})
+					return nil
+				}},
+				{"outer-dynamic", func() error {
+					RunOuterParallel(inst, 4, omp.Schedule{Kind: omp.Dynamic})
+					return nil
+				}},
+				{"collapsed-static", func() error {
+					return RunCollapsedParallel(k, inst, res, p, 4, omp.Schedule{Kind: omp.Static})
+				}},
+				{"collapsed-static-chunk", func() error {
+					return RunCollapsedParallel(k, inst, res, p, 3, omp.Schedule{Kind: omp.StaticChunk, Chunk: 7})
+				}},
+				{"collapsed-dynamic", func() error {
+					return RunCollapsedParallel(k, inst, res, p, 4, omp.Schedule{Kind: omp.Dynamic, Chunk: 5})
+				}},
+				{"collapsed-serial-12chunks", func() error {
+					return RunCollapsedSerialChunks(k, inst, res, p, 12)
+				}},
+			}
+			for _, r := range runs {
+				inst.Reset()
+				if err := r.run(); err != nil {
+					t.Fatalf("%s: %v", r.name, err)
+				}
+				if got := inst.Checksum(); got != want {
+					t.Errorf("%s: checksum %v, want %v", r.name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkModelsMatchExecution verifies that WorkPerOuter equals the sum
+// of WorkPerCollapsed over the outer iteration's collapsed tuples, and
+// that total work is consistent — the schedule simulator depends on
+// these.
+func TestWorkModelsMatchExecution(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			p := k.TestParams
+			inst := k.New(p)
+			res, err := k.Collapsed()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := res.Unranker.Bind(k.NestParams(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			perOuterFromCollapsed := map[int64]float64{}
+			b.Instance().Enumerate(func(idx []int64) bool {
+				perOuterFromCollapsed[idx[0]] += inst.WorkPerCollapsed(idx)
+				return true
+			})
+			lo, hi := inst.OuterRange()
+			for i := lo; i < hi; i++ {
+				got := perOuterFromCollapsed[i]
+				want := inst.WorkPerOuter(i)
+				if got != want {
+					t.Fatalf("outer %d: collapsed work sum %v != WorkPerOuter %v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCollapsedTotalMatchesEnumeration ensures each kernel's collapsed
+// space size equals the brute-force count of its parallel loops.
+func TestCollapsedTotalMatchesEnumeration(t *testing.T) {
+	for _, k := range All() {
+		res, err := k.Collapsed()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		b, err := res.Unranker.Bind(k.NestParams(k.TestParams))
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if got, want := b.Total(), b.Instance().Count(); got != want {
+			t.Errorf("%s: Total %d != enumerated %d", k.Name, got, want)
+		}
+		if b.Total() == 0 {
+			t.Errorf("%s: empty collapsed space at test size", k.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, err := ByName("ltmp")
+	if err != nil || k.Name != "ltmp" {
+		t.Fatalf("ByName(ltmp) = %v, %v", k, err)
+	}
+	if !k.InnerDependence {
+		t.Error("ltmp must be marked InnerDependence")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if len(All()) != 11 {
+		t.Errorf("kernel count = %d, want 11", len(All()))
+	}
+}
+
+func TestTetraRankMatchesLibrary(t *testing.T) {
+	// The hand-inlined integer ranking of the tetra kernel must agree
+	// with the library's ranking polynomial.
+	k := Tetra
+	res, err := k.Collapsed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.Unranker.Bind(map[string]int64{"N": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Instance().Enumerate(func(idx []int64) bool {
+		if got, want := tetraRank(idx[0], idx[1], idx[2]), b.Rank(idx); got != want {
+			t.Fatalf("tetraRank(%v) = %d, library = %d", idx, got, want)
+		}
+		return true
+	})
+}
+
+func TestTiledCoversOriginalSpace(t *testing.T) {
+	// The tiled kernels must compute exactly what their untiled
+	// counterparts compute (same N = NT*T).
+	pairs := []struct{ tiled, plain *Kernel }{
+		{CorrelationTiled, Correlation},
+		{CovarianceTiled, Covariance},
+	}
+	for _, pr := range pairs {
+		nt, tt := pr.tiled.TestParams["NT"], pr.tiled.TestParams["T"]
+		n := nt * tt
+		ti := pr.tiled.New(pr.tiled.TestParams)
+		pi := pr.plain.New(map[string]int64{"N": n})
+		RunSeq(ti)
+		RunSeq(pi)
+		if ti.Checksum() != pi.Checksum() {
+			t.Errorf("%s checksum %v != %s checksum %v",
+				pr.tiled.Name, ti.Checksum(), pr.plain.Name, pi.Checksum())
+		}
+	}
+}
+
+func TestBenchParamsAreRegular(t *testing.T) {
+	// All declared problem sizes must produce regular nests (the ranking
+	// machinery's precondition). Use the nest-declared parameters only.
+	for _, k := range All() {
+		inst := k.Nest.MustBind(k.NestParams(k.TestParams))
+		if err := inst.CheckRegular(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package kernels
+
+import "repro/internal/nest"
+
+// ---------------------------------------------------------------------
+// rhomb and pped complete the shape taxonomy of the paper's abstract
+// (triangular, tetrahedral, trapezoidal, rhomboidal, parallelepiped).
+// Both spaces are *balanced* — every outer iteration carries the same
+// work — so collapsing cannot improve on outer-static scheduling; they
+// are not part of the Fig. 9 bar set (whose kernels are imbalanced by
+// construction) but serve as correctness and overhead subjects: the
+// collapsed runtime must handle the shifted bounds exactly.
+// ---------------------------------------------------------------------
+
+// Rhomb is a rhomboidal (banded) elementwise kernel: j runs in a band of
+// width M shifted by i, the access pattern of a skewed stencil sweep.
+var Rhomb = register(&Kernel{
+	Name: "rhomb",
+	Nest: nest.MustNew([]string{"N", "M"},
+		nest.L("i", "0", "N"),
+		nest.L("j", "i", "i+M"),
+	),
+	Collapse:    2,
+	BenchParams: map[string]int64{"N": 2000, "M": 512},
+	TestParams:  map[string]int64{"N": 24, "M": 7},
+	New:         func(p map[string]int64) Instance { return newRhombInst(p["N"], p["M"]) },
+})
+
+type rhombInst struct {
+	n, m int64
+	x    []float64 // length N+M inputs
+	out  []float64 // N*M cells, row-major by (i, j-i)
+}
+
+func newRhombInst(n, m int64) *rhombInst {
+	in := &rhombInst{n: n, m: m, x: make([]float64, n+m), out: make([]float64, n*m)}
+	lcg(in.x, 71)
+	return in
+}
+
+func (in *rhombInst) cell(i, j int64) {
+	in.out[i*in.m+(j-i)] = in.x[j] * 1.5
+}
+
+func (in *rhombInst) OuterRange() (int64, int64) { return 0, in.n }
+
+func (in *rhombInst) RunOuter(i int64) {
+	for j := i; j < i+in.m; j++ {
+		in.cell(i, j)
+	}
+}
+
+func (in *rhombInst) RunCollapsed(idx []int64) { in.cell(idx[0], idx[1]) }
+
+// RunCollapsedRange fuses body and incrementation; the banded storage is
+// rank-ordered so the offset is contiguous.
+func (in *rhombInst) RunCollapsedRange(start []int64, count int64) {
+	i, j := start[0], start[1]
+	o := i*in.m + (j - i)
+	for q := int64(0); q < count; q++ {
+		in.out[o] = in.x[j] * 1.5
+		o++
+		j++
+		if j >= i+in.m {
+			i++
+			j = i
+		}
+	}
+}
+
+func (in *rhombInst) WorkPerOuter(int64) float64 { return float64(in.m) }
+
+func (in *rhombInst) WorkPerCollapsed([]int64) float64 { return 1 }
+
+func (in *rhombInst) Checksum() float64 { return checksum(in.out) }
+
+func (in *rhombInst) Reset() {
+	for x := range in.out {
+		in.out[x] = 0
+	}
+}
+
+// Pped is a parallelepiped elementwise kernel: a 3D box skewed along two
+// axes (the footprint of a doubly skewed stencil after Pluto-style
+// transformation).
+var Pped = register(&Kernel{
+	Name: "pped",
+	Nest: nest.MustNew([]string{"N", "M", "K"},
+		nest.L("i", "0", "N"),
+		nest.L("j", "i", "i+M"),
+		nest.L("k", "j", "j+K"),
+	),
+	Collapse:    3,
+	BenchParams: map[string]int64{"N": 200, "M": 64, "K": 32},
+	TestParams:  map[string]int64{"N": 9, "M": 5, "K": 4},
+	New:         func(p map[string]int64) Instance { return newPpedInst(p["N"], p["M"], p["K"]) },
+})
+
+type ppedInst struct {
+	n, m, k int64
+	x       []float64
+	out     []float64 // N*M*K cells by (i, j-i, k-j)
+}
+
+func newPpedInst(n, m, k int64) *ppedInst {
+	in := &ppedInst{n: n, m: m, k: k, x: make([]float64, n+m+k), out: make([]float64, n*m*k)}
+	lcg(in.x, 72)
+	return in
+}
+
+func (in *ppedInst) cell(i, j, k int64) {
+	in.out[(i*in.m+(j-i))*in.k+(k-j)] = in.x[k] + 0.5*in.x[i]
+}
+
+func (in *ppedInst) OuterRange() (int64, int64) { return 0, in.n }
+
+func (in *ppedInst) RunOuter(i int64) {
+	for j := i; j < i+in.m; j++ {
+		for k := j; k < j+in.k; k++ {
+			in.cell(i, j, k)
+		}
+	}
+}
+
+func (in *ppedInst) RunCollapsed(idx []int64) { in.cell(idx[0], idx[1], idx[2]) }
+
+// RunCollapsedRange fuses body and 3-level incrementation.
+func (in *ppedInst) RunCollapsedRange(start []int64, count int64) {
+	i, j, k := start[0], start[1], start[2]
+	o := (i*in.m+(j-i))*in.k + (k - j)
+	for q := int64(0); q < count; q++ {
+		in.out[o] = in.x[k] + 0.5*in.x[i]
+		o++
+		k++
+		if k >= j+in.k {
+			j++
+			if j >= i+in.m {
+				i++
+				j = i
+			}
+			k = j
+		}
+	}
+}
+
+func (in *ppedInst) WorkPerOuter(int64) float64 { return float64(in.m * in.k) }
+
+func (in *ppedInst) WorkPerCollapsed([]int64) float64 { return 1 }
+
+func (in *ppedInst) Checksum() float64 { return checksum(in.out) }
+
+func (in *ppedInst) Reset() {
+	for x := range in.out {
+		in.out[x] = 0
+	}
+}
+
+// ShapeKernels returns the balanced-shape correctness kernels (not part
+// of the Fig. 9 set).
+func ShapeKernels() []*Kernel { return []*Kernel{Rhomb, Pped} }

@@ -1,0 +1,83 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/omp"
+)
+
+// The balanced-shape kernels (rhomboid, parallelepiped) complete the
+// abstract's shape taxonomy; all execution variants must match the
+// sequential reference exactly, including the fused range runners with
+// shifted bounds.
+func TestShapeKernelsVariantsMatch(t *testing.T) {
+	for _, k := range ShapeKernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			p := k.TestParams
+			inst := k.New(p)
+			RunSeq(inst)
+			want := inst.Checksum()
+			if want == 0 {
+				t.Fatal("zero reference checksum")
+			}
+			res, err := k.Collapsed()
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs := []struct {
+				name string
+				run  func() error
+			}{
+				{"outer-static", func() error {
+					RunOuterParallel(inst, 4, omp.Schedule{Kind: omp.Static})
+					return nil
+				}},
+				{"collapsed-static", func() error {
+					return RunCollapsedParallel(k, inst, res, p, 4, omp.Schedule{Kind: omp.Static})
+				}},
+				{"collapsed-dynamic", func() error {
+					return RunCollapsedParallel(k, inst, res, p, 3, omp.Schedule{Kind: omp.Dynamic, Chunk: 5})
+				}},
+				{"collapsed-serial-12", func() error {
+					return RunCollapsedSerialChunks(k, inst, res, p, 12)
+				}},
+			}
+			for _, r := range runs {
+				inst.Reset()
+				if err := r.run(); err != nil {
+					t.Fatalf("%s: %v", r.name, err)
+				}
+				if got := inst.Checksum(); got != want {
+					t.Errorf("%s: checksum %v, want %v", r.name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// Balanced shapes: per-outer work is constant, so the ranking must be
+// the product linearisation and all outer loads equal.
+func TestShapeKernelsAreBalanced(t *testing.T) {
+	for _, k := range ShapeKernels() {
+		res, err := k.Collapsed()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		b, err := res.Unranker.Bind(k.NestParams(k.TestParams))
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if got, want := b.Total(), b.Instance().Count(); got != want {
+			t.Errorf("%s: Total %d != %d", k.Name, got, want)
+		}
+		inst := k.New(k.TestParams)
+		lo, hi := inst.OuterRange()
+		w0 := inst.WorkPerOuter(lo)
+		for i := lo; i < hi; i++ {
+			if inst.WorkPerOuter(i) != w0 {
+				t.Errorf("%s: outer work varies (%v vs %v)", k.Name, inst.WorkPerOuter(i), w0)
+			}
+		}
+	}
+}

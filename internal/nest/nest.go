@@ -1,0 +1,420 @@
+// Package nest models the class of loop nests handled by the collapsing
+// technique (paper Fig. 5): perfectly nested loops
+//
+//	for (i1 = l1        ; i1 < u1        ; i1++)
+//	  for (i2 = l2(i1)  ; i2 < u2(i1)    ; i2++)
+//	    ...
+//	      for (ic = lc(i1..ic-1) ; ic < uc(i1..ic-1) ; ic++)
+//
+// where every bound is an affine combination, with integer coefficients,
+// of the surrounding iterators and of integer size parameters. Such
+// bounds describe rectangular, triangular, tetrahedral, trapezoidal,
+// rhomboidal and parallelepiped iteration spaces.
+//
+// The package provides validation of the model, binding of parameter
+// values, lexicographic enumeration and incrementation of iteration
+// tuples (the successor function used by the generated collapsed code),
+// and the parametric lexicographic-minimum substitution chain that the
+// paper obtains from ISL.
+package nest
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/poly"
+)
+
+// Loop is one level of a nest. Bounds follow Fig. 5's half-open
+// convention: Lower <= index < Upper.
+type Loop struct {
+	Index string
+	Lower *poly.Poly
+	Upper *poly.Poly
+}
+
+// L builds a Loop from bound expressions, panicking on parse errors.
+// It is a convenience for table literals and tests:
+//
+//	nest.L("j", "i+1", "N")
+func L(index, lower, upper string) Loop {
+	return Loop{Index: index, Lower: poly.MustParse(lower), Upper: poly.MustParse(upper)}
+}
+
+// Nest is a perfect loop nest over integer parameters.
+type Nest struct {
+	Params []string
+	Loops  []Loop
+}
+
+// New builds and validates a nest.
+func New(params []string, loops ...Loop) (*Nest, error) {
+	n := &Nest{Params: append([]string(nil), params...), Loops: append([]Loop(nil), loops...)}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(params []string, loops ...Loop) *Nest {
+	n, err := New(params, loops...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Depth returns the number of loops.
+func (n *Nest) Depth() int { return len(n.Loops) }
+
+// Indices returns the iterator names, outermost first.
+func (n *Nest) Indices() []string {
+	out := make([]string, len(n.Loops))
+	for i, l := range n.Loops {
+		out[i] = l.Index
+	}
+	return out
+}
+
+// Validate checks the nest against the Fig. 5 model: non-empty, unique
+// iterator and parameter names, and bounds that are affine in the
+// enclosing iterators and parameters with integer coefficients, referring
+// only to names in scope.
+func (n *Nest) Validate() error {
+	if len(n.Loops) == 0 {
+		return fmt.Errorf("nest: empty nest")
+	}
+	seen := map[string]bool{}
+	for _, p := range n.Params {
+		if p == "" {
+			return fmt.Errorf("nest: empty parameter name")
+		}
+		if seen[p] {
+			return fmt.Errorf("nest: duplicate name %q", p)
+		}
+		seen[p] = true
+	}
+	inScope := map[string]bool{}
+	for _, p := range n.Params {
+		inScope[p] = true
+	}
+	for k, l := range n.Loops {
+		if l.Index == "" {
+			return fmt.Errorf("nest: loop %d has empty index name", k)
+		}
+		if seen[l.Index] {
+			return fmt.Errorf("nest: duplicate name %q", l.Index)
+		}
+		seen[l.Index] = true
+		for _, which := range []struct {
+			name string
+			p    *poly.Poly
+		}{{"lower", l.Lower}, {"upper", l.Upper}} {
+			if which.p == nil {
+				return fmt.Errorf("nest: loop %q has nil %s bound", l.Index, which.name)
+			}
+			if err := checkAffine(which.p, inScope); err != nil {
+				return fmt.Errorf("nest: loop %q %s bound %s: %w", l.Index, which.name, which.p, err)
+			}
+		}
+		inScope[l.Index] = true
+	}
+	return nil
+}
+
+// checkAffine verifies p is an affine combination with integer
+// coefficients of the variables in scope.
+func checkAffine(p *poly.Poly, inScope map[string]bool) error {
+	for _, v := range p.Vars() {
+		if !inScope[v] {
+			return fmt.Errorf("uses %q which is not a parameter or enclosing iterator", v)
+		}
+	}
+	if p.TotalDegree() > 1 {
+		return fmt.Errorf("not affine (total degree %d)", p.TotalDegree())
+	}
+	if d := p.CommonDenominator(); d.Int64() != 1 || !d.IsInt64() {
+		return fmt.Errorf("has non-integer coefficients (denominator %s)", p.CommonDenominator())
+	}
+	return nil
+}
+
+// LexMinTail returns, for each loop deeper than level k (0-based), a
+// polynomial expressing that loop's lexicographic-minimum value as a
+// function of iterators i_0..i_k and the parameters, obtained by
+// transitively substituting lower bounds (the parametric lexmin of the
+// paper, computed there with ISL; for the Fig. 5 model the substitution
+// chain is exact). The map is keyed by iterator name.
+func (n *Nest) LexMinTail(k int) map[string]*poly.Poly {
+	subs := map[string]*poly.Poly{}
+	for q := k + 1; q < len(n.Loops); q++ {
+		lb := n.Loops[q].Lower.SubstAll(subs)
+		subs[n.Loops[q].Index] = lb
+	}
+	return subs
+}
+
+// String renders the nest in Fig. 5 style.
+func (n *Nest) String() string {
+	var b strings.Builder
+	if len(n.Params) > 0 {
+		fmt.Fprintf(&b, "params %s\n", strings.Join(n.Params, ", "))
+	}
+	for k, l := range n.Loops {
+		b.WriteString(strings.Repeat("  ", k))
+		fmt.Fprintf(&b, "for (%s = %s ; %s < %s ; %s++)\n", l.Index, l.Lower, l.Index, l.Upper, l.Index)
+	}
+	return b.String()
+}
+
+// affineFn is a loop bound with the parameter contribution folded into
+// the constant at Bind time, leaving only iterator terms. Evaluating a
+// bound during lexicographic incrementation is then a handful of integer
+// operations — the same cost class as the inline increments of the
+// paper's generated C code (§V), which matters because incrementation
+// runs once per collapsed iteration.
+type affineFn struct {
+	c0    int64
+	terms []affTerm
+}
+
+type affTerm struct {
+	level int // index into the iteration tuple
+	coeff int64
+}
+
+func (f *affineFn) eval(idx []int64) int64 {
+	v := f.c0
+	for _, t := range f.terms {
+		v += t.coeff * idx[t.level]
+	}
+	return v
+}
+
+// compileAffine folds params into the constant term of an affine bound.
+func compileAffine(p *poly.Poly, params map[string]int64, levelOf map[string]int) (*affineFn, error) {
+	f := &affineFn{}
+	for _, t := range p.Terms() {
+		c, ok := t.Coeff.Num(), t.Coeff.IsInt()
+		if !ok || !c.IsInt64() {
+			return nil, fmt.Errorf("nest: non-integer coefficient %s in bound %s", t.Coeff, p)
+		}
+		coeff := c.Int64()
+		switch len(t.Vars) {
+		case 0:
+			f.c0 += coeff
+		case 1:
+			v := t.Vars[0]
+			if v.Pow != 1 {
+				return nil, fmt.Errorf("nest: non-affine bound %s", p)
+			}
+			if pv, isParam := params[v.Name]; isParam {
+				f.c0 += coeff * pv
+			} else if lvl, isIter := levelOf[v.Name]; isIter {
+				f.terms = append(f.terms, affTerm{level: lvl, coeff: coeff})
+			} else {
+				return nil, fmt.Errorf("nest: unknown variable %q in bound %s", v.Name, p)
+			}
+		default:
+			return nil, fmt.Errorf("nest: non-affine bound %s", p)
+		}
+	}
+	return f, nil
+}
+
+// Instance is a nest bound to concrete parameter values, ready for
+// enumeration and incrementation. Bounds are compiled to affine
+// evaluators with parameters folded in.
+type Instance struct {
+	nest   *Nest
+	np     int // number of parameters
+	lower  []*affineFn
+	upper  []*affineFn
+	params map[string]int64
+}
+
+// Bind fixes the parameter values of the nest. All declared parameters
+// must be given; extraneous names are rejected.
+func (n *Nest) Bind(params map[string]int64) (*Instance, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if len(params) != len(n.Params) {
+		return nil, fmt.Errorf("nest: got %d parameter values, want %d", len(params), len(n.Params))
+	}
+	inst := &Instance{
+		nest:   n,
+		np:     len(n.Params),
+		params: make(map[string]int64, len(params)),
+	}
+	for _, p := range n.Params {
+		v, ok := params[p]
+		if !ok {
+			return nil, fmt.Errorf("nest: missing value for parameter %q", p)
+		}
+		inst.params[p] = v
+	}
+	levelOf := make(map[string]int, n.Depth())
+	for q, name := range n.Indices() {
+		levelOf[name] = q
+	}
+	for _, l := range n.Loops {
+		lo, err := compileAffine(l.Lower, inst.params, levelOf)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileAffine(l.Upper, inst.params, levelOf)
+		if err != nil {
+			return nil, err
+		}
+		inst.lower = append(inst.lower, lo)
+		inst.upper = append(inst.upper, hi)
+	}
+	return inst, nil
+}
+
+// MustBind is Bind but panics on error.
+func (n *Nest) MustBind(params map[string]int64) *Instance {
+	inst, err := n.Bind(params)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Nest returns the underlying nest.
+func (inst *Instance) Nest() *Nest { return inst.nest }
+
+// Params returns the bound parameter values.
+func (inst *Instance) Params() map[string]int64 {
+	out := make(map[string]int64, len(inst.params))
+	for k, v := range inst.params {
+		out[k] = v
+	}
+	return out
+}
+
+// Depth returns the nest depth.
+func (inst *Instance) Depth() int { return len(inst.lower) }
+
+// LowerAt evaluates the lower bound of level k (0-based) given the outer
+// indices idx[0..k); only those slots of idx are read.
+func (inst *Instance) LowerAt(k int, idx []int64) int64 {
+	return inst.lower[k].eval(idx)
+}
+
+// UpperAt evaluates the (exclusive) upper bound of level k given the
+// outer indices idx[0..k).
+func (inst *Instance) UpperAt(k int, idx []int64) int64 {
+	return inst.upper[k].eval(idx)
+}
+
+// First writes the lexicographically first iteration tuple into idx and
+// reports whether the iteration space is non-empty. idx must have length
+// Depth().
+func (inst *Instance) First(idx []int64) bool {
+	return inst.fill(idx, 0)
+}
+
+// fill sets levels q.. to their first valid values given idx[0..q).
+func (inst *Instance) fill(idx []int64, q int) bool {
+	if q == inst.Depth() {
+		return true
+	}
+	idx[q] = inst.LowerAt(q, idx) - 1
+	return inst.advance(idx, q)
+}
+
+// advance increments idx[k] until a complete valid suffix exists, or the
+// level is exhausted.
+func (inst *Instance) advance(idx []int64, k int) bool {
+	for {
+		idx[k]++
+		if idx[k] >= inst.UpperAt(k, idx) {
+			return false
+		}
+		if inst.fill(idx, k+1) {
+			return true
+		}
+	}
+}
+
+// Increment advances idx to the lexicographic successor iteration,
+// reporting false when the space is exhausted. This mirrors the
+// "Incrementation(Indices)" step of the generated collapsed code (§V).
+func (inst *Instance) Increment(idx []int64) bool {
+	for k := inst.Depth() - 1; k >= 0; k-- {
+		if inst.advance(idx, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// Enumerate calls f for every iteration tuple in lexicographic order.
+// Enumeration stops early if f returns false. The slice passed to f is
+// reused across calls.
+func (inst *Instance) Enumerate(f func(idx []int64) bool) {
+	idx := make([]int64, inst.Depth())
+	if !inst.First(idx) {
+		return
+	}
+	for {
+		if !f(idx) {
+			return
+		}
+		if !inst.Increment(idx) {
+			return
+		}
+	}
+}
+
+// Count returns the number of iterations by brute-force enumeration.
+// It is the test oracle for the Ehrhart counting polynomial.
+func (inst *Instance) Count() int64 {
+	var c int64
+	inst.Enumerate(func([]int64) bool { c++; return true })
+	return c
+}
+
+// Contains reports whether idx is a point of the iteration space.
+func (inst *Instance) Contains(idx []int64) bool {
+	if len(idx) != inst.Depth() {
+		return false
+	}
+	for k := range idx {
+		if idx[k] < inst.LowerAt(k, idx) || idx[k] >= inst.UpperAt(k, idx) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckRegular verifies that no reachable loop has a negative trip count
+// (upper < lower), the regularity condition under which trip-count and
+// ranking polynomials are exact. Zero-trip loops are permitted. The check
+// enumerates prefixes, so it is intended for tests and tool-time
+// validation, not hot paths.
+func (inst *Instance) CheckRegular() error {
+	var walk func(idx []int64, k int) error
+	idx := make([]int64, inst.Depth())
+	walk = func(idx []int64, k int) error {
+		if k == inst.Depth() {
+			return nil
+		}
+		lo, hi := inst.LowerAt(k, idx), inst.UpperAt(k, idx)
+		if hi < lo {
+			return fmt.Errorf("nest: loop %q has negative trip count (%d..%d) at prefix %v",
+				inst.nest.Loops[k].Index, lo, hi, idx[:k])
+		}
+		for v := lo; v < hi; v++ {
+			idx[k] = v
+			if err := walk(idx, k+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(idx, 0)
+}

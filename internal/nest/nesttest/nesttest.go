@@ -1,0 +1,69 @@
+// Package nesttest provides generators of random regular loop nests,
+// shared by the property-based tests of the ehrhart, unrank and core
+// packages. Every generated nest is regular (no negative trip counts) by
+// construction for the parameter values returned alongside it.
+package nesttest
+
+import (
+	"math/rand"
+
+	"repro/internal/nest"
+)
+
+// RandRegularNest returns a random 2- or 3-deep regular nest drawn from a
+// catalogue of triangular, rhomboidal, tetrahedral, prism and rectangular
+// shapes, together with a small random binding for its N parameter.
+func RandRegularNest(r *rand.Rand) (*nest.Nest, map[string]int64) {
+	depth := 2 + r.Intn(2)
+	loops := []nest.Loop{nest.L("i", "0", "N")}
+	if depth == 2 {
+		forms := []nest.Loop{
+			nest.L("j", "i+1", "N"),   // strict upper triangle
+			nest.L("j", "i", "N"),     // upper triangle
+			nest.L("j", "0", "i+1"),   // lower triangle
+			nest.L("j", "i", "i+4"),   // rhomboid band
+			nest.L("j", "0", "N"),     // rectangle
+			nest.L("j", "0", "2*i+1"), // widening triangle
+		}
+		loops = append(loops, forms[r.Intn(len(forms))])
+	} else {
+		forms := [][2]nest.Loop{
+			{nest.L("j", "0", "i+1"), nest.L("k", "j", "i+1")}, // tetrahedron (paper Fig. 6)
+			{nest.L("j", "i", "N"), nest.L("k", "j", "N")},     // chained triangle
+			{nest.L("j", "0", "N"), nest.L("k", "0", "i+j+1")}, // sum-bound wedge
+			{nest.L("j", "0", "i+1"), nest.L("k", "0", "N")},   // triangular prism
+		}
+		f := forms[r.Intn(len(forms))]
+		loops = append(loops, f[0], f[1])
+	}
+	N := int64(2 + r.Intn(7))
+	return nest.MustNew([]string{"N"}, loops...), map[string]int64{"N": N}
+}
+
+// RandTwoParamNest returns a random regular nest over two parameters
+// (N, M), covering banded, trapezoidal and mixed shapes.
+func RandTwoParamNest(r *rand.Rand) (*nest.Nest, map[string]int64) {
+	forms := [][]nest.Loop{
+		{nest.L("i", "0", "N"), nest.L("j", "i", "i+M")},                          // rhomboid band
+		{nest.L("i", "0", "N"), nest.L("j", "0", "M+i")},                          // widening trapezoid
+		{nest.L("i", "0", "N"), nest.L("j", "0", "N+M-i")},                        // narrowing trapezoid
+		{nest.L("i", "0", "N"), nest.L("j", "0", "M")},                            // rectangle
+		{nest.L("i", "0", "N"), nest.L("j", "i", "N+M")},                          // truncated triangle
+		{nest.L("i", "0", "N"), nest.L("j", "0", "M"), nest.L("k", "j", "i+j+1")}, // 3-deep wedge
+	}
+	f := forms[r.Intn(len(forms))]
+	return nest.MustNew([]string{"M", "N"}, f...), map[string]int64{
+		"N": int64(2 + r.Intn(6)),
+		"M": int64(1 + r.Intn(5)),
+	}
+}
+
+// NonZeroLowerNest returns a nest exercising non-zero constant lower
+// bounds, which stress the paper's general recovery formula (§IV.A, "when
+// lower bounds are non-null integers").
+func NonZeroLowerNest() (*nest.Nest, map[string]int64) {
+	return nest.MustNew([]string{"N"},
+		nest.L("i", "2", "N"),
+		nest.L("j", "i-1", "N+1"),
+	), map[string]int64{"N": 7}
+}

@@ -1,0 +1,22 @@
+package nest_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/nest/nesttest"
+)
+
+func TestRandRegularNestsAreRegular(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n, params := nesttest.RandRegularNest(r)
+		if err := n.MustBind(params).CheckRegular(); err != nil {
+			t.Fatalf("trial %d (%v, %v): %v", trial, n.Indices(), params, err)
+		}
+	}
+	n, params := nesttest.NonZeroLowerNest()
+	if err := n.MustBind(params).CheckRegular(); err != nil {
+		t.Fatalf("NonZeroLowerNest: %v", err)
+	}
+}

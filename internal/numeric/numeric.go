@@ -1,0 +1,186 @@
+// Package numeric provides the exact-arithmetic substrate shared by the
+// symbolic layers of the library: Bernoulli numbers and binomial
+// coefficients for Faulhaber summation, overflow-checked int64 arithmetic
+// for the fast polynomial-evaluation path, and small helpers over
+// math/big rationals.
+package numeric
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// Rat constructs a big.Rat from an int64 numerator and denominator.
+// It panics if den is zero.
+func Rat(num, den int64) *big.Rat {
+	if den == 0 {
+		panic("numeric: zero denominator")
+	}
+	return big.NewRat(num, den)
+}
+
+// RatInt constructs a big.Rat holding the integer n.
+func RatInt(n int64) *big.Rat { return new(big.Rat).SetInt64(n) }
+
+// RatIsInt reports whether r is an integer.
+func RatIsInt(r *big.Rat) bool { return r.IsInt() }
+
+// RatInt64 returns the value of r as an int64 if r is an integer that
+// fits; ok is false otherwise.
+func RatInt64(r *big.Rat) (v int64, ok bool) {
+	if !r.IsInt() {
+		return 0, false
+	}
+	n := r.Num()
+	if !n.IsInt64() {
+		return 0, false
+	}
+	return n.Int64(), true
+}
+
+var binomialCache sync.Map // key string "n,k" -> *big.Int
+
+// Binomial returns the binomial coefficient C(n, k) as a big.Int.
+// It returns zero for k < 0 or k > n.
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	key := fmt.Sprintf("%d,%d", n, k)
+	if v, ok := binomialCache.Load(key); ok {
+		return new(big.Int).Set(v.(*big.Int))
+	}
+	v := new(big.Int).Binomial(int64(n), int64(k))
+	binomialCache.Store(key, new(big.Int).Set(v))
+	return v
+}
+
+var (
+	bernoulliMu   sync.Mutex
+	bernoulliMemo []*big.Rat // B⁻ convention: B1 = -1/2
+)
+
+// Bernoulli returns the n-th Bernoulli number in the B⁻ convention
+// (B1 = -1/2). The sequence starts 1, -1/2, 1/6, 0, -1/30, ...
+func Bernoulli(n int) *big.Rat {
+	if n < 0 {
+		panic("numeric: negative Bernoulli index")
+	}
+	bernoulliMu.Lock()
+	defer bernoulliMu.Unlock()
+	for len(bernoulliMemo) <= n {
+		m := len(bernoulliMemo)
+		if m == 0 {
+			bernoulliMemo = append(bernoulliMemo, big.NewRat(1, 1))
+			continue
+		}
+		// B_m = -(1/(m+1)) * sum_{j=0}^{m-1} C(m+1, j) B_j
+		sum := new(big.Rat)
+		for j := 0; j < m; j++ {
+			term := new(big.Rat).SetInt(Binomial(m+1, j))
+			term.Mul(term, bernoulliMemo[j])
+			sum.Add(sum, term)
+		}
+		sum.Mul(sum, big.NewRat(-1, int64(m+1)))
+		bernoulliMemo = append(bernoulliMemo, sum)
+	}
+	return new(big.Rat).Set(bernoulliMemo[n])
+}
+
+// BernoulliPlus returns the n-th Bernoulli number in the B⁺ convention
+// (B1 = +1/2), which is the one appearing in Faulhaber's formula for
+// sums from 1 to n.
+func BernoulliPlus(n int) *big.Rat {
+	b := Bernoulli(n)
+	if n == 1 {
+		b.Neg(b)
+	}
+	return b
+}
+
+// AddInt64 returns a+b and reports whether the addition overflowed.
+func AddInt64(a, b int64) (sum int64, ok bool) {
+	sum = a + b
+	if (b > 0 && sum < a) || (b < 0 && sum > a) {
+		return 0, false
+	}
+	return sum, true
+}
+
+// MulInt64 returns a*b and reports whether the multiplication overflowed.
+func MulInt64(a, b int64) (prod int64, ok bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	prod = a * b
+	if prod/b != a {
+		return 0, false
+	}
+	// Catch the MinInt64 * -1 case, where prod/b == a accidentally holds.
+	if (a == -1 && b == minInt64) || (b == -1 && a == minInt64) {
+		return 0, false
+	}
+	return prod, true
+}
+
+const minInt64 = -1 << 63
+
+// PowInt64 returns base**exp (exp >= 0) and reports overflow.
+func PowInt64(base int64, exp int) (int64, bool) {
+	if exp < 0 {
+		panic("numeric: negative exponent")
+	}
+	result := int64(1)
+	for i := 0; i < exp; i++ {
+		var ok bool
+		result, ok = MulInt64(result, base)
+		if !ok {
+			return 0, false
+		}
+	}
+	return result, true
+}
+
+// FloorDivInt64 returns floor(a/b) for b != 0.
+func FloorDivInt64(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// CeilDivInt64 returns ceil(a/b) for b != 0.
+func CeilDivInt64(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}
+
+// GCDInt64 returns the non-negative greatest common divisor of a and b.
+// GCDInt64(0, 0) is 0.
+func GCDInt64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCMBig returns lcm(a, b) for big.Ints; lcm(0, x) is 0.
+func LCMBig(a, b *big.Int) *big.Int {
+	if a.Sign() == 0 || b.Sign() == 0 {
+		return big.NewInt(0)
+	}
+	g := new(big.Int).GCD(nil, nil, new(big.Int).Abs(a), new(big.Int).Abs(b))
+	l := new(big.Int).Div(new(big.Int).Abs(a), g)
+	return l.Mul(l, new(big.Int).Abs(b))
+}

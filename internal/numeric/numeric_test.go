@@ -1,0 +1,226 @@
+package numeric
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestBernoulliKnownValues(t *testing.T) {
+	want := map[int]*big.Rat{
+		0:  big.NewRat(1, 1),
+		1:  big.NewRat(-1, 2),
+		2:  big.NewRat(1, 6),
+		3:  big.NewRat(0, 1),
+		4:  big.NewRat(-1, 30),
+		5:  big.NewRat(0, 1),
+		6:  big.NewRat(1, 42),
+		8:  big.NewRat(-1, 30),
+		10: big.NewRat(5, 66),
+		12: big.NewRat(-691, 2730),
+	}
+	for n, w := range want {
+		if got := Bernoulli(n); got.Cmp(w) != 0 {
+			t.Errorf("Bernoulli(%d) = %s, want %s", n, got, w)
+		}
+	}
+}
+
+func TestBernoulliPlus(t *testing.T) {
+	if got := BernoulliPlus(1); got.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Errorf("BernoulliPlus(1) = %s, want 1/2", got)
+	}
+	if got := BernoulliPlus(2); got.Cmp(big.NewRat(1, 6)) != 0 {
+		t.Errorf("BernoulliPlus(2) = %s, want 1/6", got)
+	}
+	// BernoulliPlus must not mutate the memoized value.
+	_ = BernoulliPlus(1)
+	if got := Bernoulli(1); got.Cmp(big.NewRat(-1, 2)) != 0 {
+		t.Errorf("Bernoulli(1) mutated to %s", got)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{5, 6, 0}, {5, -1, 0}, {20, 10, 184756},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got.Int64() != c.want {
+			t.Errorf("Binomial(%d,%d) = %s, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	f := func(n8, k8 uint8) bool {
+		n := int(n8%30) + 1
+		k := int(k8) % (n + 1)
+		lhs := Binomial(n, k)
+		rhs := new(big.Int).Add(Binomial(n-1, k-1), Binomial(n-1, k))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddMulInt64Checked(t *testing.T) {
+	if _, ok := AddInt64(math.MaxInt64, 1); ok {
+		t.Error("AddInt64 overflow not detected")
+	}
+	if _, ok := AddInt64(math.MinInt64, -1); ok {
+		t.Error("AddInt64 underflow not detected")
+	}
+	if s, ok := AddInt64(3, 4); !ok || s != 7 {
+		t.Errorf("AddInt64(3,4) = %d,%v", s, ok)
+	}
+	if _, ok := MulInt64(math.MaxInt64, 2); ok {
+		t.Error("MulInt64 overflow not detected")
+	}
+	if _, ok := MulInt64(math.MinInt64, -1); ok {
+		t.Error("MulInt64 MinInt64*-1 not detected")
+	}
+	if p, ok := MulInt64(-6, 7); !ok || p != -42 {
+		t.Errorf("MulInt64(-6,7) = %d,%v", p, ok)
+	}
+}
+
+func TestMulInt64AgainstBig(t *testing.T) {
+	f := func(a, b int64) bool {
+		got, ok := MulInt64(a, b)
+		want := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		if !want.IsInt64() {
+			return !ok
+		}
+		return ok && got == want.Int64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowInt64(t *testing.T) {
+	if v, ok := PowInt64(3, 4); !ok || v != 81 {
+		t.Errorf("PowInt64(3,4) = %d,%v", v, ok)
+	}
+	if v, ok := PowInt64(-2, 3); !ok || v != -8 {
+		t.Errorf("PowInt64(-2,3) = %d,%v", v, ok)
+	}
+	if v, ok := PowInt64(7, 0); !ok || v != 1 {
+		t.Errorf("PowInt64(7,0) = %d,%v", v, ok)
+	}
+	if _, ok := PowInt64(10, 30); ok {
+		t.Error("PowInt64 overflow not detected")
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, floor, ceil int64 }{
+		{7, 2, 3, 4}, {-7, 2, -4, -3}, {7, -2, -4, -3}, {-7, -2, 3, 4},
+		{6, 3, 2, 2}, {0, 5, 0, 0}, {-6, 3, -2, -2},
+	}
+	for _, c := range cases {
+		if got := FloorDivInt64(c.a, c.b); got != c.floor {
+			t.Errorf("FloorDivInt64(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := CeilDivInt64(c.a, c.b); got != c.ceil {
+			t.Errorf("CeilDivInt64(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+	}
+}
+
+func TestFloorDivMatchesMathFloor(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		got := FloorDivInt64(int64(a), int64(b))
+		want := int64(math.Floor(float64(a) / float64(b)))
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	if g := GCDInt64(12, 18); g != 6 {
+		t.Errorf("GCDInt64(12,18) = %d", g)
+	}
+	if g := GCDInt64(-12, 18); g != 6 {
+		t.Errorf("GCDInt64(-12,18) = %d", g)
+	}
+	if g := GCDInt64(0, 0); g != 0 {
+		t.Errorf("GCDInt64(0,0) = %d", g)
+	}
+	if l := LCMBig(big.NewInt(4), big.NewInt(6)); l.Int64() != 12 {
+		t.Errorf("LCMBig(4,6) = %s", l)
+	}
+	if l := LCMBig(big.NewInt(0), big.NewInt(6)); l.Int64() != 0 {
+		t.Errorf("LCMBig(0,6) = %s", l)
+	}
+	if l := LCMBig(big.NewInt(-4), big.NewInt(6)); l.Int64() != 12 {
+		t.Errorf("LCMBig(-4,6) = %s", l)
+	}
+}
+
+func TestRatHelpers(t *testing.T) {
+	r := Rat(3, 6)
+	if r.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Errorf("Rat(3,6) = %s", r)
+	}
+	if !RatIsInt(RatInt(5)) {
+		t.Error("RatInt(5) not integer")
+	}
+	if v, ok := RatInt64(RatInt(-9)); !ok || v != -9 {
+		t.Errorf("RatInt64 = %d,%v", v, ok)
+	}
+	if _, ok := RatInt64(Rat(1, 2)); ok {
+		t.Error("RatInt64(1/2) should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Rat(1,0) did not panic")
+		}
+	}()
+	Rat(1, 0)
+}
+
+// Faulhaber sanity: sum_{x=1}^{n} x^m computed via BernoulliPlus matches
+// brute force. This is the identity the ehrhart package depends on.
+func TestFaulhaberIdentity(t *testing.T) {
+	for m := 0; m <= 8; m++ {
+		for n := int64(0); n <= 25; n++ {
+			// closed form
+			cf := new(big.Rat)
+			for j := 0; j <= m; j++ {
+				term := new(big.Rat).SetInt(Binomial(m+1, j))
+				term.Mul(term, BernoulliPlus(j))
+				np := new(big.Rat).SetInt64(1)
+				for p := 0; p < m+1-j; p++ {
+					np.Mul(np, big.NewRat(n, 1))
+				}
+				term.Mul(term, np)
+				cf.Add(cf, term)
+			}
+			cf.Mul(cf, big.NewRat(1, int64(m+1)))
+			// brute force
+			bf := new(big.Rat)
+			for x := int64(1); x <= n; x++ {
+				xp := big.NewRat(1, 1)
+				for p := 0; p < m; p++ {
+					xp.Mul(xp, big.NewRat(x, 1))
+				}
+				bf.Add(bf, xp)
+			}
+			if cf.Cmp(bf) != 0 {
+				t.Fatalf("Faulhaber m=%d n=%d: closed=%s brute=%s", m, n, cf, bf)
+			}
+		}
+	}
+}

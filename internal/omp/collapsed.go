@@ -1,0 +1,221 @@
+package omp
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/unrank"
+)
+
+// CollapsedFor executes the collapsed iteration space of r (pc =
+// 1..Total) in parallel. Within each schedule chunk the §V scheme is
+// used: the costly closed-form recovery runs once at the first iteration
+// of the chunk, and subsequent index tuples come from lexicographic
+// incrementation, mirroring the code of paper Figs. 4 and §V.
+//
+// Each worker owns a private unrank.Bound (the OpenMP codes privatize the
+// recovery state the same way). body must be safe for concurrent
+// invocation on distinct iterations; the idx slice is reused per worker.
+func CollapsedFor(r *core.Result, params map[string]int64, threads int, sched Schedule,
+	body func(tid int, idx []int64)) error {
+	return collapsedRun(r, params, threads, sched, body, false)
+}
+
+// CollapsedForEvery is CollapsedFor with the recovery performed at every
+// iteration (no incrementation) — the maximum-cost mode the paper
+// associates with dynamic scheduling of collapsed loops (§V).
+func CollapsedForEvery(r *core.Result, params map[string]int64, threads int, sched Schedule,
+	body func(tid int, idx []int64)) error {
+	return collapsedRun(r, params, threads, sched, body, true)
+}
+
+func collapsedRun(r *core.Result, params map[string]int64, threads int, sched Schedule,
+	body func(tid int, idx []int64), every bool) error {
+	if threads < 1 {
+		threads = 1
+	}
+	bounds := make([]*unrank.Bound, threads)
+	for t := range bounds {
+		b, err := r.Unranker.Bind(params)
+		if err != nil {
+			return err
+		}
+		bounds[t] = b
+	}
+	total := bounds[0].Total()
+	if total == 0 {
+		return nil
+	}
+	var firstErr error
+	var errOnce sync.Once
+	ParallelForChunks(threads, 1, total+1, sched, func(tid int, clo, chi int64) {
+		b := bounds[tid]
+		run := core.ForRange
+		if every {
+			run = core.ForRangeEvery
+		}
+		if err := run(b, clo, chi-1, func(pc int64, idx []int64) {
+			body(tid, idx)
+		}); err != nil {
+			errOnce.Do(func() { firstErr = err })
+		}
+	})
+	return firstErr
+}
+
+// CollapsedStats aggregates the recovery statistics of the workers of the
+// most recent CollapsedFor-style call made through RunCollapsedWithStats.
+type CollapsedStats struct {
+	Threads int
+	Total   int64
+	Stats   unrank.Stats
+}
+
+// RunCollapsedWithStats is CollapsedFor returning aggregate recovery
+// statistics (root evaluations, corrections, fallbacks) across the team —
+// the quantities behind the paper's Fig. 10 overhead discussion.
+func RunCollapsedWithStats(r *core.Result, params map[string]int64, threads int, sched Schedule,
+	body func(tid int, idx []int64)) (CollapsedStats, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	bounds := make([]*unrank.Bound, threads)
+	for t := range bounds {
+		b, err := r.Unranker.Bind(params)
+		if err != nil {
+			return CollapsedStats{}, err
+		}
+		bounds[t] = b
+	}
+	total := bounds[0].Total()
+	cs := CollapsedStats{Threads: threads, Total: total}
+	if total == 0 {
+		return cs, nil
+	}
+	var firstErr error
+	var errOnce sync.Once
+	ParallelForChunks(threads, 1, total+1, sched, func(tid int, clo, chi int64) {
+		if err := core.ForRange(bounds[tid], clo, chi-1, func(pc int64, idx []int64) {
+			body(tid, idx)
+		}); err != nil {
+			errOnce.Do(func() { firstErr = err })
+		}
+	})
+	for _, b := range bounds {
+		s := b.Stats()
+		cs.Stats.RootEvals += s.RootEvals
+		cs.Stats.Corrections += s.Corrections
+		cs.Stats.Fallbacks += s.Fallbacks
+		cs.Stats.Searches += s.Searches
+	}
+	return cs, firstErr
+}
+
+// CollapsedForSIMD executes the collapsed space with the §VI.A
+// vectorization scheme: each thread recovers its first tuple once, then
+// repeatedly materialises batches of up to vlength consecutive tuples by
+// incrementation and hands the whole batch to body, which plays the role
+// of the "#pragma omp simd" loop over the thread-private array T.
+func CollapsedForSIMD(r *core.Result, params map[string]int64, threads, vlength int,
+	body func(tid int, batch [][]int64)) error {
+	if vlength < 1 {
+		vlength = 1
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	bounds := make([]*unrank.Bound, threads)
+	for t := range bounds {
+		b, err := r.Unranker.Bind(params)
+		if err != nil {
+			return err
+		}
+		bounds[t] = b
+	}
+	total := bounds[0].Total()
+	if total == 0 {
+		return nil
+	}
+	depth := r.C
+	var firstErr error
+	var errOnce sync.Once
+	ParallelForChunks(threads, 1, total+1, Schedule{Kind: Static}, func(tid int, clo, chi int64) {
+		b := bounds[tid]
+		// Pre-allocate the thread-private tuple array T[vlength].
+		backing := make([]int64, vlength*depth)
+		batch := make([][]int64, vlength)
+		for v := range batch {
+			batch[v] = backing[v*depth : (v+1)*depth]
+		}
+		cur := make([]int64, depth)
+		if err := b.Unrank(clo, cur); err != nil {
+			errOnce.Do(func() { firstErr = err })
+			return
+		}
+		for pc := clo; pc < chi; {
+			nb := 0
+			for v := 0; v < vlength && pc+int64(v) < chi; v++ {
+				copy(batch[v], cur)
+				nb++
+				if pc+int64(v)+1 < chi {
+					if !b.Increment(cur) {
+						break
+					}
+				}
+			}
+			body(tid, batch[:nb])
+			pc += int64(nb)
+		}
+	})
+	return firstErr
+}
+
+// CollapsedForWarp executes the collapsed space with the §VI.B GPU-warp
+// scheme: W lanes run concurrently; lane w executes iterations pc = w+1,
+// w+1+W, w+1+2W, … Each lane performs the costly recovery only once (at
+// its first pc) and advances by W lexicographic incrementations between
+// iterations, achieving the coalesced-access distribution of the paper.
+func CollapsedForWarp(r *core.Result, params map[string]int64, W int,
+	body func(lane int, pc int64, idx []int64)) error {
+	if W < 1 {
+		W = 1
+	}
+	bounds := make([]*unrank.Bound, W)
+	for t := range bounds {
+		b, err := r.Unranker.Bind(params)
+		if err != nil {
+			return err
+		}
+		bounds[t] = b
+	}
+	total := bounds[0].Total()
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	for lane := 0; lane < W; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			b := bounds[lane]
+			start := int64(lane) + 1
+			if start > total {
+				return
+			}
+			idx := make([]int64, r.C)
+			if err := b.Unrank(start, idx); err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			for pc := start; pc <= total; pc += int64(W) {
+				body(lane, pc, idx)
+				for inc := 0; inc < W && pc+int64(inc) < total; inc++ {
+					if !b.Increment(idx) {
+						break
+					}
+				}
+			}
+		}(lane)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,210 @@
+// Package omp is a small OpenMP-style parallel-for runtime over
+// goroutines. It substitutes for the OpenMP constructs used in the
+// paper's evaluation (§VII): worksharing of an integer iteration range
+// across a fixed team of threads under the static, static-chunked,
+// dynamic and guided schedules, plus the collapsed-loop execution schemes
+// of §V (one costly index recovery per chunk, then lexicographic
+// incrementation), §VI.A (SIMD batches) and §VI.B (warp-strided lanes).
+//
+// Scheduling semantics follow the OpenMP 4.0 description:
+//
+//   - Static: the range is divided into one contiguous block per thread,
+//     of near-equal size (block-cyclic with a single block).
+//   - StaticChunk: chunks of the given size are assigned round-robin to
+//     threads (thread t runs chunks t, t+P, t+2P, …).
+//   - Dynamic: each thread repeatedly grabs the next chunk (default size
+//     1) from a shared counter.
+//   - Guided: chunk sizes start at remaining/P and decay exponentially,
+//     bounded below by the requested chunk size (default 1).
+package omp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the worksharing schedules.
+type Kind int
+
+const (
+	Static Kind = iota
+	StaticChunk
+	Dynamic
+	Guided
+)
+
+// String returns the OpenMP clause spelling of the schedule kind.
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case StaticChunk:
+		return "static,chunk"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Schedule is a schedule clause: a kind plus an optional chunk size.
+type Schedule struct {
+	Kind  Kind
+	Chunk int64 // chunk size; defaults: StaticChunk/Dynamic/Guided -> 1
+}
+
+func (s Schedule) chunk() int64 {
+	if s.Chunk > 0 {
+		return s.Chunk
+	}
+	return 1
+}
+
+// DefaultThreads returns the default team size (GOMAXPROCS).
+func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// chunkPlan builds the per-thread chunk iterator for a schedule over
+// [lo, hi). The returned function is called once per thread (possibly
+// concurrently) and emits that thread's chunks in order; shared state
+// (the dynamic/guided queues) lives in the plan's closure.
+func chunkPlan(threads int, lo, hi int64, sched Schedule) func(tid int, emit func(clo, chi int64)) {
+	n := hi - lo
+	switch sched.Kind {
+	case Static:
+		base := n / int64(threads)
+		rem := n % int64(threads)
+		return func(tid int, emit func(clo, chi int64)) {
+			size := base
+			start := lo + int64(tid)*base
+			if int64(tid) < rem {
+				size++
+				start += int64(tid)
+			} else {
+				start += rem
+			}
+			if size > 0 {
+				emit(start, start+size)
+			}
+		}
+	case StaticChunk:
+		ch := sched.chunk()
+		return func(tid int, emit func(clo, chi int64)) {
+			for clo := lo + int64(tid)*ch; clo < hi; clo += int64(threads) * ch {
+				chi := clo + ch
+				if chi > hi {
+					chi = hi
+				}
+				emit(clo, chi)
+			}
+		}
+	case Dynamic:
+		ch := sched.chunk()
+		var next atomic.Int64
+		next.Store(lo)
+		return func(tid int, emit func(clo, chi int64)) {
+			for {
+				clo := next.Add(ch) - ch
+				if clo >= hi {
+					return
+				}
+				chi := clo + ch
+				if chi > hi {
+					chi = hi
+				}
+				emit(clo, chi)
+			}
+		}
+	case Guided:
+		minCh := sched.chunk()
+		var mu sync.Mutex
+		cur := lo
+		grab := func() (int64, int64, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			if cur >= hi {
+				return 0, 0, false
+			}
+			remaining := hi - cur
+			size := remaining / int64(threads)
+			if size < minCh {
+				size = minCh
+			}
+			if size > remaining {
+				size = remaining
+			}
+			clo := cur
+			cur += size
+			return clo, clo + size, true
+		}
+		return func(tid int, emit func(clo, chi int64)) {
+			for {
+				clo, chi, ok := grab()
+				if !ok {
+					return
+				}
+				emit(clo, chi)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("omp: unknown schedule kind %d", sched.Kind))
+	}
+}
+
+// ParallelForChunks partitions the half-open range [lo, hi) according to
+// the schedule and invokes body(tid, clo, chi) for each contiguous chunk
+// [clo, chi). All chunks assigned to a thread run on the same goroutine,
+// in increasing order for the static schedules.
+func ParallelForChunks(threads int, lo, hi int64, sched Schedule, body func(tid int, clo, chi int64)) {
+	if threads < 1 {
+		threads = 1
+	}
+	if hi-lo <= 0 {
+		return
+	}
+	if threads == 1 {
+		serialChunks(lo, hi, sched, body)
+		return
+	}
+	plan := chunkPlan(threads, lo, hi, sched)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			plan(tid, func(clo, chi int64) { body(tid, clo, chi) })
+		}(t)
+	}
+	wg.Wait()
+}
+
+// serialChunks reproduces each schedule's chunking on a single thread,
+// so chunk-boundary effects (e.g. per-chunk recovery cost) are preserved
+// in serial measurements.
+func serialChunks(lo, hi int64, sched Schedule, body func(tid int, clo, chi int64)) {
+	switch sched.Kind {
+	case Static:
+		body(0, lo, hi)
+	default:
+		ch := sched.chunk()
+		for clo := lo; clo < hi; clo += ch {
+			chi := clo + ch
+			if chi > hi {
+				chi = hi
+			}
+			body(0, clo, chi)
+		}
+	}
+}
+
+// ParallelFor runs body(tid, i) for every i in [lo, hi) under the given
+// schedule and team size.
+func ParallelFor(threads int, lo, hi int64, sched Schedule, body func(tid int, i int64)) {
+	ParallelForChunks(threads, lo, hi, sched, func(tid int, clo, chi int64) {
+		for i := clo; i < chi; i++ {
+			body(tid, i)
+		}
+	})
+}

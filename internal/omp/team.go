@@ -1,0 +1,90 @@
+package omp
+
+import "sync"
+
+// Team is a persistent worker pool mirroring an OpenMP thread team: the
+// goroutines are created once and reused across parallel regions, so
+// repeated parallel loops (e.g. a time-stepped solver calling the
+// collapsed loop every iteration) avoid per-region goroutine spawning —
+// the same reason OpenMP keeps its threads alive between regions.
+//
+// A Team must be Closed when no longer needed. Methods may not be called
+// concurrently with each other (one parallel region at a time, as in
+// OpenMP's fork/join model).
+type Team struct {
+	n       int
+	regions []chan func(tid int)
+	wg      sync.WaitGroup // workers alive
+	barrier sync.WaitGroup // region completion
+	closed  bool
+}
+
+// NewTeam starts a team of n persistent workers (n >= 1).
+func NewTeam(n int) *Team {
+	if n < 1 {
+		n = 1
+	}
+	t := &Team{n: n, regions: make([]chan func(tid int), n)}
+	for i := 0; i < n; i++ {
+		ch := make(chan func(tid int))
+		t.regions[i] = ch
+		t.wg.Add(1)
+		go func(tid int) {
+			defer t.wg.Done()
+			for region := range ch {
+				region(tid)
+				t.barrier.Done()
+			}
+		}(i)
+	}
+	return t
+}
+
+// Size returns the number of workers.
+func (t *Team) Size() int { return t.n }
+
+// Do runs region once on every worker (fork), waiting for all to finish
+// (join).
+func (t *Team) Do(region func(tid int)) {
+	if t.closed {
+		panic("omp: Do on closed Team")
+	}
+	t.barrier.Add(t.n)
+	for _, ch := range t.regions {
+		ch <- region
+	}
+	t.barrier.Wait()
+}
+
+// ParallelForChunks is ParallelForChunks on the persistent team.
+func (t *Team) ParallelForChunks(lo, hi int64, sched Schedule, body func(tid int, clo, chi int64)) {
+	if hi-lo <= 0 {
+		return
+	}
+	plan := chunkPlan(t.n, lo, hi, sched)
+	t.Do(func(tid int) {
+		plan(tid, func(clo, chi int64) { body(tid, clo, chi) })
+	})
+}
+
+// ParallelFor is ParallelFor on the persistent team.
+func (t *Team) ParallelFor(lo, hi int64, sched Schedule, body func(tid int, i int64)) {
+	t.ParallelForChunks(lo, hi, sched, func(tid int, clo, chi int64) {
+		for i := clo; i < chi; i++ {
+			body(tid, i)
+		}
+	})
+}
+
+// Close shuts the workers down and waits for them to exit. The Team must
+// not be used afterwards.
+func (t *Team) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, ch := range t.regions {
+		close(ch)
+	}
+	t.wg.Wait()
+}

@@ -1,0 +1,103 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTeamParallelForExactlyOnce(t *testing.T) {
+	team := NewTeam(4)
+	defer team.Close()
+	for _, sched := range allScheds {
+		for _, n := range []int64{0, 1, 7, 333} {
+			counts := make([]int32, n)
+			team.ParallelFor(0, n, sched, func(tid int, i int64) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("sched %v n=%d: index %d ran %d times", sched, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestTeamReuseAcrossRegions(t *testing.T) {
+	team := NewTeam(3)
+	defer team.Close()
+	var total atomic.Int64
+	for region := 0; region < 50; region++ {
+		team.ParallelFor(0, 100, Schedule{Kind: Dynamic, Chunk: 7}, func(tid int, i int64) {
+			total.Add(1)
+		})
+	}
+	if got := total.Load(); got != 5000 {
+		t.Errorf("total = %d, want 5000", got)
+	}
+}
+
+func TestTeamDoRunsOnAllWorkers(t *testing.T) {
+	team := NewTeam(5)
+	defer team.Close()
+	seen := make([]int32, 5)
+	team.Do(func(tid int) { atomic.AddInt32(&seen[tid], 1) })
+	team.Do(func(tid int) { atomic.AddInt32(&seen[tid], 1) })
+	for tid, c := range seen {
+		if c != 2 {
+			t.Errorf("worker %d ran %d regions", tid, c)
+		}
+	}
+}
+
+func TestTeamSizeClamp(t *testing.T) {
+	team := NewTeam(0)
+	defer team.Close()
+	if team.Size() != 1 {
+		t.Errorf("Size = %d", team.Size())
+	}
+}
+
+func TestTeamCloseIdempotentAndDoPanics(t *testing.T) {
+	team := NewTeam(2)
+	team.Close()
+	team.Close() // must not panic or deadlock
+	defer func() {
+		if recover() == nil {
+			t.Error("Do on closed team did not panic")
+		}
+	}()
+	team.Do(func(int) {})
+}
+
+func TestTeamMatchesSpawningRuntime(t *testing.T) {
+	// Same coverage semantics as the goroutine-per-region runtime.
+	team := NewTeam(4)
+	defer team.Close()
+	var a, c int64
+	team.ParallelForChunks(10, 110, Schedule{Kind: Guided, Chunk: 3}, func(tid int, lo, hi int64) {
+		atomic.AddInt64(&a, hi-lo)
+		atomic.AddInt64(&c, 1)
+	})
+	if a != 100 {
+		t.Errorf("covered %d iterations", a)
+	}
+	if c == 0 {
+		t.Error("no chunks emitted")
+	}
+}
+
+func BenchmarkTeamVsSpawn(b *testing.B) {
+	team := NewTeam(4)
+	defer team.Close()
+	b.Run("team", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			team.ParallelFor(0, 64, Schedule{Kind: Static}, func(int, int64) {})
+		}
+	})
+	b.Run("spawn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ParallelFor(4, 0, 64, Schedule{Kind: Static}, func(int, int64) {})
+		}
+	})
+}

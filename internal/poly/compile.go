@@ -1,0 +1,207 @@
+package poly
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/numeric"
+)
+
+// Compiled is a polynomial preprocessed for fast repeated evaluation at
+// integer points. The polynomial is stored as num/den with integer
+// numerator coefficients; evaluation first tries an overflow-checked
+// int64 path and transparently falls back to big.Int arithmetic.
+//
+// Compiled evaluation sits on the hot path of unranking (the exact
+// correction step runs it a handful of times per recovered index), so the
+// int64 fast path matters.
+type Compiled struct {
+	vars  []string // evaluation order; position = value index
+	den   *big.Int // common denominator, > 0
+	den64 int64    // den as int64 (0 if it does not fit)
+
+	coeffs64 []int64    // numerator coefficients, aligned with pows
+	coeffsOK bool       // all numerator coefficients fit in int64
+	coeffsBG []*big.Int // always populated
+	pows     [][]int    // pows[t][v] = exponent of vars[v] in term t
+	maxPow   []int      // per-variable maximum exponent
+	fcoeffs  []float64  // coefficient/den as float64, for EvalFloat
+}
+
+// Compile prepares p for evaluation with values supplied positionally for
+// the given variables. Every variable of p must appear in vars; vars may
+// contain extra names.
+func (p *Poly) Compile(vars []string) (*Compiled, error) {
+	pos := make(map[string]int, len(vars))
+	for i, v := range vars {
+		if _, dup := pos[v]; dup {
+			return nil, fmt.Errorf("poly: duplicate variable %q", v)
+		}
+		pos[v] = i
+	}
+	for _, v := range p.Vars() {
+		if _, ok := pos[v]; !ok {
+			return nil, fmt.Errorf("poly: variable %q of polynomial not in evaluation order", v)
+		}
+	}
+	c := &Compiled{
+		vars:   append([]string(nil), vars...),
+		den:    p.CommonDenominator(),
+		maxPow: make([]int, len(vars)),
+	}
+	if c.den.IsInt64() {
+		c.den64 = c.den.Int64()
+	}
+	denRat := new(big.Rat).SetInt(c.den)
+
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	c.coeffsOK = true
+	for _, k := range keys {
+		t := p.terms[k]
+		num := new(big.Rat).Mul(t.coeff, denRat)
+		if !num.IsInt() {
+			return nil, fmt.Errorf("poly: internal error: non-integer scaled coefficient")
+		}
+		n := new(big.Int).Set(num.Num())
+		c.coeffsBG = append(c.coeffsBG, n)
+		if n.IsInt64() {
+			c.coeffs64 = append(c.coeffs64, n.Int64())
+		} else {
+			c.coeffs64 = append(c.coeffs64, 0)
+			c.coeffsOK = false
+		}
+		pw := make([]int, len(vars))
+		for v, e := range t.exps {
+			pw[pos[v]] = e
+			if e > c.maxPow[pos[v]] {
+				c.maxPow[pos[v]] = e
+			}
+		}
+		c.pows = append(c.pows, pw)
+		f, _ := t.coeff.Float64()
+		c.fcoeffs = append(c.fcoeffs, f)
+	}
+	return c, nil
+}
+
+// MustCompile is Compile but panics on error; for statically known-good
+// variable orders.
+func (p *Poly) MustCompile(vars []string) *Compiled {
+	c, err := p.Compile(vars)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Vars returns the compiled evaluation order.
+func (c *Compiled) Vars() []string { return append([]string(nil), c.vars...) }
+
+// EvalInt64 evaluates the polynomial at the integer point vals. The result
+// must be an integer (this is always the case for ranking and counting
+// polynomials evaluated inside their domain); ok is false if the int64
+// fast path overflowed or the result is not integral — callers should then
+// use EvalBig.
+func (c *Compiled) EvalInt64(vals []int64) (v int64, ok bool) {
+	if len(vals) != len(c.vars) {
+		panic("poly: wrong number of values")
+	}
+	if !c.coeffsOK || c.den64 == 0 {
+		return 0, false
+	}
+	sum := int64(0)
+	for t, coeff := range c.coeffs64 {
+		tp := coeff
+		for vi, e := range c.pows[t] {
+			for i := 0; i < e; i++ {
+				var mok bool
+				tp, mok = numeric.MulInt64(tp, vals[vi])
+				if !mok {
+					return 0, false
+				}
+			}
+		}
+		var aok bool
+		sum, aok = numeric.AddInt64(sum, tp)
+		if !aok {
+			return 0, false
+		}
+	}
+	if sum%c.den64 != 0 {
+		return 0, false
+	}
+	return sum / c.den64, true
+}
+
+// EvalBig evaluates the polynomial exactly at the integer point vals.
+func (c *Compiled) EvalBig(vals []int64) *big.Rat {
+	if len(vals) != len(c.vars) {
+		panic("poly: wrong number of values")
+	}
+	// Precompute powers per variable.
+	pows := make([][]*big.Int, len(c.vars))
+	for vi := range c.vars {
+		pows[vi] = make([]*big.Int, c.maxPow[vi]+1)
+		pows[vi][0] = big.NewInt(1)
+		for e := 1; e <= c.maxPow[vi]; e++ {
+			pows[vi][e] = new(big.Int).Mul(pows[vi][e-1], big.NewInt(vals[vi]))
+		}
+	}
+	sum := new(big.Int)
+	tp := new(big.Int)
+	for t, coeff := range c.coeffsBG {
+		tp.Set(coeff)
+		for vi, e := range c.pows[t] {
+			if e > 0 {
+				tp.Mul(tp, pows[vi][e])
+			}
+		}
+		sum.Add(sum, tp)
+	}
+	return new(big.Rat).SetFrac(sum, new(big.Int).Set(c.den))
+}
+
+// EvalExact evaluates at an integer point, using the fast path when
+// possible and falling back to exact big arithmetic. The result is
+// rounded toward negative infinity if it is not an integer (ranking
+// polynomials evaluated outside their domain can be fractional; floor is
+// the right semantics for the monotone correction search).
+func (c *Compiled) EvalExact(vals []int64) int64 {
+	if v, ok := c.EvalInt64(vals); ok {
+		return v
+	}
+	r := c.EvalBig(vals)
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	// big.Int.Quo truncates toward zero; adjust to floor.
+	if r.Sign() < 0 && !r.IsInt() {
+		q.Sub(q, big.NewInt(1))
+	}
+	if !q.IsInt64() {
+		panic("poly: evaluation exceeds int64 range")
+	}
+	return q.Int64()
+}
+
+// EvalFloat evaluates the polynomial at a float64 point.
+func (c *Compiled) EvalFloat(vals []float64) float64 {
+	if len(vals) != len(c.vars) {
+		panic("poly: wrong number of values")
+	}
+	sum := 0.0
+	for t, coeff := range c.fcoeffs {
+		tp := coeff
+		for vi, e := range c.pows[t] {
+			for i := 0; i < e; i++ {
+				tp *= vals[vi]
+			}
+		}
+		sum += tp
+	}
+	return sum
+}

@@ -1,0 +1,127 @@
+package poly
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompiledMatchesEvalRat(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	vars := []string{"x", "y", "N"}
+	for trial := 0; trial < 200; trial++ {
+		p := randPoly(r, vars, 5, 3, 9)
+		c, err := p.Compile(vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := []int64{int64(r.Intn(41) - 20), int64(r.Intn(41) - 20), int64(r.Intn(41) - 20)}
+		env := map[string]*big.Rat{
+			"x": big.NewRat(vals[0], 1), "y": big.NewRat(vals[1], 1), "N": big.NewRat(vals[2], 1),
+		}
+		want, err := p.EvalRat(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.EvalBig(vals)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("EvalBig(%s at %v) = %s, want %s", p, vals, got, want)
+		}
+		if want.IsInt() && want.Num().IsInt64() {
+			if v, ok := c.EvalInt64(vals); ok && v != want.Num().Int64() {
+				t.Fatalf("EvalInt64 mismatch: %d vs %s", v, want)
+			}
+			if v := c.EvalExact(vals); v != want.Num().Int64() {
+				t.Fatalf("EvalExact mismatch: %d vs %s", v, want)
+			}
+		}
+	}
+}
+
+func TestEvalExactFloorsFractions(t *testing.T) {
+	p := MustParse("x/2")
+	c := p.MustCompile([]string{"x"})
+	cases := []struct{ x, want int64 }{{4, 2}, {5, 2}, {-5, -3}, {-4, -2}, {0, 0}, {3, 1}}
+	for _, cse := range cases {
+		if got := c.EvalExact([]int64{cse.x}); got != cse.want {
+			t.Errorf("floor(%d/2) = %d, want %d", cse.x, got, cse.want)
+		}
+	}
+}
+
+func TestEvalInt64OverflowFallsBack(t *testing.T) {
+	p := MustParse("x^4")
+	c := p.MustCompile([]string{"x"})
+	if _, ok := c.EvalInt64([]int64{1 << 20}); !ok {
+		// 2^80 overflows; EvalExact must still work via big path... but
+		// it would exceed int64. Use a value whose 4th power fits big but
+		// not the int64 intermediate check below instead.
+		t.Log("int64 path correctly reported overflow")
+	}
+	big4 := int64(100000) // 1e20 exceeds int64; EvalExact should panic
+	defer func() {
+		if recover() == nil {
+			t.Error("EvalExact beyond int64 range did not panic")
+		}
+	}()
+	c.EvalExact([]int64{big4})
+}
+
+func TestCompileErrors(t *testing.T) {
+	p := MustParse("x + y")
+	if _, err := p.Compile([]string{"x"}); err == nil {
+		t.Error("missing variable not detected")
+	}
+	if _, err := p.Compile([]string{"x", "x", "y"}); err == nil {
+		t.Error("duplicate variable not detected")
+	}
+	if _, err := p.Compile([]string{"x", "y", "unused"}); err != nil {
+		t.Errorf("extra variable rejected: %v", err)
+	}
+}
+
+func TestCompiledEvalFloat(t *testing.T) {
+	p := MustParse("x^2/2 - 3*x + 1")
+	c := p.MustCompile([]string{"x"})
+	for x := -5.0; x <= 5.0; x += 0.5 {
+		want := x*x/2 - 3*x + 1
+		if got := c.EvalFloat([]float64{x}); math.Abs(got-want) > 1e-12 {
+			t.Errorf("EvalFloat(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestCompiledZeroPoly(t *testing.T) {
+	c := Zero().MustCompile([]string{"x"})
+	if v, ok := c.EvalInt64([]int64{123}); !ok || v != 0 {
+		t.Errorf("zero poly eval = %d,%v", v, ok)
+	}
+	if v := c.EvalExact([]int64{-7}); v != 0 {
+		t.Errorf("zero poly EvalExact = %d", v)
+	}
+}
+
+func TestCompiledIntAgreement(t *testing.T) {
+	// Property: when the int64 path reports ok, it agrees with big.
+	cfg := &quick.Config{MaxCount: 150}
+	vars := []string{"x", "y", "N"}
+	r := rand.New(rand.NewSource(7))
+	if err := quick.Check(func(a, b, n int8) bool {
+		p := randPoly(r, vars, 6, 4, 12)
+		c, err := p.Compile(vars)
+		if err != nil {
+			return false
+		}
+		vals := []int64{int64(a), int64(b), int64(n)}
+		v, ok := c.EvalInt64(vals)
+		if !ok {
+			return true
+		}
+		bg := c.EvalBig(vals)
+		return bg.IsInt() && bg.Num().IsInt64() && bg.Num().Int64() == v
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

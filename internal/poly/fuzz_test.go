@@ -1,0 +1,80 @@
+package poly
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the expression parser never panics and that any
+// successfully parsed polynomial survives a print/parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"0", "x", "-x", "x + y", "2*x^3 - y/2", "(x+1)*(x-1)",
+		"(2*i*N + 2*j - i^2 - 3*i)/2", "N^3/6 - N/6",
+		"x^^", "1//2", "((", "x^64", "9999999999999999999999",
+		"a*b*c*d*e", "-(-(-x))", " x\t+\n1 ",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := p.String()
+		q, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", rendered, src, err)
+		}
+		if !q.Equal(p) {
+			t.Fatalf("round trip changed value: %q -> %q", src, rendered)
+		}
+	})
+}
+
+// FuzzCompile checks that compiled evaluation agrees with exact
+// evaluation on parsed inputs.
+func FuzzCompile(f *testing.F) {
+	f.Add("x^2 + y", int64(3), int64(-2))
+	f.Add("(x - y)^3/4", int64(10), int64(7))
+	f.Add("x*y - 7", int64(0), int64(0))
+	f.Fuzz(func(t *testing.T, src string, xv, yv int64) {
+		// Bound magnitudes to keep big arithmetic fast.
+		xv %= 1000
+		yv %= 1000
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, v := range p.Vars() {
+			if v != "x" && v != "y" {
+				return
+			}
+		}
+		c, err := p.Compile([]string{"x", "y"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := p.EvalInt64(map[string]int64{"x": xv, "y": yv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.EvalBig([]int64{xv, yv})
+		if got.Cmp(want) != 0 {
+			t.Fatalf("EvalBig(%q at %d,%d) = %s, want %s", src, xv, yv, got, want)
+		}
+	})
+}
+
+func TestParseWhitespaceAndDepth(t *testing.T) {
+	// Deeply nested parentheses must not blow the stack unreasonably.
+	src := strings.Repeat("(", 200) + "x" + strings.Repeat(")", 200)
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(Var("x")) {
+		t.Error("nested parens changed value")
+	}
+}

@@ -1,0 +1,215 @@
+package poly
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"unicode"
+)
+
+// Parse builds a polynomial from a textual expression. The grammar
+// supports integers, identifiers, parentheses, unary +/-, and the binary
+// operators + - * / ^ where '^' takes a non-negative integer literal
+// exponent and '/' requires a non-zero constant divisor:
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := factor (('*'|'/') factor)*
+//	factor := ('+'|'-') factor | primary ('^' integer)?
+//	primary:= integer | identifier | '(' expr ')'
+//
+// Examples: "(2*i*N + 2*j - i^2 - 3*i)/2", "N^3/6 - N/6".
+func Parse(src string) (*Poly, error) {
+	p := &parser{src: src}
+	p.next()
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("poly: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+	}
+	return expr, nil
+}
+
+// MustParse is Parse but panics on error; for expressions in tests and
+// table literals.
+func MustParse(src string) *Poly {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokInt
+	tokIdent
+	tokOp // single-char operator or paren
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type parser struct {
+	src string
+	off int
+	tok token
+}
+
+func (p *parser) next() {
+	for p.off < len(p.src) && unicode.IsSpace(rune(p.src[p.off])) {
+		p.off++
+	}
+	start := p.off
+	if p.off >= len(p.src) {
+		p.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	ch := p.src[p.off]
+	switch {
+	case ch >= '0' && ch <= '9':
+		for p.off < len(p.src) && p.src[p.off] >= '0' && p.src[p.off] <= '9' {
+			p.off++
+		}
+		p.tok = token{kind: tokInt, text: p.src[start:p.off], pos: start}
+	case isIdentStart(ch):
+		for p.off < len(p.src) && isIdentCont(p.src[p.off]) {
+			p.off++
+		}
+		p.tok = token{kind: tokIdent, text: p.src[start:p.off], pos: start}
+	case strings.ContainsRune("+-*/^()", rune(ch)):
+		p.off++
+		p.tok = token{kind: tokOp, text: string(ch), pos: start}
+	default:
+		p.tok = token{kind: tokOp, text: string(ch), pos: start}
+	}
+}
+
+func isIdentStart(ch byte) bool {
+	return ch == '_' || (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z')
+}
+
+func isIdentCont(ch byte) bool {
+	return isIdentStart(ch) || (ch >= '0' && ch <= '9')
+}
+
+func (p *parser) parseExpr() (*Poly, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if op == "+" {
+			left = left.Add(right)
+		} else {
+			left = left.Sub(right)
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (*Poly, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.text == "*" || p.tok.text == "/") {
+		op := p.tok.text
+		pos := p.tok.pos
+		p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if op == "*" {
+			left = left.Mul(right)
+			continue
+		}
+		if !right.IsConst() {
+			return nil, fmt.Errorf("poly: division by non-constant at offset %d", pos)
+		}
+		d := right.ConstValue()
+		if d.Sign() == 0 {
+			return nil, fmt.Errorf("poly: division by zero at offset %d", pos)
+		}
+		left = left.Scale(new(big.Rat).Inv(d))
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (*Poly, error) {
+	if p.tok.kind == tokOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text
+		p.next()
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if op == "-" {
+			f = f.Neg()
+		}
+		return f, nil
+	}
+	base, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp && p.tok.text == "^" {
+		p.next()
+		if p.tok.kind != tokInt {
+			return nil, fmt.Errorf("poly: exponent must be an integer literal at offset %d", p.tok.pos)
+		}
+		var exp int
+		if _, err := fmt.Sscanf(p.tok.text, "%d", &exp); err != nil || exp < 0 {
+			return nil, fmt.Errorf("poly: bad exponent %q", p.tok.text)
+		}
+		if exp > 64 {
+			return nil, fmt.Errorf("poly: exponent %d too large", exp)
+		}
+		p.next()
+		base = base.PowInt(exp)
+	}
+	return base, nil
+}
+
+func (p *parser) parsePrimary() (*Poly, error) {
+	switch p.tok.kind {
+	case tokInt:
+		v := new(big.Int)
+		if _, ok := v.SetString(p.tok.text, 10); !ok {
+			return nil, fmt.Errorf("poly: bad integer %q", p.tok.text)
+		}
+		p.next()
+		return Const(new(big.Rat).SetInt(v)), nil
+	case tokIdent:
+		name := p.tok.text
+		p.next()
+		return Var(name), nil
+	case tokOp:
+		if p.tok.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokOp || p.tok.text != ")" {
+				return nil, fmt.Errorf("poly: missing ')' at offset %d", p.tok.pos)
+			}
+			p.next()
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("poly: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+}

@@ -1,0 +1,610 @@
+// Package poly implements exact multivariate polynomials over the
+// rationals. It is the symbolic substrate underneath the Ehrhart ranking
+// machinery of the loop collapser: polynomials support ring arithmetic,
+// substitution of polynomials for variables, exact rational and
+// floating-point evaluation, univariate views (needed by the radical root
+// solvers), and a small expression parser used by tests and the CLI
+// tools.
+//
+// Variables are identified by name. A Poly is immutable from the caller's
+// point of view: all operations return fresh values.
+package poly
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// term is a single monomial: coeff * prod(var^exp).
+type term struct {
+	coeff *big.Rat
+	exps  map[string]int // var name -> exponent (> 0)
+}
+
+func (t *term) key() string { return monoKey(t.exps) }
+
+func monoKey(exps map[string]int) string {
+	if len(exps) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(exps))
+	for v := range exps {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, v := range names {
+		if i > 0 {
+			b.WriteByte('*')
+		}
+		fmt.Fprintf(&b, "%s^%d", v, exps[v])
+	}
+	return b.String()
+}
+
+func (t *term) clone() *term {
+	e := make(map[string]int, len(t.exps))
+	for v, p := range t.exps {
+		e[v] = p
+	}
+	return &term{coeff: new(big.Rat).Set(t.coeff), exps: e}
+}
+
+func (t *term) totalDegree() int {
+	d := 0
+	for _, p := range t.exps {
+		d += p
+	}
+	return d
+}
+
+// Poly is a multivariate polynomial with exact rational coefficients.
+// The zero value is not usable; construct values with Zero, One, Const,
+// Int, Var, VarPow or Parse.
+type Poly struct {
+	terms map[string]*term
+}
+
+// Zero returns the zero polynomial.
+func Zero() *Poly { return &Poly{terms: map[string]*term{}} }
+
+// One returns the constant polynomial 1.
+func One() *Poly { return Int(1) }
+
+// Int returns the constant polynomial n.
+func Int(n int64) *Poly { return Const(new(big.Rat).SetInt64(n)) }
+
+// Rat returns the constant polynomial num/den.
+func Rat(num, den int64) *Poly { return Const(big.NewRat(num, den)) }
+
+// Const returns the constant polynomial with value r.
+func Const(r *big.Rat) *Poly {
+	p := Zero()
+	if r.Sign() != 0 {
+		p.terms[""] = &term{coeff: new(big.Rat).Set(r), exps: map[string]int{}}
+	}
+	return p
+}
+
+// Var returns the polynomial consisting of the single variable name.
+func Var(name string) *Poly { return VarPow(name, 1) }
+
+// VarPow returns the polynomial name^k (k >= 0).
+func VarPow(name string, k int) *Poly {
+	if name == "" {
+		panic("poly: empty variable name")
+	}
+	if k < 0 {
+		panic("poly: negative exponent")
+	}
+	if k == 0 {
+		return One()
+	}
+	t := &term{coeff: big.NewRat(1, 1), exps: map[string]int{name: k}}
+	return &Poly{terms: map[string]*term{t.key(): t}}
+}
+
+func (p *Poly) clone() *Poly {
+	q := Zero()
+	for k, t := range p.terms {
+		q.terms[k] = t.clone()
+	}
+	return q
+}
+
+// addTerm adds coeff*mono into p in place, dropping the monomial if the
+// resulting coefficient is zero.
+func (p *Poly) addTerm(coeff *big.Rat, exps map[string]int) {
+	if coeff.Sign() == 0 {
+		return
+	}
+	k := monoKey(exps)
+	if ex, ok := p.terms[k]; ok {
+		ex.coeff.Add(ex.coeff, coeff)
+		if ex.coeff.Sign() == 0 {
+			delete(p.terms, k)
+		}
+		return
+	}
+	e := make(map[string]int, len(exps))
+	for v, pw := range exps {
+		e[v] = pw
+	}
+	p.terms[k] = &term{coeff: new(big.Rat).Set(coeff), exps: e}
+}
+
+// Add returns p + q.
+func (p *Poly) Add(q *Poly) *Poly {
+	r := p.clone()
+	for _, t := range q.terms {
+		r.addTerm(t.coeff, t.exps)
+	}
+	return r
+}
+
+// Sub returns p - q.
+func (p *Poly) Sub(q *Poly) *Poly {
+	r := p.clone()
+	neg := new(big.Rat)
+	for _, t := range q.terms {
+		neg.Neg(t.coeff)
+		r.addTerm(neg, t.exps)
+	}
+	return r
+}
+
+// Neg returns -p.
+func (p *Poly) Neg() *Poly { return Zero().Sub(p) }
+
+// Scale returns r * p.
+func (p *Poly) Scale(r *big.Rat) *Poly {
+	q := Zero()
+	if r.Sign() == 0 {
+		return q
+	}
+	c := new(big.Rat)
+	for _, t := range p.terms {
+		c.Mul(t.coeff, r)
+		q.addTerm(c, t.exps)
+	}
+	return q
+}
+
+// ScaleInt returns n * p.
+func (p *Poly) ScaleInt(n int64) *Poly { return p.Scale(new(big.Rat).SetInt64(n)) }
+
+// Mul returns p * q.
+func (p *Poly) Mul(q *Poly) *Poly {
+	r := Zero()
+	c := new(big.Rat)
+	for _, tp := range p.terms {
+		for _, tq := range q.terms {
+			c.Mul(tp.coeff, tq.coeff)
+			exps := make(map[string]int, len(tp.exps)+len(tq.exps))
+			for v, pw := range tp.exps {
+				exps[v] = pw
+			}
+			for v, pw := range tq.exps {
+				exps[v] += pw
+			}
+			r.addTerm(c, exps)
+		}
+	}
+	return r
+}
+
+// PowInt returns p raised to the non-negative integer power k.
+func (p *Poly) PowInt(k int) *Poly {
+	if k < 0 {
+		panic("poly: negative exponent")
+	}
+	result := One()
+	base := p
+	for k > 0 {
+		if k&1 == 1 {
+			result = result.Mul(base)
+		}
+		k >>= 1
+		if k > 0 {
+			base = base.Mul(base)
+		}
+	}
+	return result
+}
+
+// Subst returns the polynomial obtained by substituting polynomial sub
+// for every occurrence of variable v in p.
+func (p *Poly) Subst(v string, sub *Poly) *Poly {
+	r := Zero()
+	// Cache powers of sub, since several terms often share exponents.
+	pows := map[int]*Poly{0: One(), 1: sub}
+	var powOf func(int) *Poly
+	powOf = func(k int) *Poly {
+		if q, ok := pows[k]; ok {
+			return q
+		}
+		q := powOf(k - 1).Mul(sub)
+		pows[k] = q
+		return q
+	}
+	for _, t := range p.terms {
+		rest := make(map[string]int, len(t.exps))
+		deg := 0
+		for name, pw := range t.exps {
+			if name == v {
+				deg = pw
+			} else {
+				rest[name] = pw
+			}
+		}
+		partial := &Poly{terms: map[string]*term{}}
+		partial.addTerm(t.coeff, rest)
+		if deg > 0 {
+			partial = partial.Mul(powOf(deg))
+		}
+		r = r.Add(partial)
+	}
+	return r
+}
+
+// SubstAll substitutes several variables simultaneously: all
+// substitutions see the original p, so {"x": y, "y": x} swaps x and y.
+func (p *Poly) SubstAll(subs map[string]*Poly) *Poly {
+	if len(subs) == 0 {
+		return p.clone()
+	}
+	// Rename each substituted variable to a fresh temporary first so that
+	// sequential substitution becomes simultaneous.
+	tmp := p.clone()
+	names := make([]string, 0, len(subs))
+	for v := range subs {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	for i, v := range names {
+		tmp = tmp.Subst(v, Var(fmt.Sprintf("\x00tmp%d", i)))
+	}
+	for i, v := range names {
+		tmp = tmp.Subst(fmt.Sprintf("\x00tmp%d", i), subs[v])
+	}
+	return tmp
+}
+
+// EvalRat evaluates p at the given rational assignment. Every variable of
+// p must be present in env.
+func (p *Poly) EvalRat(env map[string]*big.Rat) (*big.Rat, error) {
+	sum := new(big.Rat)
+	tp := new(big.Rat)
+	for _, t := range p.terms {
+		tp.Set(t.coeff)
+		for v, pw := range t.exps {
+			val, ok := env[v]
+			if !ok {
+				return nil, fmt.Errorf("poly: variable %q not bound", v)
+			}
+			for i := 0; i < pw; i++ {
+				tp.Mul(tp, val)
+			}
+		}
+		sum.Add(sum, tp)
+	}
+	return sum, nil
+}
+
+// EvalInt64 evaluates p at an integer assignment, returning the exact
+// rational value.
+func (p *Poly) EvalInt64(env map[string]int64) (*big.Rat, error) {
+	renv := make(map[string]*big.Rat, len(env))
+	for k, v := range env {
+		renv[k] = new(big.Rat).SetInt64(v)
+	}
+	return p.EvalRat(renv)
+}
+
+// EvalFloat evaluates p at a float64 assignment. Missing variables are an
+// error.
+func (p *Poly) EvalFloat(env map[string]float64) (float64, error) {
+	sum := 0.0
+	for _, t := range p.terms {
+		tp, _ := t.coeff.Float64()
+		for v, pw := range t.exps {
+			val, ok := env[v]
+			if !ok {
+				return 0, fmt.Errorf("poly: variable %q not bound", v)
+			}
+			for i := 0; i < pw; i++ {
+				tp *= val
+			}
+		}
+		sum += tp
+	}
+	return sum, nil
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p *Poly) IsZero() bool { return len(p.terms) == 0 }
+
+// IsConst reports whether p is a constant (possibly zero).
+func (p *Poly) IsConst() bool {
+	if len(p.terms) == 0 {
+		return true
+	}
+	_, ok := p.terms[""]
+	return ok && len(p.terms) == 1
+}
+
+// ConstValue returns the value of a constant polynomial.
+// It panics if p is not constant.
+func (p *Poly) ConstValue() *big.Rat {
+	if !p.IsConst() {
+		panic("poly: ConstValue of non-constant polynomial")
+	}
+	if t, ok := p.terms[""]; ok {
+		return new(big.Rat).Set(t.coeff)
+	}
+	return new(big.Rat)
+}
+
+// Equal reports whether p and q are identical polynomials.
+func (p *Poly) Equal(q *Poly) bool {
+	if len(p.terms) != len(q.terms) {
+		return false
+	}
+	for k, t := range p.terms {
+		u, ok := q.terms[k]
+		if !ok || t.coeff.Cmp(u.coeff) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the sorted list of variables occurring in p.
+func (p *Poly) Vars() []string {
+	set := map[string]bool{}
+	for _, t := range p.terms {
+		for v := range t.exps {
+			set[v] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for v := range set {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HasVar reports whether variable v occurs in p.
+func (p *Poly) HasVar(v string) bool { return p.DegreeIn(v) > 0 }
+
+// DegreeIn returns the degree of p in variable v (0 if absent; 0 for the
+// zero polynomial).
+func (p *Poly) DegreeIn(v string) int {
+	d := 0
+	for _, t := range p.terms {
+		if pw := t.exps[v]; pw > d {
+			d = pw
+		}
+	}
+	return d
+}
+
+// MaxVarDegree returns the largest exponent any single variable reaches
+// in any monomial of p. This implements the paper's §IV.B degree check.
+func (p *Poly) MaxVarDegree() int {
+	d := 0
+	for _, t := range p.terms {
+		for _, pw := range t.exps {
+			if pw > d {
+				d = pw
+			}
+		}
+	}
+	return d
+}
+
+// TotalDegree returns the total degree of p (0 for constants and zero).
+func (p *Poly) TotalDegree() int {
+	d := 0
+	for _, t := range p.terms {
+		if td := t.totalDegree(); td > d {
+			d = td
+		}
+	}
+	return d
+}
+
+// UnivariateIn views p as a univariate polynomial in v and returns its
+// coefficients, lowest power first. The returned polynomials do not
+// contain v. The slice has length DegreeIn(v)+1 (length 1 for the zero
+// polynomial).
+func (p *Poly) UnivariateIn(v string) []*Poly {
+	deg := p.DegreeIn(v)
+	coeffs := make([]*Poly, deg+1)
+	for i := range coeffs {
+		coeffs[i] = Zero()
+	}
+	for _, t := range p.terms {
+		pw := t.exps[v]
+		rest := make(map[string]int, len(t.exps))
+		for name, e := range t.exps {
+			if name != v {
+				rest[name] = e
+			}
+		}
+		coeffs[pw].addTerm(t.coeff, rest)
+	}
+	return coeffs
+}
+
+// Derivative returns dp/dv.
+func (p *Poly) Derivative(v string) *Poly {
+	r := Zero()
+	c := new(big.Rat)
+	for _, t := range p.terms {
+		pw := t.exps[v]
+		if pw == 0 {
+			continue
+		}
+		c.Mul(t.coeff, new(big.Rat).SetInt64(int64(pw)))
+		exps := make(map[string]int, len(t.exps))
+		for name, e := range t.exps {
+			exps[name] = e
+		}
+		if pw == 1 {
+			delete(exps, v)
+		} else {
+			exps[v] = pw - 1
+		}
+		r.addTerm(c, exps)
+	}
+	return r
+}
+
+// CommonDenominator returns the least common multiple of the coefficient
+// denominators (1 for the zero polynomial). p scaled by this value has
+// integer coefficients.
+func (p *Poly) CommonDenominator() *big.Int {
+	l := big.NewInt(1)
+	for _, t := range p.terms {
+		d := t.coeff.Denom()
+		g := new(big.Int).GCD(nil, nil, l, d)
+		l = new(big.Int).Mul(l, new(big.Int).Div(d, g))
+	}
+	return l
+}
+
+// CoeffOf returns the coefficient of the monomial described by exps
+// (variable -> exponent; exponents of 0 may be omitted).
+func (p *Poly) CoeffOf(exps map[string]int) *big.Rat {
+	norm := make(map[string]int, len(exps))
+	for v, e := range exps {
+		if e > 0 {
+			norm[v] = e
+		}
+	}
+	if t, ok := p.terms[monoKey(norm)]; ok {
+		return new(big.Rat).Set(t.coeff)
+	}
+	return new(big.Rat)
+}
+
+// TermVar is one variable factor of an exported monomial view.
+type TermVar struct {
+	Name string
+	Pow  int
+}
+
+// Term is an exported view of one monomial of a polynomial.
+type Term struct {
+	Coeff *big.Rat  // never zero
+	Vars  []TermVar // sorted by variable name; empty for the constant term
+}
+
+// Terms returns the monomials of p in the same deterministic order used
+// by String: descending total degree, then lexicographic monomial key.
+func (p *Poly) Terms() []Term {
+	keys := p.sortedKeys()
+	out := make([]Term, 0, len(keys))
+	for _, k := range keys {
+		t := p.terms[k]
+		term := Term{Coeff: new(big.Rat).Set(t.coeff)}
+		names := make([]string, 0, len(t.exps))
+		for v := range t.exps {
+			names = append(names, v)
+		}
+		sort.Strings(names)
+		for _, v := range names {
+			term.Vars = append(term.Vars, TermVar{Name: v, Pow: t.exps[v]})
+		}
+		out = append(out, term)
+	}
+	return out
+}
+
+func (p *Poly) sortedKeys() []string {
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		da, db := p.terms[keys[a]].totalDegree(), p.terms[keys[b]].totalDegree()
+		if da != db {
+			return da > db
+		}
+		return keys[a] < keys[b]
+	})
+	return keys
+}
+
+// String renders p deterministically: monomials sorted by descending
+// total degree, then lexicographically by monomial key.
+func (p *Poly) String() string {
+	if len(p.terms) == 0 {
+		return "0"
+	}
+	keys := p.sortedKeys()
+	var b strings.Builder
+	for i, k := range keys {
+		t := p.terms[k]
+		c := t.coeff
+		neg := c.Sign() < 0
+		abs := new(big.Rat).Abs(c)
+		if i == 0 {
+			if neg {
+				b.WriteByte('-')
+			}
+		} else {
+			if neg {
+				b.WriteString(" - ")
+			} else {
+				b.WriteString(" + ")
+			}
+		}
+		mono := monoString(t.exps)
+		one := abs.Cmp(big.NewRat(1, 1)) == 0
+		switch {
+		case mono == "":
+			b.WriteString(ratString(abs))
+		case one:
+			b.WriteString(mono)
+		default:
+			b.WriteString(ratString(abs))
+			b.WriteByte('*')
+			b.WriteString(mono)
+		}
+	}
+	return b.String()
+}
+
+func monoString(exps map[string]int) string {
+	if len(exps) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(exps))
+	for v := range exps {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, v := range names {
+		if i > 0 {
+			b.WriteByte('*')
+		}
+		b.WriteString(v)
+		if e := exps[v]; e > 1 {
+			fmt.Fprintf(&b, "^%d", e)
+		}
+	}
+	return b.String()
+}
+
+func ratString(r *big.Rat) string {
+	if r.IsInt() {
+		return r.Num().String()
+	}
+	return "(" + r.String() + ")"
+}

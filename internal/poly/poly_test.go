@@ -1,0 +1,286 @@
+package poly
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randPoly generates a small random polynomial over the given variables.
+func randPoly(r *rand.Rand, vars []string, maxTerms, maxDeg, maxCoeff int) *Poly {
+	p := Zero()
+	n := r.Intn(maxTerms + 1)
+	for t := 0; t < n; t++ {
+		c := big.NewRat(int64(r.Intn(2*maxCoeff+1)-maxCoeff), int64(r.Intn(3)+1))
+		m := Const(c)
+		for _, v := range vars {
+			if r.Intn(2) == 1 {
+				m = m.Mul(VarPow(v, r.Intn(maxDeg)+1))
+			}
+		}
+		p = p.Add(m)
+	}
+	return p
+}
+
+type triple struct{ A, B, C *Poly }
+
+// Generate implements quick.Generator for random polynomial triples.
+func (triple) Generate(r *rand.Rand, _ int) reflect.Value {
+	vars := []string{"x", "y", "N"}
+	return reflect.ValueOf(triple{
+		A: randPoly(r, vars, 4, 3, 6),
+		B: randPoly(r, vars, 4, 3, 6),
+		C: randPoly(r, vars, 4, 3, 6),
+	})
+}
+
+func TestRingLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(func(tr triple) bool {
+		return tr.A.Add(tr.B).Equal(tr.B.Add(tr.A))
+	}, cfg); err != nil {
+		t.Error("add commutativity:", err)
+	}
+	if err := quick.Check(func(tr triple) bool {
+		return tr.A.Mul(tr.B).Equal(tr.B.Mul(tr.A))
+	}, cfg); err != nil {
+		t.Error("mul commutativity:", err)
+	}
+	if err := quick.Check(func(tr triple) bool {
+		return tr.A.Add(tr.B).Add(tr.C).Equal(tr.A.Add(tr.B.Add(tr.C)))
+	}, cfg); err != nil {
+		t.Error("add associativity:", err)
+	}
+	if err := quick.Check(func(tr triple) bool {
+		return tr.A.Mul(tr.B).Mul(tr.C).Equal(tr.A.Mul(tr.B.Mul(tr.C)))
+	}, cfg); err != nil {
+		t.Error("mul associativity:", err)
+	}
+	if err := quick.Check(func(tr triple) bool {
+		return tr.A.Mul(tr.B.Add(tr.C)).Equal(tr.A.Mul(tr.B).Add(tr.A.Mul(tr.C)))
+	}, cfg); err != nil {
+		t.Error("distributivity:", err)
+	}
+	if err := quick.Check(func(tr triple) bool {
+		return tr.A.Sub(tr.A).IsZero() && tr.A.Add(tr.A.Neg()).IsZero()
+	}, cfg); err != nil {
+		t.Error("additive inverse:", err)
+	}
+}
+
+func TestEvalHomomorphism(t *testing.T) {
+	// (p+q)(x) == p(x)+q(x), (p*q)(x) == p(x)*q(x)
+	cfg := &quick.Config{MaxCount: 100}
+	env := map[string]*big.Rat{
+		"x": big.NewRat(3, 2), "y": big.NewRat(-5, 1), "N": big.NewRat(7, 3),
+	}
+	if err := quick.Check(func(tr triple) bool {
+		s, err1 := tr.A.Add(tr.B).EvalRat(env)
+		pa, err2 := tr.A.EvalRat(env)
+		pb, err3 := tr.B.EvalRat(env)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		if s.Cmp(new(big.Rat).Add(pa, pb)) != 0 {
+			return false
+		}
+		m, err4 := tr.A.Mul(tr.B).EvalRat(env)
+		if err4 != nil {
+			return false
+		}
+		return m.Cmp(new(big.Rat).Mul(pa, pb)) == 0
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstHomomorphism(t *testing.T) {
+	// subst(p+q) == subst(p)+subst(q), subst(p*q) == subst(p)*subst(q)
+	cfg := &quick.Config{MaxCount: 60}
+	sub := MustParse("2*y - 3")
+	if err := quick.Check(func(tr triple) bool {
+		lhs := tr.A.Mul(tr.B).Subst("x", sub)
+		rhs := tr.A.Subst("x", sub).Mul(tr.B.Subst("x", sub))
+		if !lhs.Equal(rhs) {
+			return false
+		}
+		return tr.A.Add(tr.B).Subst("x", sub).Equal(tr.A.Subst("x", sub).Add(tr.B.Subst("x", sub)))
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstAllSimultaneous(t *testing.T) {
+	p := MustParse("x + 2*y")
+	q := p.SubstAll(map[string]*Poly{"x": Var("y"), "y": Var("x")})
+	want := MustParse("y + 2*x")
+	if !q.Equal(want) {
+		t.Errorf("swap substitution: got %s, want %s", q, want)
+	}
+}
+
+func TestParseKnownPolynomials(t *testing.T) {
+	// Ranking polynomial of the paper's correlation example (§III).
+	r := MustParse("(2*i*N + 2*j - i^2 - 3*i)/2")
+	cases := []struct {
+		i, j, N int64
+		want    int64
+	}{
+		{0, 1, 10, 1}, {0, 2, 10, 2}, {0, 9, 10, 9}, {1, 2, 10, 10}, {8, 9, 10, 45},
+	}
+	for _, c := range cases {
+		v, err := r.EvalInt64(map[string]int64{"i": c.i, "j": c.j, "N": c.N})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.IsInt() || v.Num().Int64() != c.want {
+			t.Errorf("r(%d,%d;N=%d) = %s, want %d", c.i, c.j, c.N, v, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "x +", "2 ** 3", "x^y", "x^-1", "(x+1", "x/ (y)", "1/0", "x$y", "x^99"}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(func(tr triple) bool {
+		s := tr.A.String()
+		q, err := Parse(s)
+		if err != nil {
+			t.Logf("Parse(%q): %v", s, err)
+			return false
+		}
+		return q.Equal(tr.A)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"0", "0"},
+		{"x - x", "0"},
+		{"-x", "-x"},
+		{"1 - x", "-x + 1"},
+		{"x*x*x - 2*x + 1", "x^3 - 2*x + 1"},
+		{"(x)/2", "(1/2)*x"},
+		{"y*x", "x*y"},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.src).String(); got != c.want {
+			t.Errorf("String(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestDegreesAndVars(t *testing.T) {
+	p := MustParse("2*i^2*j + N*j^3 - 4")
+	if d := p.DegreeIn("i"); d != 2 {
+		t.Errorf("DegreeIn(i) = %d", d)
+	}
+	if d := p.DegreeIn("j"); d != 3 {
+		t.Errorf("DegreeIn(j) = %d", d)
+	}
+	if d := p.DegreeIn("k"); d != 0 {
+		t.Errorf("DegreeIn(k) = %d", d)
+	}
+	if d := p.TotalDegree(); d != 4 {
+		t.Errorf("TotalDegree = %d", d)
+	}
+	if d := p.MaxVarDegree(); d != 3 {
+		t.Errorf("MaxVarDegree = %d", d)
+	}
+	if vs := p.Vars(); !reflect.DeepEqual(vs, []string{"N", "i", "j"}) {
+		t.Errorf("Vars = %v", vs)
+	}
+	if !p.HasVar("N") || p.HasVar("z") {
+		t.Error("HasVar wrong")
+	}
+}
+
+func TestUnivariateIn(t *testing.T) {
+	p := MustParse("2*x^2*y + 3*x - y + 7")
+	cs := p.UnivariateIn("x")
+	if len(cs) != 3 {
+		t.Fatalf("len = %d", len(cs))
+	}
+	if !cs[0].Equal(MustParse("7 - y")) {
+		t.Errorf("c0 = %s", cs[0])
+	}
+	if !cs[1].Equal(Int(3)) {
+		t.Errorf("c1 = %s", cs[1])
+	}
+	if !cs[2].Equal(MustParse("2*y")) {
+		t.Errorf("c2 = %s", cs[2])
+	}
+	// Recombining must reproduce p.
+	sum := Zero()
+	for k, c := range cs {
+		sum = sum.Add(c.Mul(VarPow("x", k)))
+	}
+	if !sum.Equal(p) {
+		t.Error("univariate recombination failed")
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	p := MustParse("x^3 - 2*x*y + y^2 + 5")
+	if got, want := p.Derivative("x"), MustParse("3*x^2 - 2*y"); !got.Equal(want) {
+		t.Errorf("d/dx = %s, want %s", got, want)
+	}
+	if got, want := p.Derivative("y"), MustParse("2*y - 2*x"); !got.Equal(want) {
+		t.Errorf("d/dy = %s, want %s", got, want)
+	}
+	if got := Int(7).Derivative("x"); !got.IsZero() {
+		t.Errorf("d/dx 7 = %s", got)
+	}
+}
+
+func TestConstValueAndCoeffOf(t *testing.T) {
+	p := MustParse("x^2/4 - 3*x + 9")
+	if c := p.CoeffOf(map[string]int{"x": 2}); c.Cmp(big.NewRat(1, 4)) != 0 {
+		t.Errorf("coeff x^2 = %s", c)
+	}
+	if c := p.CoeffOf(map[string]int{}); c.Cmp(big.NewRat(9, 1)) != 0 {
+		t.Errorf("constant coeff = %s", c)
+	}
+	if c := p.CoeffOf(map[string]int{"x": 5}); c.Sign() != 0 {
+		t.Errorf("coeff x^5 = %s", c)
+	}
+	if !Int(0).IsConst() || !Int(3).IsConst() || MustParse("x").IsConst() {
+		t.Error("IsConst wrong")
+	}
+	if v := Int(3).ConstValue(); v.Cmp(big.NewRat(3, 1)) != 0 {
+		t.Error("ConstValue wrong")
+	}
+}
+
+func TestPowInt(t *testing.T) {
+	p := MustParse("x + 1")
+	if got, want := p.PowInt(3), MustParse("x^3 + 3*x^2 + 3*x + 1"); !got.Equal(want) {
+		t.Errorf("(x+1)^3 = %s", got)
+	}
+	if got := p.PowInt(0); !got.Equal(One()) {
+		t.Errorf("(x+1)^0 = %s", got)
+	}
+}
+
+func TestCommonDenominator(t *testing.T) {
+	p := MustParse("x/2 + y/3 - 1/4")
+	if d := p.CommonDenominator(); d.Int64() != 12 {
+		t.Errorf("CommonDenominator = %s", d)
+	}
+	if d := Zero().CommonDenominator(); d.Int64() != 1 {
+		t.Errorf("CommonDenominator(0) = %s", d)
+	}
+}

@@ -1,0 +1,185 @@
+// Package reshape implements the extensions sketched in the paper's
+// conclusion (§IX): "the computation of a loop nest from another loop
+// nest of a different shape, or the fusion of loop nests of different
+// shapes".
+//
+// Both build directly on ranking/unranking:
+//
+//   - Reshape maps iteration tuples between two nests of equal
+//     cardinality through their common rank: tuple t of the source nest
+//     executes as tuple Unrank_dst(Rank_src(t)) of the destination nest.
+//     Driving the *destination* shape while computing the *source*
+//     body lets a rectangular (or GPU-grid-shaped) loop execute a
+//     triangular computation with perfect balance.
+//
+//   - Fuse concatenates the collapsed ranges of several nests of
+//     arbitrary shapes into one range 1..ΣTotal_k, so a single
+//     worksharing loop load-balances across all of them at once
+//     (classic loop fusion cannot do this unless the shapes match).
+package reshape
+
+import (
+	"fmt"
+
+	"repro/internal/unrank"
+)
+
+// Mapping is a rank-preserving bijection between two iteration spaces of
+// equal cardinality.
+type Mapping struct {
+	src *unrank.Bound
+	dst *unrank.Bound
+}
+
+// NewMapping builds the bijection between bound source and destination
+// spaces. Both must contain the same number of points.
+func NewMapping(src, dst *unrank.Bound) (*Mapping, error) {
+	if src.Total() != dst.Total() {
+		return nil, fmt.Errorf("reshape: cardinality mismatch: %d vs %d", src.Total(), dst.Total())
+	}
+	return &Mapping{src: src, dst: dst}, nil
+}
+
+// Total returns the common cardinality.
+func (m *Mapping) Total() int64 { return m.src.Total() }
+
+// SrcToDst writes into dst the destination tuple corresponding to the
+// source tuple src (same rank). The source tuple must lie in its domain.
+func (m *Mapping) SrcToDst(src, dst []int64) error {
+	return m.dst.Unrank(m.src.Rank(src), dst)
+}
+
+// DstToSrc is the inverse direction.
+func (m *Mapping) DstToSrc(dst, src []int64) error {
+	return m.src.Unrank(m.dst.Rank(dst), src)
+}
+
+// ForEachPair calls f with every (source, destination) tuple pair in
+// rank order. The slices are reused across calls.
+func (m *Mapping) ForEachPair(f func(src, dst []int64) bool) error {
+	total := m.Total()
+	if total == 0 {
+		return nil
+	}
+	sIdx := make([]int64, m.src.Instance().Depth())
+	dIdx := make([]int64, m.dst.Instance().Depth())
+	if err := m.src.Unrank(1, sIdx); err != nil {
+		return err
+	}
+	if err := m.dst.Unrank(1, dIdx); err != nil {
+		return err
+	}
+	for pc := int64(1); ; pc++ {
+		if !f(sIdx, dIdx) {
+			return nil
+		}
+		if pc == total {
+			return nil
+		}
+		if !m.src.Increment(sIdx) || !m.dst.Increment(dIdx) {
+			return fmt.Errorf("reshape: space exhausted at rank %d", pc)
+		}
+	}
+}
+
+// Fused is a concatenation of several collapsed iteration spaces into a
+// single rank range 1..Total.
+type Fused struct {
+	parts  []*unrank.Bound
+	starts []int64 // starts[k] = first global rank of part k
+	total  int64
+}
+
+// NewFused concatenates the given bound spaces in order.
+func NewFused(parts ...*unrank.Bound) (*Fused, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("reshape: no parts to fuse")
+	}
+	f := &Fused{parts: parts}
+	var off int64
+	for _, p := range parts {
+		f.starts = append(f.starts, off+1)
+		off += p.Total()
+	}
+	f.total = off
+	return f, nil
+}
+
+// Total returns the fused cardinality.
+func (f *Fused) Total() int64 { return f.total }
+
+// Locate maps a global rank to (part index, local rank).
+func (f *Fused) Locate(pc int64) (part int, local int64, err error) {
+	if pc < 1 || pc > f.total {
+		return 0, 0, fmt.Errorf("reshape: rank %d out of range 1..%d", pc, f.total)
+	}
+	// Linear scan: the number of fused parts is tiny.
+	part = len(f.parts) - 1
+	for k := 1; k < len(f.parts); k++ {
+		if pc < f.starts[k] {
+			part = k - 1
+			break
+		}
+	}
+	return part, pc - f.starts[part] + 1, nil
+}
+
+// Unrank recovers (part, tuple) for a global rank. idx must be at least
+// as long as the deepest part.
+func (f *Fused) Unrank(pc int64, idx []int64) (part int, err error) {
+	part, local, err := f.Locate(pc)
+	if err != nil {
+		return 0, err
+	}
+	d := f.parts[part].Instance().Depth()
+	return part, f.parts[part].Unrank(local, idx[:d])
+}
+
+// ForRange executes body for global ranks [lo, hi], recovering once per
+// part-segment and incrementing inside each part (§V semantics across
+// the fused range). body receives the part index and the tuple.
+func (f *Fused) ForRange(lo, hi int64, body func(part int, idx []int64) bool) error {
+	if lo > hi {
+		return nil
+	}
+	if lo < 1 || hi > f.total {
+		return fmt.Errorf("reshape: range [%d,%d] out of 1..%d", lo, hi, f.total)
+	}
+	maxDepth := 0
+	for _, p := range f.parts {
+		if d := p.Instance().Depth(); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	idx := make([]int64, maxDepth)
+	pc := lo
+	for pc <= hi {
+		part, local, err := f.Locate(pc)
+		if err != nil {
+			return err
+		}
+		p := f.parts[part]
+		d := p.Instance().Depth()
+		segEnd := f.starts[part] + p.Total() - 1
+		if segEnd > hi {
+			segEnd = hi
+		}
+		if err := p.Unrank(local, idx[:d]); err != nil {
+			return err
+		}
+		for {
+			if !body(part, idx[:d]) {
+				return nil
+			}
+			if pc == segEnd {
+				break
+			}
+			pc++
+			if !p.Increment(idx[:d]) {
+				return fmt.Errorf("reshape: part %d exhausted at rank %d", part, pc)
+			}
+		}
+		pc = segEnd + 1
+	}
+	return nil
+}

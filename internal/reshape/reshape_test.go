@@ -1,0 +1,241 @@
+package reshape
+
+import (
+	"testing"
+
+	"repro/internal/nest"
+	"repro/internal/unrank"
+)
+
+func bind(t *testing.T, n *nest.Nest, params map[string]int64) *unrank.Bound {
+	t.Helper()
+	u, err := unrank.New(n, unrank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := u.Bind(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// Triangle of N=9 has 36 points == rectangle 6x6.
+func triangleAndRect(t *testing.T) (*unrank.Bound, *unrank.Bound) {
+	tri := nest.MustNew([]string{"N"}, nest.L("i", "0", "N-1"), nest.L("j", "i+1", "N"))
+	rect := nest.MustNew([]string{"A", "B"}, nest.L("x", "0", "A"), nest.L("y", "0", "B"))
+	return bind(t, tri, map[string]int64{"N": 9}), bind(t, rect, map[string]int64{"A": 6, "B": 6})
+}
+
+func TestMappingBijection(t *testing.T) {
+	src, dst := triangleAndRect(t)
+	m, err := NewMapping(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Total() != 36 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+	seen := map[[2]int64]bool{}
+	sIdx := make([]int64, 2)
+	dIdx := make([]int64, 2)
+	back := make([]int64, 2)
+	src.Instance().Enumerate(func(tri []int64) bool {
+		copy(sIdx, tri)
+		if err := m.SrcToDst(sIdx, dIdx); err != nil {
+			t.Fatal(err)
+		}
+		key := [2]int64{dIdx[0], dIdx[1]}
+		if seen[key] {
+			t.Fatalf("destination %v hit twice", key)
+		}
+		seen[key] = true
+		if err := m.DstToSrc(dIdx, back); err != nil {
+			t.Fatal(err)
+		}
+		if back[0] != sIdx[0] || back[1] != sIdx[1] {
+			t.Fatalf("round trip %v -> %v -> %v", sIdx, dIdx, back)
+		}
+		return true
+	})
+	if len(seen) != 36 {
+		t.Fatalf("covered %d destination points", len(seen))
+	}
+}
+
+func TestMappingCardinalityMismatch(t *testing.T) {
+	src, _ := triangleAndRect(t)
+	rect := nest.MustNew([]string{"A"}, nest.L("x", "0", "A"))
+	dst := bind(t, rect, map[string]int64{"A": 35})
+	if _, err := NewMapping(src, dst); err == nil {
+		t.Error("mismatched cardinalities accepted")
+	}
+}
+
+func TestForEachPair(t *testing.T) {
+	src, dst := triangleAndRect(t)
+	m, err := NewMapping(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	prevDst := int64(-1)
+	err = m.ForEachPair(func(s, d []int64) bool {
+		n++
+		// destination visits in rank order: linearised rank = 6x+y+1.
+		lin := d[0]*6 + d[1]
+		if lin != prevDst+1 {
+			t.Fatalf("destination out of order: %v", d)
+		}
+		prevDst = lin
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 36 {
+		t.Fatalf("pairs = %d", n)
+	}
+}
+
+func TestFusedCoverage(t *testing.T) {
+	tri := nest.MustNew([]string{"N"}, nest.L("i", "0", "N-1"), nest.L("j", "i+1", "N"))
+	tetra := nest.MustNew([]string{"N"}, nest.L("i", "0", "N-1"), nest.L("j", "0", "i+1"), nest.L("k", "j", "i+1"))
+	rect := nest.MustNew([]string{"A"}, nest.L("x", "0", "A"))
+	b1 := bind(t, tri, map[string]int64{"N": 7})   // 21
+	b2 := bind(t, tetra, map[string]int64{"N": 5}) // 20
+	b3 := bind(t, rect, map[string]int64{"A": 13}) // 13
+	f, err := NewFused(b1, b2, b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Total() != 21+20+13 {
+		t.Fatalf("Total = %d", f.Total())
+	}
+	// Unrank every global rank; count per-part occurrences.
+	counts := map[string]int{}
+	idx := make([]int64, 3)
+	for pc := int64(1); pc <= f.Total(); pc++ {
+		part, err := f.Unrank(pc, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var key string
+		switch part {
+		case 0:
+			key = "tri:" + fmtTuple(idx[:2])
+		case 1:
+			key = "tetra:" + fmtTuple(idx[:3])
+		case 2:
+			key = "rect:" + fmtTuple(idx[:1])
+		}
+		counts[key]++
+	}
+	if len(counts) != 54 {
+		t.Fatalf("distinct tuples = %d", len(counts))
+	}
+	for k, c := range counts {
+		if c != 1 {
+			t.Fatalf("%s executed %d times", k, c)
+		}
+	}
+}
+
+func TestFusedForRangeMatchesUnrank(t *testing.T) {
+	tri := nest.MustNew([]string{"N"}, nest.L("i", "0", "N-1"), nest.L("j", "i+1", "N"))
+	rect := nest.MustNew([]string{"A"}, nest.L("x", "2", "A"))
+	b1 := bind(t, tri, map[string]int64{"N": 6})  // 15
+	b2 := bind(t, rect, map[string]int64{"A": 9}) // 7
+	f, err := NewFused(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunked traversal crossing the part boundary.
+	var got []string
+	for lo := int64(1); lo <= f.Total(); lo += 5 {
+		hi := lo + 4
+		if hi > f.Total() {
+			hi = f.Total()
+		}
+		if err := f.ForRange(lo, hi, func(part int, idx []int64) bool {
+			got = append(got, fmtTuple(append([]int64{int64(part)}, idx...)))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []string
+	idx := make([]int64, 2)
+	for pc := int64(1); pc <= f.Total(); pc++ {
+		part, err := f.Unrank(pc, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := 2
+		if part == 1 {
+			d = 1
+		}
+		want = append(want, fmtTuple(append([]int64{int64(part)}, idx[:d]...)))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %s vs %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFusedErrors(t *testing.T) {
+	if _, err := NewFused(); err == nil {
+		t.Error("empty fuse accepted")
+	}
+	tri := nest.MustNew([]string{"N"}, nest.L("i", "0", "N"))
+	b := bind(t, tri, map[string]int64{"N": 5})
+	f, _ := NewFused(b)
+	idx := make([]int64, 1)
+	if _, err := f.Unrank(0, idx); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, err := f.Unrank(6, idx); err == nil {
+		t.Error("rank beyond total accepted")
+	}
+	if err := f.ForRange(2, 99, func(int, []int64) bool { return true }); err == nil {
+		t.Error("out-of-range ForRange accepted")
+	}
+	if err := f.ForRange(5, 2, func(int, []int64) bool { return true }); err != nil {
+		t.Errorf("empty range errored: %v", err)
+	}
+}
+
+func fmtTuple(idx []int64) string {
+	s := ""
+	for _, v := range idx {
+		s += string(rune('a' + v%26)) // compact deterministic encoding for map keys
+	}
+	// Append the numbers to disambiguate beyond 26.
+	for _, v := range idx {
+		s += ":" + itoa(v)
+	}
+	return s
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}

@@ -1,0 +1,119 @@
+package roots
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// EvalFunc evaluates a compiled expression at a positional point.
+type EvalFunc func(vals []float64) complex128
+
+// Compile translates an expression tree into a closure evaluating it
+// with variable values supplied positionally in the given order. This is
+// the hot-path form used by the unranker: it avoids the per-call map
+// lookups of Expr.Eval (which remains available for tool-time root
+// selection and tests).
+func Compile(e Expr, vars []string) (EvalFunc, error) {
+	switch v := e.(type) {
+	case Num:
+		f, _ := v.Val.Float64()
+		c := complex(f, 0)
+		return func([]float64) complex128 { return c }, nil
+	case PolyExpr:
+		comp, err := v.P.Compile(vars)
+		if err != nil {
+			return nil, err
+		}
+		return func(vals []float64) complex128 {
+			return complex(comp.EvalFloat(vals), 0)
+		}, nil
+	case Add:
+		a, err := Compile(v.A, vars)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Compile(v.B, vars)
+		if err != nil {
+			return nil, err
+		}
+		return func(vals []float64) complex128 { return a(vals) + b(vals) }, nil
+	case Sub:
+		a, err := Compile(v.A, vars)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Compile(v.B, vars)
+		if err != nil {
+			return nil, err
+		}
+		return func(vals []float64) complex128 { return a(vals) - b(vals) }, nil
+	case Mul:
+		a, err := Compile(v.A, vars)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Compile(v.B, vars)
+		if err != nil {
+			return nil, err
+		}
+		return func(vals []float64) complex128 { return a(vals) * b(vals) }, nil
+	case Div:
+		a, err := Compile(v.A, vars)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Compile(v.B, vars)
+		if err != nil {
+			return nil, err
+		}
+		return func(vals []float64) complex128 { return a(vals) / b(vals) }, nil
+	case Neg:
+		a, err := Compile(v.A, vars)
+		if err != nil {
+			return nil, err
+		}
+		return func(vals []float64) complex128 { return -a(vals) }, nil
+	case Pow:
+		base, err := Compile(v.Base, vars)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case v.Den == 1 && v.Num >= 0:
+			n := v.Num
+			return func(vals []float64) complex128 {
+				b := base(vals)
+				r := complex(1, 0)
+				for i := 0; i < n; i++ {
+					r *= b
+				}
+				return r
+			}, nil
+		case v.Den == 1:
+			n := -v.Num
+			return func(vals []float64) complex128 {
+				b := base(vals)
+				r := complex(1, 0)
+				for i := 0; i < n; i++ {
+					r *= b
+				}
+				return 1 / r
+			}, nil
+		case v.Num == 1 && v.Den == 2:
+			return func(vals []float64) complex128 { return cmplx.Sqrt(base(vals)) }, nil
+		default:
+			exp := complex(float64(v.Num)/float64(v.Den), 0)
+			return func(vals []float64) complex128 { return cmplx.Pow(base(vals), exp) }, nil
+		}
+	}
+	return nil, fmt.Errorf("roots: cannot compile expression of type %T", e)
+}
+
+// MustCompile is Compile but panics on error.
+func MustCompile(e Expr, vars []string) EvalFunc {
+	f, err := Compile(e, vars)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,156 @@
+package roots
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/poly"
+)
+
+// TestCompileMatchesEval verifies the compiled evaluator agrees with the
+// interpreted Expr.Eval on the solver output for random polynomials of
+// every degree — this exercises every node kind the solvers emit
+// (Num, PolyExpr, Add, Sub, Mul, Div, Neg, Pow with integer and
+// fractional exponents).
+func TestCompileMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	vars := []string{"N", "pc"}
+	for trial := 0; trial < 300; trial++ {
+		deg := 1 + r.Intn(4)
+		coeffs := make([]*poly.Poly, deg+1)
+		for i := range coeffs {
+			// Mix constant and parameter-dependent coefficients.
+			c := poly.Int(int64(r.Intn(9) - 4))
+			if r.Intn(3) == 0 {
+				c = c.Add(poly.Var("N").ScaleInt(int64(r.Intn(3) - 1)))
+			}
+			coeffs[i] = c
+		}
+		if coeffs[deg].IsZero() {
+			coeffs[deg] = poly.Int(1)
+		}
+		// Inject pc into the constant term, as recovery equations do.
+		coeffs[0] = coeffs[0].Sub(poly.Var("pc"))
+		exprs, err := Solve(coeffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := map[string]float64{
+			"N":  float64(r.Intn(20) + 2),
+			"pc": float64(r.Intn(100) + 1),
+		}
+		vals := []float64{env["N"], env["pc"]}
+		for k, e := range exprs {
+			fn, err := Compile(e, vars)
+			if err != nil {
+				t.Fatalf("Compile root %d: %v", k, err)
+			}
+			a := e.Eval(env)
+			b := fn(vals)
+			if cmplx.IsNaN(a) && cmplx.IsNaN(b) {
+				continue
+			}
+			if cmplx.IsInf(a) && cmplx.IsInf(b) {
+				continue
+			}
+			if d := cmplx.Abs(a - b); d > 1e-9*(1+cmplx.Abs(a)) {
+				t.Fatalf("trial %d root %d: interpreted %v vs compiled %v", trial, k, a, b)
+			}
+		}
+	}
+}
+
+func TestCompileIntegerPowers(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want complex128
+	}{
+		{Pow{Base: NumInt(3), Num: 4, Den: 1}, 81},
+		{Pow{Base: NumInt(2), Num: -2, Den: 1}, 0.25},
+		{Pow{Base: NumInt(8), Num: 1, Den: 3}, 2},
+		{Pow{Base: NumInt(16), Num: 3, Den: 4}, 8},
+		{Sqrt(NumInt(-4)), complex(0, 2)},
+	}
+	for _, c := range cases {
+		fn, err := Compile(c.e, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fn(nil); cmplx.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Compile(%s) = %v, want %v", String(c.e), got, c.want)
+		}
+	}
+}
+
+func TestCompileErrorsAndMust(t *testing.T) {
+	// A polynomial with a variable outside the order fails to compile.
+	e := P(poly.Var("z"))
+	if _, err := Compile(e, []string{"x"}); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic")
+		}
+	}()
+	MustCompile(e, []string{"x"})
+}
+
+func TestQuarticPrinting(t *testing.T) {
+	// Quartic root expressions exercise the remaining printers (nested
+	// Pow, Div by non-constant, Neg chains) in all three dialects.
+	coeffs := []*poly.Poly{
+		poly.MustParse("1 - pc"), poly.Int(2), poly.Int(1), poly.Int(1), poly.Rat(1, 4),
+	}
+	exprs, err := Solve(coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exprs {
+		if String(e) == "" || CString(e) == "" || GoString(e) == "" {
+			t.Fatal("empty rendering")
+		}
+	}
+	// Non-constant leading coefficient forces Div nodes.
+	coeffsNC := []*poly.Poly{
+		poly.MustParse("-pc"), poly.Int(1), poly.Int(0), poly.Int(0), poly.Var("N"),
+	}
+	exprsNC, err := Solve(coeffsNC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exprsNC {
+		fn, err := Compile(e, []string{"N", "pc"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := fn([]float64{2, 5})
+		// residual check: N*x^4 + x - pc = 0 with N=2, pc=5
+		res := 2*x*x*x*x + x - 5
+		if !cmplx.IsNaN(x) && cmplx.Abs(res) > 1e-6 {
+			t.Errorf("root %v residual %v", x, res)
+		}
+	}
+}
+
+func TestCubicNonConstantLeading(t *testing.T) {
+	// N·x³ − pc = 0 exercises the Div-by-polynomial path of the cubic.
+	coeffs := []*poly.Poly{
+		poly.MustParse("-pc"), poly.Int(0), poly.Int(0), poly.Var("N"),
+	}
+	exprs, err := Solve(coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range exprs {
+		x := e.Eval(map[string]float64{"N": 2, "pc": 16}) // x³ = 8 -> 2
+		if cmplx.Abs(x-2) < 1e-9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("real cube root 2 not among candidates")
+	}
+}

@@ -1,0 +1,275 @@
+package roots
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/poly"
+)
+
+// Solve returns the symbolic roots of the univariate polynomial equation
+//
+//	coeffs[0] + coeffs[1]·x + … + coeffs[d]·x^d = 0
+//
+// whose coefficients are multivariate polynomials in parameters and other
+// (already recovered) indices. The degree d = len(coeffs)-1 must be
+// between 1 and 4 after trimming zero leading coefficients (paper §IV.B:
+// only equations of degree at most 4 are solvable by radicals).
+//
+// The returned expressions use the principal branches of complex sqrt and
+// cbrt; evaluating a root may pass through complex intermediates even
+// when the value is real (paper §IV.C). The k-th returned root
+// corresponds to a fixed branch choice, so the "convenient" root selected
+// at tool time keeps its index at run time (paper §IV.D).
+func Solve(coeffs []*poly.Poly) ([]Expr, error) {
+	// Trim zero high-order coefficients.
+	d := len(coeffs) - 1
+	for d > 0 && coeffs[d].IsZero() {
+		d--
+	}
+	switch d {
+	case 1:
+		return solveLinear(coeffs[0], coeffs[1]), nil
+	case 2:
+		return solveQuadratic(coeffs[0], coeffs[1], coeffs[2]), nil
+	case 3:
+		return solveCubic(coeffs[0], coeffs[1], coeffs[2], coeffs[3]), nil
+	case 4:
+		return solveQuartic(coeffs[0], coeffs[1], coeffs[2], coeffs[3], coeffs[4]), nil
+	case 0:
+		return nil, fmt.Errorf("roots: equation of degree 0 has no roots")
+	default:
+		return nil, fmt.Errorf("roots: degree %d not solvable by radicals (max 4)", d)
+	}
+}
+
+func half() *big.Rat { return big.NewRat(1, 2) }
+
+// mulConst multiplies an expression by a rational constant, folding the
+// ±1 cases for readable output.
+func mulConst(e Expr, c *big.Rat) Expr {
+	one := big.NewRat(1, 1)
+	switch {
+	case c.Cmp(one) == 0:
+		return e
+	case new(big.Rat).Neg(c).Cmp(one) == 0:
+		return Neg{A: e}
+	case c.Sign() < 0:
+		return Neg{A: Mul{A: e, B: Num{Val: new(big.Rat).Abs(c)}}}
+	default:
+		return Mul{A: e, B: Num{Val: new(big.Rat).Set(c)}}
+	}
+}
+
+// solveLinear: a1·x + a0 = 0  →  x = -a0/a1.
+func solveLinear(a0, a1 *poly.Poly) []Expr {
+	if a1.IsConst() {
+		// Fold the division into the polynomial for a cleaner formula.
+		inv := new(big.Rat).Inv(a1.ConstValue())
+		return []Expr{P(a0.Neg().Scale(inv))}
+	}
+	return []Expr{Div{A: P(a0.Neg()), B: P(a1)}}
+}
+
+// solveQuadratic: a·x² + b·x + c = 0 →  x = (-b ± sqrt(b²-4ac)) / (2a).
+// Roots are ordered [-, +] on the sign of the radical.
+func solveQuadratic(c, b, a *poly.Poly) []Expr {
+	disc := b.Mul(b).Sub(a.Mul(c).ScaleInt(4)) // b² - 4ac, a polynomial
+	twoA := a.ScaleInt(2)
+	mk := func(plus bool) Expr {
+		var num Expr
+		if plus {
+			num = Add{A: P(b.Neg()), B: Sqrt(P(disc))}
+		} else {
+			num = Sub{A: P(b.Neg()), B: Sqrt(P(disc))}
+		}
+		if twoA.IsConst() {
+			return mulConst(num, new(big.Rat).Inv(twoA.ConstValue()))
+		}
+		return Div{A: num, B: P(twoA)}
+	}
+	return []Expr{mk(false), mk(true)}
+}
+
+// xi returns the primitive cube root of unity ξ = (-1 + sqrt(-3))/2 as an
+// expression, and its square for k=2. k must be 0, 1 or 2.
+func xi(k int) Expr {
+	switch k {
+	case 0:
+		return NumInt(1)
+	case 1:
+		return Mul{A: Add{A: NumInt(-1), B: Sqrt(P(poly.Int(-3)))}, B: Num{Val: half()}}
+	case 2:
+		return Mul{A: Sub{A: NumInt(-1), B: Sqrt(P(poly.Int(-3)))}, B: Num{Val: half()}}
+	}
+	panic("roots: bad cube-root-of-unity index")
+}
+
+// mulUnity multiplies e by ξ^k, folding the k = 0 case.
+func mulUnity(k int, e Expr) Expr {
+	if k == 0 {
+		return e
+	}
+	return Mul{A: xi(k), B: e}
+}
+
+// solveCubic implements Cardano's method in its general complex form:
+// for a·x³ + b·x² + c·x + d = 0,
+//
+//	Δ0 = b² - 3ac
+//	Δ1 = 2b³ - 9abc + 27a²d
+//	C  = cbrt((Δ1 + sqrt(Δ1² - 4Δ0³)) / 2)
+//	x_k = -(b + ξ^k·C + Δ0/(ξ^k·C)) / (3a),  k = 0,1,2
+//
+// The k-th root uses a fixed branch, so root identity is stable in pc
+// (paper §IV.D). When C evaluates to 0 (triple root), the division yields
+// NaN; callers fall back to exact search.
+func solveCubic(d, c, b, a *poly.Poly) []Expr {
+	delta0 := b.Mul(b).Sub(a.Mul(c).ScaleInt(3))
+	delta1 := b.Mul(b).Mul(b).ScaleInt(2).
+		Sub(a.Mul(b).Mul(c).ScaleInt(9)).
+		Add(a.Mul(a).Mul(d).ScaleInt(27))
+	threeA := a.ScaleInt(3)
+	finish := func(num Expr) Expr {
+		if threeA.IsConst() {
+			return Neg{A: mulConst(num, new(big.Rat).Inv(threeA.ConstValue()))}
+		}
+		return Neg{A: Div{A: num, B: P(threeA)}}
+	}
+	if delta0.IsZero() {
+		// Degenerate case Δ0 ≡ 0 (e.g. depressed cubics x³ = t): the
+		// general formula would divide by C, which vanishes on one
+		// branch; here C = cbrt(Δ1) and x_k = -(b + ξ^k·C)/(3a).
+		C := Cbrt(P(delta1))
+		out := make([]Expr, 3)
+		for k := 0; k < 3; k++ {
+			out[k] = finish(Add{A: P(b), B: mulUnity(k, C)})
+		}
+		return out
+	}
+	inner := delta1.Mul(delta1).Sub(delta0.PowInt(3).ScaleInt(4)) // Δ1² - 4Δ0³
+	C := Cbrt(Mul{
+		A: Add{A: P(delta1), B: Sqrt(P(inner))},
+		B: Num{Val: half()},
+	})
+	out := make([]Expr, 3)
+	for k := 0; k < 3; k++ {
+		xkC := mulUnity(k, C)
+		out[k] = finish(Add{A: P(b), B: Add{A: xkC, B: Div{A: P(delta0), B: xkC}}})
+	}
+	return out
+}
+
+// solveQuartic implements Ferrari's method via the resolvent cubic:
+// for a·x⁴ + b·x³ + c·x² + d·x + e = 0,
+//
+//	p  = (8ac - 3b²) / (8a²)
+//	q  = (b³ - 4abc + 8a²d) / (8a³)
+//	Δ0 = c² - 3bd + 12ae
+//	Δ1 = 2c³ - 9bcd + 27b²e + 27ad² - 72ace
+//	Q  = cbrt((Δ1 + sqrt(Δ1² - 4Δ0³)) / 2)
+//	S  = (1/2)·sqrt(-2p/3 + (Q + Δ0/Q) / (3a))
+//	x  = -b/(4a) + s1·S + s2·(1/2)·sqrt(-4S² - 2p - s1·q/S)
+//
+// with the four sign patterns (s1, s2) ∈ {(-,-), (-,+), (+,-), (+,+)}.
+func solveQuartic(e, d, c, b, a *poly.Poly) []Expr {
+	a2 := a.Mul(a)
+	a3 := a2.Mul(a)
+	pNum := a.Mul(c).ScaleInt(8).Sub(b.Mul(b).ScaleInt(3))
+	qNum := b.Mul(b).Mul(b).
+		Sub(a.Mul(b).Mul(c).ScaleInt(4)).
+		Add(a2.Mul(d).ScaleInt(8))
+	var pE, qE Expr
+	if a.IsConst() {
+		pE = P(pNum.Scale(new(big.Rat).Inv(a2.ScaleInt(8).ConstValue())))
+		qE = P(qNum.Scale(new(big.Rat).Inv(a3.ScaleInt(8).ConstValue())))
+	} else {
+		pE = Div{A: P(pNum), B: P(a2.ScaleInt(8))}
+		qE = Div{A: P(qNum), B: P(a3.ScaleInt(8))}
+	}
+	if qNum.IsZero() {
+		// Biquadratic case: the depressed quartic t⁴ + p·t² + r = 0 (with
+		// x = t - b/(4a)) is quadratic in t². Ferrari's S would be the
+		// zero resolvent root here, making q/S ill-defined, so solve
+		// directly: t = s1·sqrt((-p + s2·sqrt(p² - 4r)) / 2).
+		rNum := b.PowInt(4).ScaleInt(-3).
+			Add(a3.Mul(e).ScaleInt(256)).
+			Sub(a2.Mul(b).Mul(d).ScaleInt(64)).
+			Add(a.Mul(b).Mul(b).Mul(c).ScaleInt(16))
+		var rE Expr
+		if a.IsConst() {
+			rE = P(rNum.Scale(new(big.Rat).Inv(a2.Mul(a2).ScaleInt(256).ConstValue())))
+		} else {
+			rE = Div{A: P(rNum), B: P(a2.Mul(a2).ScaleInt(256))}
+		}
+		var shift Expr
+		if a.IsConst() {
+			shift = P(b.Neg().Scale(new(big.Rat).Inv(a.ScaleInt(4).ConstValue())))
+		} else {
+			shift = Div{A: P(b.Neg()), B: P(a.ScaleInt(4))}
+		}
+		discE := Sub{A: Mul{A: pE, B: pE}, B: Mul{A: NumInt(4), B: rE}}
+		out := make([]Expr, 0, 4)
+		for _, s2 := range []int{-1, +1} {
+			var inner Expr
+			if s2 > 0 {
+				inner = Add{A: Neg{A: pE}, B: Sqrt(discE)}
+			} else {
+				inner = Sub{A: Neg{A: pE}, B: Sqrt(discE)}
+			}
+			tAbs := Sqrt(Mul{A: Num{Val: half()}, B: inner})
+			for _, s1 := range []int{-1, +1} {
+				var tTerm Expr = tAbs
+				if s1 < 0 {
+					tTerm = Neg{A: tAbs}
+				}
+				out = append(out, Add{A: shift, B: tTerm})
+			}
+		}
+		return out
+	}
+	delta0 := c.Mul(c).Sub(b.Mul(d).ScaleInt(3)).Add(a.Mul(e).ScaleInt(12))
+	delta1 := c.PowInt(3).ScaleInt(2).
+		Sub(b.Mul(c).Mul(d).ScaleInt(9)).
+		Add(b.Mul(b).Mul(e).ScaleInt(27)).
+		Add(a.Mul(d).Mul(d).ScaleInt(27)).
+		Sub(a.Mul(c).Mul(e).ScaleInt(72))
+	inner := delta1.Mul(delta1).Sub(delta0.PowInt(3).ScaleInt(4))
+	Q := Cbrt(Mul{A: Add{A: P(delta1), B: Sqrt(P(inner))}, B: Num{Val: half()}})
+	var qPlus Expr = Div{A: Add{A: Q, B: Div{A: P(delta0), B: Q}}, B: P(a.ScaleInt(3))}
+	S := Mul{
+		A: Num{Val: half()},
+		B: Sqrt(Add{
+			A: Mul{A: NumRat(-2, 3), B: pE},
+			B: qPlus,
+		}),
+	}
+	var minusB4a Expr
+	if a.IsConst() {
+		minusB4a = P(b.Neg().Scale(new(big.Rat).Inv(a.ScaleInt(4).ConstValue())))
+	} else {
+		minusB4a = Div{A: P(b.Neg()), B: P(a.ScaleInt(4))}
+	}
+	root := func(s1, s2 int) Expr {
+		// inner radical: -4S² - 2p - s1·q/S
+		fourS2 := Mul{A: NumInt(4), B: Mul{A: S, B: S}}
+		qOverS := Div{A: qE, B: S}
+		var tail Expr
+		if s1 > 0 {
+			tail = Sub{A: Neg{A: Add{A: fourS2, B: Mul{A: NumInt(2), B: pE}}}, B: qOverS}
+		} else {
+			tail = Add{A: Neg{A: Add{A: fourS2, B: Mul{A: NumInt(2), B: pE}}}, B: qOverS}
+		}
+		rad := Mul{A: Num{Val: half()}, B: Sqrt(tail)}
+		var sTerm Expr = S
+		if s1 < 0 {
+			sTerm = Neg{A: S}
+		}
+		var last Expr = rad
+		if s2 < 0 {
+			last = Neg{A: rad}
+		}
+		return Add{A: Add{A: minusB4a, B: sTerm}, B: last}
+	}
+	return []Expr{root(-1, -1), root(-1, +1), root(+1, -1), root(+1, +1)}
+}

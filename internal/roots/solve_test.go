@@ -1,0 +1,334 @@
+package roots
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/poly"
+)
+
+// residual evaluates |p(x)| for the univariate polynomial with constant
+// coefficients cs (low power first) at the complex point x.
+func residual(cs []float64, x complex128) float64 {
+	sum := complex(0, 0)
+	xp := complex(1, 0)
+	for _, c := range cs {
+		sum += complex(c, 0) * xp
+		xp *= x
+	}
+	return cmplx.Abs(sum)
+}
+
+// scale returns a magnitude reference for relative error.
+func scale(cs []float64, x complex128) float64 {
+	s := 1.0
+	xp := 1.0
+	ax := cmplx.Abs(x)
+	for _, c := range cs {
+		if v := math.Abs(c) * xp; v > s {
+			s = v
+		}
+		xp *= ax
+	}
+	return s
+}
+
+func checkAllRoots(t *testing.T, cs []float64) {
+	t.Helper()
+	polys := make([]*poly.Poly, len(cs))
+	for i, c := range cs {
+		// Coefficients in tests are small rationals scaled by 8.
+		polys[i] = poly.Rat(int64(math.Round(c*8)), 8)
+	}
+	exprs, err := Solve(polys)
+	if err != nil {
+		t.Fatalf("Solve(%v): %v", cs, err)
+	}
+	deg := len(cs) - 1
+	for deg > 0 && cs[deg] == 0 {
+		deg--
+	}
+	if len(exprs) != deg {
+		t.Fatalf("Solve(%v) returned %d roots, want %d", cs, len(exprs), deg)
+	}
+	env := map[string]float64{}
+	for k, e := range exprs {
+		x := e.Eval(env)
+		if cmplx.IsNaN(x) || cmplx.IsInf(x) {
+			// Degenerate branch (e.g. Cardano C = 0); acceptable, the
+			// library falls back to exact search in that case.
+			continue
+		}
+		if r := residual(cs, x) / scale(cs, x); r > 1e-7 {
+			t.Errorf("coeffs %v root %d = %v: relative residual %g", cs, k, x, r)
+		}
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	checkAllRoots(t, []float64{-6, 2}) // x = 3
+	exprs, err := Solve([]*poly.Poly{poly.MustParse("-2*N"), poly.Int(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exprs[0].Eval(map[string]float64{"N": 10}); cmplx.Abs(got-5) > 1e-12 {
+		t.Errorf("linear root = %v, want 5", got)
+	}
+}
+
+func TestSolveQuadraticKnown(t *testing.T) {
+	// x² - 5x + 6 = 0 → roots 2, 3; branch order [-, +].
+	exprs, err := Solve([]*poly.Poly{poly.Int(6), poly.Int(-5), poly.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := exprs[0].Eval(nil)
+	r1 := exprs[1].Eval(nil)
+	if cmplx.Abs(r0-2) > 1e-12 || cmplx.Abs(r1-3) > 1e-12 {
+		t.Errorf("roots = %v, %v; want 2, 3", r0, r1)
+	}
+}
+
+func TestSolveQuadraticComplex(t *testing.T) {
+	// x² + 1 = 0 → ±i.
+	exprs, err := Solve([]*poly.Poly{poly.Int(1), poly.Int(0), poly.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exprs[1].Eval(nil); cmplx.Abs(got-complex(0, 1)) > 1e-12 {
+		t.Errorf("root = %v, want i", got)
+	}
+}
+
+func TestSolveCubicKnown(t *testing.T) {
+	// (x-1)(x-2)(x-3) = x³ - 6x² + 11x - 6.
+	cs := []float64{-6, 11, -6, 1}
+	checkAllRoots(t, cs)
+	// All three real roots must be produced (in some branch order).
+	exprs, _ := Solve([]*poly.Poly{poly.Int(-6), poly.Int(11), poly.Int(-6), poly.Int(1)})
+	found := map[int]bool{}
+	for _, e := range exprs {
+		x := e.Eval(nil)
+		if math.Abs(imag(x)) > 1e-9 {
+			t.Errorf("unexpected complex root %v", x)
+		}
+		found[int(math.Round(real(x)))] = true
+	}
+	for _, want := range []int{1, 2, 3} {
+		if !found[want] {
+			t.Errorf("root %d not found (got %v)", want, found)
+		}
+	}
+}
+
+func TestSolveQuarticKnown(t *testing.T) {
+	// (x-1)(x-2)(x-3)(x-4) = x⁴ -10x³ +35x² -50x +24.
+	cs := []float64{24, -50, 35, -10, 1}
+	checkAllRoots(t, cs)
+	exprs, _ := Solve([]*poly.Poly{
+		poly.Int(24), poly.Int(-50), poly.Int(35), poly.Int(-10), poly.Int(1)})
+	found := map[int]bool{}
+	for _, e := range exprs {
+		x := e.Eval(nil)
+		if math.Abs(imag(x)) > 1e-7 {
+			t.Errorf("unexpected complex root %v", x)
+			continue
+		}
+		found[int(math.Round(real(x)))] = true
+	}
+	for _, want := range []int{1, 2, 3, 4} {
+		if !found[want] {
+			t.Errorf("root %d not found (got %v)", want, found)
+		}
+	}
+}
+
+func TestSolveRandomResiduals(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 400; trial++ {
+		deg := 1 + r.Intn(4)
+		cs := make([]float64, deg+1)
+		for i := range cs {
+			cs[i] = float64(r.Intn(17)-8) / 2
+		}
+		if cs[deg] == 0 {
+			cs[deg] = 1
+		}
+		checkAllRoots(t, cs)
+	}
+}
+
+func TestSolveDegreeErrors(t *testing.T) {
+	if _, err := Solve([]*poly.Poly{poly.Int(1)}); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := Solve([]*poly.Poly{poly.Int(1), poly.Int(0), poly.Int(0)}); err == nil {
+		t.Error("degenerate degree 0 accepted")
+	}
+	five := []*poly.Poly{poly.Int(1), poly.Int(1), poly.Int(1), poly.Int(1), poly.Int(1), poly.Int(1)}
+	if _, err := Solve(five); err == nil {
+		t.Error("degree 5 accepted")
+	}
+	// Leading zeros trimmed: cubic written with zero quartic coefficient.
+	exprs, err := Solve([]*poly.Poly{poly.Int(-6), poly.Int(11), poly.Int(-6), poly.Int(1), poly.Int(0)})
+	if err != nil || len(exprs) != 3 {
+		t.Errorf("trimmed solve: %d roots, err %v", len(exprs), err)
+	}
+}
+
+// The paper's correlation recovery (§II, §IV.A): solving
+// r(i, i+1) - pc = 0 with r(i,j) = (2iN+2j-i²-3i)/2 gives
+// i = (-(sqrt(4N²-4N-8pc+9) - 2N + 1))/2 as the convenient root.
+func TestPaperCorrelationQuadratic(t *testing.T) {
+	rp := poly.MustParse("(2*i*N + 2*j - i^2 - 3*i)/2")
+	eq := rp.Subst("j", poly.MustParse("i+1")).Sub(poly.Var("pc"))
+	coeffs := eq.UnivariateIn("i")
+	exprs, err := Solve(coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exprs) != 2 {
+		t.Fatalf("want 2 roots, got %d", len(exprs))
+	}
+	N := 10.0
+	// Paper: the convenient root satisfies floor(x(1)) = 0 and the other
+	// evaluates to 2N-1 at pc=1.
+	vals := make([]float64, 2)
+	for k, e := range exprs {
+		x := e.Eval(map[string]float64{"N": N, "pc": 1})
+		if math.Abs(imag(x)) > 1e-9 {
+			t.Fatalf("root %d complex at pc=1: %v", k, x)
+		}
+		vals[k] = real(x)
+	}
+	// One root is 0, the other 2N-1 = 19.
+	if !((math.Abs(vals[0]) < 1e-9 && math.Abs(vals[1]-19) < 1e-9) ||
+		(math.Abs(vals[1]) < 1e-9 && math.Abs(vals[0]-19) < 1e-9)) {
+		t.Errorf("roots at pc=1: %v, want {0, 19}", vals)
+	}
+	// Mid-domain check: pc = rank of (i=3, j=5) with N=10 is r(3,5)=29;
+	// solving r(i, i+1)=29 then flooring must give i=3.
+	for _, e := range exprs {
+		x := e.Eval(map[string]float64{"N": N, "pc": 29})
+		if math.Abs(imag(x)) < 1e-9 && math.Floor(real(x)) == 3 {
+			return
+		}
+	}
+	t.Error("no root recovered i=3 for pc=29")
+}
+
+// The paper's tetrahedral cubic (§IV.C): solving r(i,0,0) - pc = 0 with
+// r = (6k-3j²+6ij+3j+i³+3i²+2i+6)/6. At pc=1 the convenient root passes
+// through complex intermediates (sqrt of a negative number) but evaluates
+// to 0+0i.
+func TestPaperTetraCubicComplexIntermediate(t *testing.T) {
+	rp := poly.MustParse("(6*k - 3*j^2 + 6*i*j + 3*j + i^3 + 3*i^2 + 2*i + 6)/6")
+	eq := rp.Subst("j", poly.Int(0)).Subst("k", poly.Int(0)).Sub(poly.Var("pc"))
+	coeffs := eq.UnivariateIn("i")
+	exprs, err := Solve(coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exprs) != 3 {
+		t.Fatalf("want 3 roots, got %d", len(exprs))
+	}
+	// Paper: at pc=1 the discriminant inner value 243·1-486+242 = -1 < 0,
+	// yet the convenient root evaluates to 0 + 0i.
+	okAt1 := false
+	for _, e := range exprs {
+		x := e.Eval(map[string]float64{"pc": 1})
+		if cmplx.Abs(x) < 1e-9 {
+			okAt1 = true
+		}
+	}
+	if !okAt1 {
+		t.Error("no root evaluates to 0 at pc=1")
+	}
+	// For larger pc the convenient root must floor to the correct i:
+	// with N large, rank of first iteration of i=I is r(I,0,0) =
+	// (I³+3I²+2I+6)/6.
+	for _, I := range []float64{1, 2, 5, 9} {
+		pc := (I*I*I + 3*I*I + 2*I + 6) / 6
+		hit := false
+		for _, e := range exprs {
+			x := e.Eval(map[string]float64{"pc": pc})
+			if math.Abs(imag(x)) < 1e-6 && math.Abs(real(x)-I) < 1e-6 {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("no root equals %g at pc=%g", I, pc)
+		}
+	}
+}
+
+func TestExprPrinting(t *testing.T) {
+	rp := poly.MustParse("(2*i*N + 2*j - i^2 - 3*i)/2")
+	eq := rp.Subst("j", poly.MustParse("i+1")).Sub(poly.Var("pc"))
+	exprs, err := Solve(eq.UnivariateIn("i"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := String(exprs[0])
+	if !strings.Contains(s, "sqrt(") {
+		t.Errorf("math rendering lacks sqrt: %s", s)
+	}
+	c := CString(exprs[0])
+	if !strings.Contains(c, "csqrt(") {
+		t.Errorf("C rendering lacks csqrt: %s", c)
+	}
+	g := GoString(exprs[0])
+	if !strings.Contains(g, "cmplx.Sqrt(") {
+		t.Errorf("Go rendering lacks cmplx.Sqrt: %s", g)
+	}
+	// Cube roots must render via cpow in C (paper Fig. 7 uses cpow).
+	rp3 := poly.MustParse("(6*k - 3*j^2 + 6*i*j + 3*j + i^3 + 3*i^2 + 2*i + 6)/6")
+	eq3 := rp3.Subst("j", poly.Int(0)).Subst("k", poly.Int(0)).Sub(poly.Var("pc"))
+	exprs3, err := Solve(eq3.UnivariateIn("i"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3 := CString(exprs3[0])
+	if !strings.Contains(c3, "cpow(") {
+		t.Errorf("C rendering of cubic lacks cpow: %s", c3)
+	}
+	if !strings.Contains(GoString(exprs3[0]), "cmplx.Pow(") {
+		t.Errorf("Go rendering of cubic lacks cmplx.Pow")
+	}
+}
+
+func TestPolyToCodeRendering(t *testing.T) {
+	p := poly.MustParse("i^2/2 - 3*i + N - 1/4")
+	got := polyToCode(p, dialectC)
+	want := "1.0/2.0*i*i + N - 3*i - 1.0/4.0"
+	if got != want {
+		t.Errorf("polyToCode = %q, want %q", got, want)
+	}
+	if polyToCode(poly.Zero(), dialectC) != "0" {
+		t.Error("zero polynomial rendering")
+	}
+	if polyToCode(poly.Int(-7), dialectGo) != "-7" {
+		t.Errorf("constant rendering: %q", polyToCode(poly.Int(-7), dialectGo))
+	}
+}
+
+func TestPowIntegerEval(t *testing.T) {
+	e := Pow{Base: NumInt(3), Num: 4, Den: 1}
+	if got := e.Eval(nil); got != 81 {
+		t.Errorf("3^4 = %v", got)
+	}
+	inv := Pow{Base: NumInt(2), Num: -2, Den: 1}
+	if got := inv.Eval(nil); cmplx.Abs(got-0.25) > 1e-15 {
+		t.Errorf("2^-2 = %v", got)
+	}
+}
+
+func TestEvalUnboundVarIsNaN(t *testing.T) {
+	e := P(poly.Var("z"))
+	if x := e.Eval(map[string]float64{}); !cmplx.IsNaN(x) {
+		t.Errorf("unbound variable evaluated to %v", x)
+	}
+}

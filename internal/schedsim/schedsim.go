@@ -1,0 +1,258 @@
+// Package schedsim is a discrete-event simulator of OpenMP worksharing
+// schedules. Given the work duration of each scheduling unit (an outer
+// loop iteration, or one collapsed iteration), it computes the makespan —
+// the finishing time of the slowest thread — under the static,
+// static-chunked, dynamic and guided schedules, including per-chunk
+// overheads (dynamic dequeue cost, collapsed-loop index-recovery cost).
+//
+// The simulator substitutes for the paper's 12-core AMD Opteron (§VII):
+// the load-(im)balance phenomena in Figs. 2 and 9 are properties of the
+// schedule and of the exact per-unit work — which this repository
+// computes from its own Ehrhart trip counts — not of a particular
+// machine. Costs are calibrated from serial measurements, so simulated
+// gains preserve the paper's shape on any host, including single-core CI.
+package schedsim
+
+import "fmt"
+
+// LowerBound returns the trivial makespan lower bound
+// max(total/P, max unit).
+func LowerBound(work []float64, threads int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	var total, maxW float64
+	for _, w := range work {
+		total += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if avg := total / float64(threads); avg > maxW {
+		return avg
+	}
+	return maxW
+}
+
+// Total returns the sum of all unit durations (the serial time).
+func Total(work []float64) float64 {
+	var t float64
+	for _, w := range work {
+		t += w
+	}
+	return t
+}
+
+// StaticLoads returns the per-thread load under schedule(static): the
+// range is split into one contiguous block per thread with near-equal
+// iteration counts (the first len(work)%threads blocks get one extra).
+// This is the distribution of the paper's Fig. 2.
+func StaticLoads(work []float64, threads int) []float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	loads := make([]float64, threads)
+	n := int64(len(work))
+	base := n / int64(threads)
+	rem := n % int64(threads)
+	var start int64
+	for t := 0; t < threads; t++ {
+		size := base
+		if int64(t) < rem {
+			size++
+		}
+		for i := start; i < start+size; i++ {
+			loads[t] += work[i]
+		}
+		start += size
+	}
+	return loads
+}
+
+// Static returns the makespan under schedule(static), adding
+// perChunkOverhead once per non-empty thread block (for collapsed loops
+// this models the single costly index recovery of §V).
+func Static(work []float64, threads int, perChunkOverhead float64) float64 {
+	loads := StaticLoads(work, threads)
+	n := int64(len(work))
+	base := n / int64(threads)
+	rem := n % int64(threads)
+	var ms float64
+	for t, l := range loads {
+		size := base
+		if int64(t) < rem {
+			size++
+		}
+		if size > 0 {
+			l += perChunkOverhead
+		}
+		if l > ms {
+			ms = l
+		}
+	}
+	return ms
+}
+
+// StaticChunk returns the makespan under schedule(static, chunk): chunks
+// of the given size are assigned round-robin; perChunkOverhead is paid at
+// the start of every chunk.
+func StaticChunk(work []float64, threads int, chunk int, perChunkOverhead float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	loads := make([]float64, threads)
+	for c, t := 0, 0; c < len(work); c, t = c+chunk, (t+1)%threads {
+		end := c + chunk
+		if end > len(work) {
+			end = len(work)
+		}
+		loads[t] += perChunkOverhead
+		for i := c; i < end; i++ {
+			loads[t] += work[i]
+		}
+	}
+	var ms float64
+	for _, l := range loads {
+		if l > ms {
+			ms = l
+		}
+	}
+	return ms
+}
+
+// Dynamic returns the makespan under schedule(dynamic, chunk): a greedy
+// list schedule in which the earliest-available thread takes the next
+// chunk, paying perDequeue overhead per grab. This models the runtime
+// cost the paper attributes to dynamic scheduling (§I, §II).
+func Dynamic(work []float64, threads int, chunk int, perDequeue float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	avail := make([]float64, threads)
+	for c := 0; c < len(work); c += chunk {
+		end := c + chunk
+		if end > len(work) {
+			end = len(work)
+		}
+		var cw float64
+		for i := c; i < end; i++ {
+			cw += work[i]
+		}
+		// earliest-available thread
+		t := 0
+		for q := 1; q < threads; q++ {
+			if avail[q] < avail[t] {
+				t = q
+			}
+		}
+		avail[t] += perDequeue + cw
+	}
+	var ms float64
+	for _, a := range avail {
+		if a > ms {
+			ms = a
+		}
+	}
+	return ms
+}
+
+// Guided returns the makespan under schedule(guided, minChunk): chunk
+// sizes start at remaining/threads and decay, bounded below by minChunk;
+// each grab costs perDequeue.
+func Guided(work []float64, threads int, minChunk int, perDequeue float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	avail := make([]float64, threads)
+	for c := 0; c < len(work); {
+		remaining := len(work) - c
+		size := remaining / threads
+		if size < minChunk {
+			size = minChunk
+		}
+		if size > remaining {
+			size = remaining
+		}
+		var cw float64
+		for i := c; i < c+size; i++ {
+			cw += work[i]
+		}
+		t := 0
+		for q := 1; q < threads; q++ {
+			if avail[q] < avail[t] {
+				t = q
+			}
+		}
+		avail[t] += perDequeue + cw
+		c += size
+	}
+	var ms float64
+	for _, a := range avail {
+		if a > ms {
+			ms = a
+		}
+	}
+	return ms
+}
+
+// UniformStatic is Static for n identical units of duration w, in closed
+// form; useful when collapsed iteration counts are in the millions.
+func UniformStatic(n int64, w float64, threads int, perChunkOverhead float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if n <= 0 {
+		return 0
+	}
+	maxUnits := (n + int64(threads) - 1) / int64(threads)
+	return float64(maxUnits)*w + perChunkOverhead
+}
+
+// Gain computes the paper's Fig. 9 metric:
+// (timeWithout − timeWith) / timeWithout.
+func Gain(timeWithout, timeWith float64) float64 {
+	if timeWithout <= 0 {
+		return 0
+	}
+	return (timeWithout - timeWith) / timeWithout
+}
+
+// FormatLoads renders per-thread loads as a small ASCII bar chart
+// (used by the Fig. 2 generator).
+func FormatLoads(loads []float64, width int) []string {
+	var maxL float64
+	for _, l := range loads {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	out := make([]string, len(loads))
+	for t, l := range loads {
+		bars := 0
+		if maxL > 0 {
+			bars = int(l / maxL * float64(width))
+		}
+		out[t] = fmt.Sprintf("thread %2d |%-*s| %.0f", t, width, repeat('#', bars), l)
+	}
+	return out
+}
+
+func repeat(ch byte, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ch
+	}
+	return string(b)
+}

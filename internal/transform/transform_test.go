@@ -1,0 +1,245 @@
+package transform
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/nest"
+	"repro/internal/nest/nesttest"
+)
+
+// checkBijection verifies that the transformed nest has the same number
+// of points as the original and that the Map sends its points exactly
+// onto the original points.
+func checkBijection(t *testing.T, tr *Transformed, params map[string]int64) {
+	t.Helper()
+	srcInst := tr.Source().MustBind(params)
+	dstInst := tr.Nest.MustBind(params)
+	if err := dstInst.CheckRegular(); err != nil {
+		t.Fatalf("transformed nest irregular: %v", err)
+	}
+	var want []string
+	srcInst.Enumerate(func(idx []int64) bool {
+		want = append(want, tupleKey(idx))
+		return true
+	})
+	m, err := tr.BindMap(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	buf := make([]int64, tr.Nest.Depth())
+	dstInst.Enumerate(func(idx []int64) bool {
+		m(idx, buf)
+		got = append(got, tupleKey(buf))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("point counts differ: %d vs %d", len(got), len(want))
+	}
+	sort.Strings(want)
+	sort.Strings(got)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("point sets differ at %d: %s vs %s", i, want[i], got[i])
+		}
+	}
+}
+
+func tupleKey(idx []int64) string {
+	s := ""
+	for _, v := range idx {
+		s += "," + itoa(v)
+	}
+	return s
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+func correlationNest() *nest.Nest {
+	return nest.MustNew([]string{"N"}, nest.L("i", "0", "N-1"), nest.L("j", "i+1", "N"))
+}
+
+func TestNormalizeCorrelation(t *testing.T) {
+	tr, err := Normalize(correlationNest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j' = j - (i+1): bounds become 0 .. N-1-i.
+	if got := tr.Nest.Loops[1].Lower.String(); got != "0" {
+		t.Errorf("normalized lower = %s", got)
+	}
+	if got := tr.Nest.Loops[1].Upper.String(); got != "N - i - 1" {
+		t.Errorf("normalized upper = %s", got)
+	}
+	checkBijection(t, tr, map[string]int64{"N": 9})
+}
+
+func TestNormalizeRandomNests(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		n, params := nesttest.RandRegularNest(r)
+		tr, err := Normalize(n)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for k, l := range tr.Nest.Loops {
+			if !l.Lower.IsZero() {
+				t.Fatalf("trial %d: level %d lower = %s", trial, k, l.Lower)
+			}
+		}
+		checkBijection(t, tr, params)
+	}
+	n, params := nesttest.NonZeroLowerNest()
+	tr, err := Normalize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBijection(t, tr, params)
+}
+
+func TestSkewProducesRhomboid(t *testing.T) {
+	// Skewing the rectangle {i: 0..N, j: 0..M} by j' = j + i gives the
+	// rhomboid {i: 0..N, j': i..i+M}.
+	rect := nest.MustNew([]string{"N", "M"}, nest.L("i", "0", "N"), nest.L("j", "0", "M"))
+	tr, err := Skew(rect, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Nest.Loops[1].Lower.String(); got != "i" {
+		t.Errorf("skewed lower = %s", got)
+	}
+	if got := tr.Nest.Loops[1].Upper.String(); got != "M + i" {
+		t.Errorf("skewed upper = %s", got)
+	}
+	checkBijection(t, tr, map[string]int64{"N": 6, "M": 4})
+}
+
+func TestSkewDeeperBoundsSubstituted(t *testing.T) {
+	// 3-deep: k's bounds reference j; after skewing j they must
+	// reference j - i.
+	n := nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N"),
+		nest.L("j", "0", "N"),
+		nest.L("k", "j", "j+3"),
+	)
+	tr, err := Skew(n, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Nest.Loops[2].Lower.String(); got != "-i + j" && got != "j - i" {
+		t.Errorf("deep lower = %s", got)
+	}
+	checkBijection(t, tr, map[string]int64{"N": 5})
+}
+
+func TestSkewNegativeFactorAndErrors(t *testing.T) {
+	rhomb := nest.MustNew([]string{"N", "M"}, nest.L("i", "0", "N"), nest.L("j", "i", "i+M"))
+	// Unskew the rhomboid back to the rectangle.
+	tr, err := Skew(rhomb, 1, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Nest.Loops[1].Lower.String(); got != "0" {
+		t.Errorf("unskewed lower = %s", got)
+	}
+	checkBijection(t, tr, map[string]int64{"N": 5, "M": 3})
+
+	if _, err := Skew(rhomb, 0, 0, 1); err == nil {
+		t.Error("skew wrt itself accepted")
+	}
+	if _, err := Skew(rhomb, 0, 1, 1); err == nil {
+		t.Error("skew wrt inner loop accepted")
+	}
+	if _, err := Skew(rhomb, 5, 0, 1); err == nil {
+		t.Error("skew of missing level accepted")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	tri := correlationNest()
+	tr, err := Reverse(tri, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i' in [1-(N-1), 1-0) = [2-N, 1); inner bounds substitute i = -i'.
+	checkBijection(t, tr, map[string]int64{"N": 8})
+	// Reversing the inner loop too.
+	tr2, err := Reverse(tr.Nest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBijectionVia(t, tr2, tr, map[string]int64{"N": 8}, tri)
+	if _, err := Reverse(tri, 9); err == nil {
+		t.Error("reverse of missing level accepted")
+	}
+}
+
+// checkBijectionVia composes two transforms and checks against the
+// original source nest.
+func checkBijectionVia(t *testing.T, second, first *Transformed, params map[string]int64, orig *nest.Nest) {
+	t.Helper()
+	m2, err := second.BindMap(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := first.BindMap(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Compose(m2, m1)
+	var want, got []string
+	orig.MustBind(params).Enumerate(func(idx []int64) bool {
+		want = append(want, tupleKey(idx))
+		return true
+	})
+	buf := make([]int64, orig.Depth())
+	second.Nest.MustBind(params).Enumerate(func(idx []int64) bool {
+		m(idx, buf)
+		got = append(got, tupleKey(buf))
+		return true
+	})
+	sort.Strings(want)
+	sort.Strings(got)
+	if len(want) != len(got) {
+		t.Fatalf("counts differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("sets differ at %d", i)
+		}
+	}
+}
+
+func TestIdentityAndCompose(t *testing.T) {
+	id := Identity(3)
+	src := []int64{4, 5, 6}
+	dst := make([]int64, 3)
+	id(src, dst)
+	if dst[0] != 4 || dst[2] != 6 {
+		t.Error("identity broken")
+	}
+	double := Compose(id, id)
+	double(src, dst)
+	if dst[1] != 5 {
+		t.Error("compose broken")
+	}
+}

@@ -1,0 +1,211 @@
+package unrank
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/nest"
+)
+
+// Stats counts recovery events, exposed for the overhead experiments
+// (paper Fig. 10) and for diagnosing floating-point behaviour.
+type Stats struct {
+	RootEvals   int64 // closed-form radical evaluations
+	Corrections int64 // exact ±1 correction steps taken
+	Fallbacks   int64 // binary-search fallbacks (NaN/Inf or non-convergence)
+	Searches    int64 // binary-search recoveries (fallbacks + binary mode)
+}
+
+// Bound is an Unranker bound to concrete parameter values, ready for
+// repeated Unrank/Rank/Increment calls. A Bound is not safe for
+// concurrent use — give each goroutine its own via Unranker.Bind (the
+// generated OpenMP code likewise privatizes the recovery state).
+type Bound struct {
+	u     *Unranker
+	inst  *nest.Instance
+	np    int
+	depth int
+	total int64
+	vals  []int64 // params followed by indices, reused (exact path)
+	// fvals[k] is the positional float argument vector of level k's
+	// compiled root: [params..., i_0..i_{k-1}, pc].
+	fvals [][]float64
+	stats Stats
+}
+
+// Bind fixes parameter values, precomputing the total iteration count.
+func (u *Unranker) Bind(params map[string]int64) (*Bound, error) {
+	inst, err := u.nest.Bind(params)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bound{
+		u:     u,
+		inst:  inst,
+		np:    len(u.nest.Params),
+		depth: u.nest.Depth(),
+		vals:  make([]int64, len(u.order)),
+	}
+	cvals := make([]int64, b.np)
+	for i, p := range u.nest.Params {
+		v := params[p]
+		b.vals[i] = v
+		cvals[i] = v
+	}
+	b.fvals = make([][]float64, len(u.levels))
+	for k := range u.levels {
+		fv := make([]float64, b.np+k+1)
+		for i := range cvals {
+			fv[i] = float64(cvals[i])
+		}
+		b.fvals[k] = fv
+	}
+	b.total = u.countC.EvalExact(cvals)
+	if b.total < 0 {
+		return nil, fmt.Errorf("unrank: negative iteration count %d (irregular nest for %v)", b.total, params)
+	}
+	return b, nil
+}
+
+// MustBind is Bind but panics on error.
+func (u *Unranker) MustBind(params map[string]int64) *Bound {
+	b, err := u.Bind(params)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Total returns the number of iterations: the collapsed loop runs
+// pc = 1 .. Total.
+func (b *Bound) Total() int64 { return b.total }
+
+// Instance returns the bound nest instance (for bound evaluation and
+// lexicographic incrementation).
+func (b *Bound) Instance() *nest.Instance { return b.inst }
+
+// Stats returns accumulated recovery statistics.
+func (b *Bound) Stats() Stats { return b.stats }
+
+// ResetStats clears the recovery statistics.
+func (b *Bound) ResetStats() { b.stats = Stats{} }
+
+// rkEval exactly evaluates level k's substituted ranking polynomial at
+// candidate index value x, given the already-recovered prefix in b.vals.
+func (b *Bound) rkEval(k int, x int64) int64 {
+	b.vals[b.np+k] = x
+	return b.u.levels[k].rk.EvalExact(b.vals[:b.np+k+1])
+}
+
+// searchLevel exactly recovers level k by binary search: the largest
+// x in [lo, hi) with r_k(x) <= pc. The ranking polynomial is monotone in
+// x, so this is O(log range) exact evaluations.
+func (b *Bound) searchLevel(k int, pc, lo, hi int64) int64 {
+	b.stats.Searches++
+	lo0, hi0 := lo, hi-1
+	for lo0 < hi0 {
+		mid := lo0 + (hi0-lo0+1)/2
+		if b.rkEval(k, mid) <= pc {
+			lo0 = mid
+		} else {
+			hi0 = mid - 1
+		}
+	}
+	return lo0
+}
+
+// Unrank recovers the iteration tuple of rank pc (1-based) into idx,
+// which must have length equal to the nest depth.
+func (b *Bound) Unrank(pc int64, idx []int64) error {
+	if len(idx) != b.depth {
+		return fmt.Errorf("unrank: index slice has length %d, want %d", len(idx), b.depth)
+	}
+	if pc < 1 || pc > b.total {
+		return fmt.Errorf("unrank: pc = %d out of range 1..%d", pc, b.total)
+	}
+	pcf := float64(pc)
+	for k := 0; k < b.depth-1; k++ {
+		lv := &b.u.levels[k]
+		lo := b.inst.LowerAt(k, idx)
+		hi := b.inst.UpperAt(k, idx)
+		var ik int64
+		recovered := false
+		if lv.rootFn != nil {
+			fv := b.fvals[k]
+			fv[len(fv)-1] = pcf
+			x := lv.rootFn(fv)
+			b.stats.RootEvals++
+			if !cmplx.IsNaN(x) && !cmplx.IsInf(x) &&
+				math.Abs(imag(x)) <= 1e-6*(1+math.Abs(real(x))) {
+				ik = int64(math.Floor(real(x) + 1e-9))
+				if ik < lo {
+					ik = lo
+				}
+				if ik > hi-1 {
+					ik = hi - 1
+				}
+				// Exact monotone correction (bounded): ensure
+				// r_k(ik) <= pc < r_k(ik+1).
+				steps := 0
+				ok := true
+				for b.rkEval(k, ik) > pc {
+					ik--
+					steps++
+					if ik < lo || steps > b.u.maxCorr {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					for ik+1 <= hi-1 && b.rkEval(k, ik+1) <= pc {
+						ik++
+						steps++
+						if steps > b.u.maxCorr {
+							ok = false
+							break
+						}
+					}
+				}
+				if ok {
+					b.stats.Corrections += int64(steps)
+					recovered = true
+				}
+			}
+			if !recovered {
+				b.stats.Fallbacks++
+			}
+		}
+		if !recovered {
+			ik = b.searchLevel(k, pc, lo, hi)
+		}
+		idx[k] = ik
+		b.vals[b.np+k] = ik
+		// Propagate the recovered prefix into the deeper levels' compiled
+		// argument vectors.
+		for q := k + 1; q < len(b.fvals); q++ {
+			b.fvals[q][b.np+k] = float64(ik)
+		}
+	}
+	// Last level: i = lb + (pc - rank of first iteration at this prefix).
+	base := b.u.lastRank.EvalExact(b.vals[:b.np+b.depth-1])
+	lb := b.inst.LowerAt(b.depth-1, idx)
+	idx[b.depth-1] = lb + (pc - base)
+	return nil
+}
+
+// Rank exactly evaluates the ranking polynomial at idx. The result is
+// the 1-based rank when idx lies inside the iteration domain.
+func (b *Bound) Rank(idx []int64) int64 {
+	if len(idx) != b.depth {
+		panic("unrank: wrong index arity")
+	}
+	copy(b.vals[b.np:], idx)
+	return b.u.rankComp.EvalExact(b.vals)
+}
+
+// First fills idx with the first iteration tuple; see nest.Instance.
+func (b *Bound) First(idx []int64) bool { return b.inst.First(idx) }
+
+// Increment advances idx lexicographically; see nest.Instance.
+func (b *Bound) Increment(idx []int64) bool { return b.inst.Increment(idx) }

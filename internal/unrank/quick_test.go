@@ -1,0 +1,73 @@
+package unrank
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property (testing/quick): for random N and random pc,
+// Rank(Unrank(pc)) == pc and the recovered tuple lies in the domain —
+// the core bijection invariant, on the paper's two reference nests.
+func TestQuickBijectionInvariant(t *testing.T) {
+	uCorr := MustNew(correlationNest(), Options{Mode: ModeClosedForm})
+	uTetra := MustNew(tetraNest(), Options{Mode: ModeClosedForm})
+	cfg := &quick.Config{MaxCount: 300}
+
+	check := func(u *Unranker, depth int) func(n16 uint16, pcSeed uint32) bool {
+		bounds := map[int64]*Bound{}
+		return func(n16 uint16, pcSeed uint32) bool {
+			N := int64(n16%2000) + 2
+			b, ok := bounds[N]
+			if !ok {
+				var err error
+				b, err = u.Bind(map[string]int64{"N": N})
+				if err != nil {
+					return false
+				}
+				bounds[N] = b
+			}
+			total := b.Total()
+			if total == 0 {
+				return true
+			}
+			pc := int64(pcSeed)%total + 1
+			idx := make([]int64, depth)
+			if err := b.Unrank(pc, idx); err != nil {
+				return false
+			}
+			return b.Instance().Contains(idx) && b.Rank(idx) == pc
+		}
+	}
+	if err := quick.Check(check(uCorr, 2), cfg); err != nil {
+		t.Error("correlation:", err)
+	}
+	if err := quick.Check(check(uTetra, 3), cfg); err != nil {
+		t.Error("tetra:", err)
+	}
+}
+
+// Property: Unrank(pc+1) equals Increment(Unrank(pc)) for random points.
+func TestQuickIncrementConsistency(t *testing.T) {
+	u := MustNew(tetraNest(), Options{Mode: ModeClosedForm})
+	b := u.MustBind(map[string]int64{"N": 60})
+	total := b.Total()
+	f := func(pcSeed uint32) bool {
+		pc := int64(pcSeed)%(total-1) + 1
+		a := make([]int64, 3)
+		c := make([]int64, 3)
+		if err := b.Unrank(pc, a); err != nil {
+			return false
+		}
+		if !b.Increment(a) {
+			return false
+		}
+		if err := b.Unrank(pc+1, c); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(a, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,314 @@
+// Package unrank inverts ranking Ehrhart polynomials (paper §IV): given
+// the rank pc of an iteration in the collapsed 1..Total range, it
+// recovers the original loop indices (i_0, …, i_{d-1}).
+//
+// For each level k < d-1 the index is recovered by evaluating the
+// symbolic "convenient root" of
+//
+//	r(i_0..i_{k-1}, x, lexmin tail) − pc = 0
+//
+// over complex128 and flooring its real part (§IV.A, §IV.C). Because the
+// radical formulas are evaluated in floating point, the floor can be off
+// by one near term boundaries; the recovery is therefore followed by an
+// exact integer correction step using the monotonicity of the ranking
+// polynomial, which makes unranking provably exact. When the closed form
+// evaluates to NaN/Inf (degenerate radical branches) or the correction
+// does not converge within a few steps, the package falls back to exact
+// binary search over the same monotone polynomial — the fallback is also
+// available stand-alone as a baseline (ModeBinarySearch).
+//
+// The last index needs no root: i_{d-1} = lb + (pc − r(prefix, lb)).
+package unrank
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ehrhart"
+	"repro/internal/nest"
+	"repro/internal/poly"
+	"repro/internal/roots"
+)
+
+// Mode selects the recovery strategy.
+type Mode int
+
+const (
+	// ModeClosedForm uses the paper's radical formulas with exact
+	// correction (the contribution under evaluation).
+	ModeClosedForm Mode = iota
+	// ModeBinarySearch uses only exact binary search on the monotone
+	// ranking polynomial. It needs no symbolic solving and serves as the
+	// correctness oracle and baseline.
+	ModeBinarySearch
+)
+
+// Options configure Unranker construction.
+type Options struct {
+	// Mode selects closed-form or binary-search recovery.
+	Mode Mode
+	// SampleParams are parameter bindings used to select the convenient
+	// root by validation against ground truth (a stronger version of the
+	// paper's ⌊x(1)⌋ = lexmin test). When nil, small defaults are used.
+	SampleParams []map[string]int64
+	// MaxEnum caps the number of iterations enumerated per sample during
+	// root selection. Defaults to 4096.
+	MaxEnum int64
+	// MaxCorrection bounds the ±1 exact-correction steps before falling
+	// back to binary search. Defaults to 8.
+	MaxCorrection int
+}
+
+// level holds the recovery machinery for one non-final loop level.
+type level struct {
+	varName    string
+	root       roots.Expr     // selected convenient root; nil in binary-search mode
+	rootFn     roots.EvalFunc // compiled root over [params..., i_0..i_{k-1}, pc]
+	rootIdx    int            // branch index of the selected root
+	candidates []roots.Expr   // all symbolic candidates
+	rk         *poly.Compiled
+	// rk evaluates r(i_0..i_{k-1}, x, lexmin tail) exactly over the
+	// variable order [params..., i_0..i_{k-1}, x].
+}
+
+// Unranker is the symbolic (parameter-independent) part of the inverse
+// ranking function for a nest.
+type Unranker struct {
+	nest    *nest.Nest
+	ranking *poly.Poly
+	count   *poly.Poly
+	mode    Mode
+	maxCorr int
+
+	order    []string // params..., all indices...
+	rankComp *poly.Compiled
+	levels   []level        // depth-1 entries
+	lastRank *poly.Compiled // r(prefix, lb_{d-1}) over [params..., i_0..i_{d-2}]
+	countC   *poly.Compiled // over params
+}
+
+// New builds an Unranker for the nest, computing the ranking polynomial,
+// solving each level's recovery equation symbolically (in closed-form
+// mode) and selecting the convenient root of each level by validation on
+// sample parameter bindings.
+func New(n *nest.Nest, opts Options) (*Unranker, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxEnum <= 0 {
+		opts.MaxEnum = 4096
+	}
+	if opts.MaxCorrection <= 0 {
+		opts.MaxCorrection = 8
+	}
+	ranking := ehrhart.Ranking(n)
+	if err := ehrhart.CheckDegree(ranking); err != nil {
+		return nil, err
+	}
+	u := &Unranker{
+		nest:    n,
+		ranking: ranking,
+		count:   ehrhart.Count(n),
+		mode:    opts.Mode,
+		maxCorr: opts.MaxCorrection,
+	}
+	u.order = append(append([]string(nil), n.Params...), n.Indices()...)
+	var err error
+	u.rankComp, err = ranking.Compile(u.order)
+	if err != nil {
+		return nil, err
+	}
+	u.countC, err = u.count.Compile(n.Params)
+	if err != nil {
+		return nil, err
+	}
+
+	d := n.Depth()
+	for k := 0; k < d-1; k++ {
+		lv := level{varName: n.Loops[k].Index}
+		rk := ranking.SubstAll(n.LexMinTail(k))
+		lv.rk, err = rk.Compile(u.order[:len(n.Params)+k+1])
+		if err != nil {
+			return nil, err
+		}
+		if opts.Mode == ModeClosedForm {
+			eq := rk.Sub(poly.Var("pc"))
+			lv.candidates, err = roots.Solve(eq.UnivariateIn(lv.varName))
+			if err != nil {
+				return nil, fmt.Errorf("unrank: level %d (%s): %w", k, lv.varName, err)
+			}
+		}
+		u.levels = append(u.levels, lv)
+	}
+	// Last level: r(prefix, lexmin of the last index).
+	last := ranking
+	if d >= 1 {
+		tail := n.LexMinTail(d - 2) // substitutes only the last index
+		last = ranking.SubstAll(tail)
+	}
+	u.lastRank, err = last.Compile(u.order[:len(n.Params)+d-1])
+	if err != nil {
+		return nil, err
+	}
+
+	if opts.Mode == ModeClosedForm {
+		if err := u.selectRoots(opts); err != nil {
+			return nil, err
+		}
+		// Compile each selected root for the hot path: variables are the
+		// parameters, the already-recovered prefix, and pc (positional).
+		for k := range u.levels {
+			vars := append(append([]string(nil), u.order[:len(n.Params)+k]...), "pc")
+			fn, err := roots.Compile(u.levels[k].root, vars)
+			if err != nil {
+				return nil, err
+			}
+			u.levels[k].rootFn = fn
+		}
+	}
+	return u, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(n *nest.Nest, opts Options) *Unranker {
+	u, err := New(n, opts)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Nest returns the underlying nest.
+func (u *Unranker) Nest() *nest.Nest { return u.nest }
+
+// Ranking returns the ranking Ehrhart polynomial.
+func (u *Unranker) Ranking() *poly.Poly { return u.ranking }
+
+// Count returns the Ehrhart counting polynomial (total iterations).
+func (u *Unranker) Count() *poly.Poly { return u.count }
+
+// RootExpr returns the selected convenient root of level k (0-based);
+// nil for the last level and in binary-search mode.
+func (u *Unranker) RootExpr(k int) roots.Expr {
+	if k < 0 || k >= len(u.levels) {
+		return nil
+	}
+	return u.levels[k].root
+}
+
+// RootCandidates returns all symbolic root candidates of level k.
+func (u *Unranker) RootCandidates(k int) []roots.Expr {
+	if k < 0 || k >= len(u.levels) {
+		return nil
+	}
+	return append([]roots.Expr(nil), u.levels[k].candidates...)
+}
+
+// RootIndex returns the branch index of the convenient root of level k.
+func (u *Unranker) RootIndex(k int) int {
+	if k < 0 || k >= len(u.levels) {
+		return -1
+	}
+	return u.levels[k].rootIdx
+}
+
+// defaultSamples builds small parameter bindings for root selection.
+func (u *Unranker) defaultSamples() []map[string]int64 {
+	if len(u.nest.Params) == 0 {
+		return []map[string]int64{{}}
+	}
+	var out []map[string]int64
+	for _, v := range []int64{4, 7, 11} {
+		m := map[string]int64{}
+		for _, p := range u.nest.Params {
+			m[p] = v
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// selectRoots picks, per level, the unique candidate whose floored real
+// part reproduces the ground-truth index for every iteration of every
+// sample binding (paper §IV.A selects by ⌊x(1)⌋ = first index; validating
+// over the whole range is strictly stronger and robust to FP noise).
+func (u *Unranker) selectRoots(opts Options) error {
+	samples := opts.SampleParams
+	if samples == nil {
+		samples = u.defaultSamples()
+	}
+	mismatch := make([][]int64, len(u.levels))
+	tested := make([]int64, len(u.levels))
+	for k := range u.levels {
+		mismatch[k] = make([]int64, len(u.levels[k].candidates))
+	}
+	for _, sp := range samples {
+		inst, err := u.nest.Bind(sp)
+		if err != nil {
+			return fmt.Errorf("unrank: sample binding: %w", err)
+		}
+		baseEnv := map[string]float64{}
+		for p, v := range sp {
+			baseEnv[p] = float64(v)
+		}
+		var pc int64
+		count := int64(0)
+		inst.Enumerate(func(idx []int64) bool {
+			pc++
+			count++
+			if count > opts.MaxEnum {
+				return false
+			}
+			env := baseEnv
+			env["pc"] = float64(pc)
+			for k := range u.levels {
+				// ground-truth prefix
+				for q := 0; q < k; q++ {
+					env[u.nest.Loops[q].Index] = float64(idx[q])
+				}
+				truth := idx[k]
+				// Only the first iteration of each (prefix, i_k) group has
+				// a distinct recovery obligation, but testing every pc
+				// exercises the in-between values too.
+				for ci, cand := range u.levels[k].candidates {
+					x := cand.Eval(env)
+					if math.Abs(imag(x)) > 1e-6 ||
+						int64(math.Floor(real(x)+1e-9)) != truth {
+						mismatch[k][ci]++
+					}
+				}
+				tested[k]++
+			}
+			return true
+		})
+	}
+	for k := range u.levels {
+		if tested[k] == 0 {
+			return fmt.Errorf("unrank: no sample iterations available to select root of level %d", k)
+		}
+		best := -1
+		for ci := range u.levels[k].candidates {
+			if mismatch[k][ci] == 0 {
+				best = ci
+				break
+			}
+		}
+		if best < 0 {
+			// Tolerate a tiny mismatch fraction (floating-point edge
+			// cases); the exact correction step repairs those at run time.
+			var minMis int64 = 1 << 62
+			for ci, m := range mismatch[k] {
+				if m < minMis {
+					minMis, best = m, ci
+				}
+			}
+			if minMis*20 > tested[k] {
+				return fmt.Errorf("unrank: no convenient root at level %d: best candidate wrong on %d/%d samples",
+					k, minMis, tested[k])
+			}
+		}
+		u.levels[k].root = u.levels[k].candidates[best]
+		u.levels[k].rootIdx = best
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+// Package nonrect is a Go implementation of automatic collapsing of
+// non-rectangular loop nests, reproducing Clauss, Altıntaş & Kuhn,
+// "Automatic Collapsing of Non-Rectangular Loops" (IPDPS 2017).
+//
+// Loop collapsing rewrites c perfectly nested parallel loops into a
+// single loop pc = 1..Total, which a worksharing runtime can split into
+// perfectly balanced contiguous chunks. OpenMP's collapse clause only
+// supports rectangular (constant-bound) loops; this library handles any
+// nest whose bounds are integer affine combinations of the surrounding
+// iterators and size parameters — triangular, tetrahedral, trapezoidal,
+// rhomboidal, parallelepiped spaces — by:
+//
+//  1. computing the ranking Ehrhart polynomial of the nest (the 1-based
+//     lexicographic rank of each iteration) by exact symbolic summation;
+//  2. inverting it with closed-form radical roots (degrees 1–4, complex
+//     intermediates) selected and validated automatically, hardened with
+//     an exact integer correction so unranking is always exact;
+//  3. executing — or emitting C/Go source for — the collapsed loop with
+//     the costly recovery hoisted to once per chunk and cheap
+//     lexicographic incrementation in between (§V of the paper), under
+//     static, static-chunked, dynamic and guided schedules on a
+//     goroutine team.
+//
+// # Quick start
+//
+// Collapse the two triangular loops of the paper's correlation example
+// and run the body on 8 goroutines with a static schedule:
+//
+//	n := nonrect.MustNewNest([]string{"N"},
+//		nonrect.L("i", "0", "N-1"),
+//		nonrect.L("j", "i+1", "N"),
+//	)
+//	res, err := nonrect.Collapse(n, 2)
+//	if err != nil { ... }
+//	err = nonrect.CollapsedFor(res, map[string]int64{"N": 1000}, 8,
+//		nonrect.Schedule{Kind: nonrect.Static},
+//		func(tid int, idx []int64) {
+//			i, j := idx[0], idx[1]
+//			_ = i + j // ... body ...
+//		})
+//
+// The deeper machinery is exposed through the result value: the ranking
+// polynomial (res.Ranking), the iteration-count polynomial (res.Total),
+// the symbolic convenient roots (res.Unranker.RootExpr), and exact
+// Rank/Unrank queries (res.Unranker.Bind).
+//
+// The source-to-source tool of the paper lives in cmd/collapsetool; the
+// figure-regeneration harness in cmd/benchfig; rank/unrank queries in
+// cmd/rankq. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the paper-vs-measured record.
+package nonrect
+
+import (
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/cparse"
+	"repro/internal/ehrhart"
+	"repro/internal/nest"
+	"repro/internal/omp"
+	"repro/internal/poly"
+	"repro/internal/reshape"
+	"repro/internal/transform"
+	"repro/internal/unrank"
+)
+
+// Nest is a perfect affine loop nest (paper Fig. 5 model).
+type Nest = nest.Nest
+
+// Loop is one level of a nest with affine bounds Lower <= idx < Upper.
+type Loop = nest.Loop
+
+// Result is a collapsed loop nest: ranking polynomial, total count, and
+// the unranking machinery.
+type Result = core.Result
+
+// Schedule is an OpenMP-style schedule clause for the runtime.
+type Schedule = omp.Schedule
+
+// Schedule kinds (see omp.Kind).
+const (
+	Static      = omp.Static
+	StaticChunk = omp.StaticChunk
+	Dynamic     = omp.Dynamic
+	Guided      = omp.Guided
+)
+
+// Poly is an exact multivariate polynomial over the rationals.
+type Poly = poly.Poly
+
+// L builds a loop level from bound expressions; it panics on malformed
+// expressions (use nest.Loop literals with poly.Parse for error
+// handling).
+func L(index, lower, upper string) Loop { return nest.L(index, lower, upper) }
+
+// NewNest builds and validates a nest over the given parameters.
+func NewNest(params []string, loops ...Loop) (*Nest, error) { return nest.New(params, loops...) }
+
+// MustNewNest is NewNest but panics on error.
+func MustNewNest(params []string, loops ...Loop) *Nest { return nest.MustNew(params, loops...) }
+
+// Collapse builds the collapsed form of the c outermost loops of n: the
+// ranking Ehrhart polynomial, its symbolic inverse (with automatically
+// selected convenient roots), and the iteration-count polynomial.
+func Collapse(n *Nest, c int) (*Result, error) {
+	return core.Collapse(n, c, unrank.Options{})
+}
+
+// CollapseBinarySearch is Collapse with the closed-form recovery
+// replaced by exact binary search on the ranking polynomial — the
+// baseline/oracle mode (no symbolic solving).
+func CollapseBinarySearch(n *Nest, c int) (*Result, error) {
+	return core.Collapse(n, c, unrank.Options{Mode: unrank.ModeBinarySearch})
+}
+
+// CollapseAt collapses c successive loops starting at level from
+// (0-based); the surrounding iterators become symbolic parameters of the
+// ranking polynomial, bound per outer iteration via res.Unranker.Bind.
+func CollapseAt(n *Nest, from, c int) (*Result, error) {
+	return core.CollapseAt(n, from, c, unrank.Options{})
+}
+
+// CollapsedFor executes the collapsed iteration space on a goroutine
+// team with the §V once-per-chunk recovery scheme. body receives the
+// worker id and the recovered original indices (slice reused per
+// worker).
+func CollapsedFor(res *Result, params map[string]int64, threads int, sched Schedule,
+	body func(tid int, idx []int64)) error {
+	return omp.CollapsedFor(res, params, threads, sched, body)
+}
+
+// CollapsedForSIMD executes the collapsed space with the §VI.A batch
+// scheme: body receives up to vlength consecutive index tuples.
+func CollapsedForSIMD(res *Result, params map[string]int64, threads, vlength int,
+	body func(tid int, batch [][]int64)) error {
+	return omp.CollapsedForSIMD(res, params, threads, vlength, body)
+}
+
+// CollapsedForWarp executes the collapsed space with the §VI.B GPU-warp
+// scheme: W lanes, each running iterations strided by W.
+func CollapsedForWarp(res *Result, params map[string]int64, w int,
+	body func(lane int, pc int64, idx []int64)) error {
+	return omp.CollapsedForWarp(res, params, w, body)
+}
+
+// ParallelFor is the plain worksharing loop (the paper's baselines):
+// body(tid, i) runs for every i in [lo, hi) under the schedule.
+func ParallelFor(threads int, lo, hi int64, sched Schedule, body func(tid int, i int64)) {
+	omp.ParallelFor(threads, lo, hi, sched, body)
+}
+
+// Team is a persistent worker pool (OpenMP-style thread team) for
+// programs running many parallel regions; see omp.Team.
+type Team = omp.Team
+
+// NewTeam starts a persistent team of n workers; Close it when done.
+func NewTeam(n int) *Team { return omp.NewTeam(n) }
+
+// Ranking returns the ranking Ehrhart polynomial of a nest (§III).
+func Ranking(n *Nest) *Poly { return ehrhart.Ranking(n) }
+
+// Count returns the iteration-count (Ehrhart) polynomial of a nest.
+func Count(n *Nest) *Poly { return ehrhart.Count(n) }
+
+// ParseC parses an OpenMP-annotated C loop nest (the collapsetool front
+// end): the pragma's collapse(c) clause selects the loops, free
+// identifiers become parameters, and the body is kept as text.
+func ParseC(src string) (*cparse.Program, error) { return cparse.Parse(src) }
+
+// CodegenOptions configure source emission; see codegen.Options.
+type CodegenOptions = codegen.Options
+
+// Code-generation schemes (see codegen.Scheme).
+const (
+	SchemePerIteration   = codegen.PerIteration
+	SchemeFirstIteration = codegen.FirstIteration
+	SchemeChunked        = codegen.Chunked
+	SchemeSIMD           = codegen.SIMD
+	SchemeWarp           = codegen.Warp
+)
+
+// EmitC renders the collapsed nest as C source (paper Figs. 3, 4, 7 and
+// the §V/§VI schemes).
+func EmitC(res *Result, opts CodegenOptions) (string, error) { return codegen.EmitC(res, opts) }
+
+// EmitGo renders the collapsed nest as a compilable serial Go function.
+func EmitGo(res *Result, opts CodegenOptions) (string, error) { return codegen.EmitGo(res, opts) }
+
+// GoFile wraps emitted Go functions into a complete source file.
+func GoFile(pkg string, funcs ...string) string { return codegen.GoFile(pkg, funcs...) }
+
+// Mapping is a rank-preserving bijection between two equal-cardinality
+// iteration spaces (the paper's §IX "computation of a loop nest from
+// another loop nest of a different shape" extension).
+type Mapping = reshape.Mapping
+
+// Fused concatenates several collapsed spaces into one rank range (the
+// §IX "fusion of loop nests of different shapes" extension).
+type Fused = reshape.Fused
+
+// NewMapping builds the rank-preserving bijection between two bound
+// spaces of equal cardinality. Bind a space with res.Unranker.Bind.
+func NewMapping(src, dst *unrank.Bound) (*Mapping, error) { return reshape.NewMapping(src, dst) }
+
+// NewFused concatenates the given bound spaces in order.
+func NewFused(parts ...*unrank.Bound) (*Fused, error) { return reshape.NewFused(parts...) }
+
+// Transformed is a nest produced by an affine loop transformation,
+// together with the map back to original iteration tuples.
+type Transformed = transform.Transformed
+
+// Normalize shifts every loop's lower bound to 0 (the paper's §IV.A
+// normal form), substituting through the deeper bounds.
+func Normalize(n *Nest) (*Transformed, error) { return transform.Normalize(n) }
+
+// Skew applies the unimodular skewing j' = j + factor·i (level `level`,
+// outer loop `wrt`) — the Pluto-style transformation producing the
+// rhomboidal and parallelepiped shapes the collapser targets.
+func Skew(n *Nest, level, wrt int, factor int64) (*Transformed, error) {
+	return transform.Skew(n, level, wrt, factor)
+}
+
+// Reverse flips a loop's direction (valid for dependence-free loops).
+func Reverse(n *Nest, level int) (*Transformed, error) { return transform.Reverse(n, level) }

@@ -1,0 +1,133 @@
+package nonrect
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	n := MustNewNest([]string{"N"},
+		L("i", "0", "N-1"),
+		L("j", "i+1", "N"),
+	)
+	res, err := Collapse(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	var sum atomic.Int64
+	err = CollapsedFor(res, map[string]int64{"N": 100}, 8, Schedule{Kind: Static},
+		func(tid int, idx []int64) {
+			count.Add(1)
+			sum.Add(idx[0] + idx[1])
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := count.Load(), int64(99*100/2); got != want {
+		t.Errorf("iterations = %d, want %d", got, want)
+	}
+	// sum over triangle of (i+j): brute force.
+	var want int64
+	for i := int64(0); i < 99; i++ {
+		for j := i + 1; j < 100; j++ {
+			want += i + j
+		}
+	}
+	if sum.Load() != want {
+		t.Errorf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestFacadePolynomials(t *testing.T) {
+	n := MustNewNest([]string{"N"}, L("i", "0", "N-1"), L("j", "i+1", "N"))
+	if got := Ranking(n).String(); !strings.Contains(got, "N*i") {
+		t.Errorf("Ranking = %s", got)
+	}
+	c := Count(n)
+	v, err := c.EvalInt64(map[string]int64{"N": 10})
+	if err != nil || !v.IsInt() || v.Num().Int64() != 45 {
+		t.Errorf("Count(10) = %v, %v", v, err)
+	}
+}
+
+func TestFacadeParseAndEmit(t *testing.T) {
+	prog, err := ParseC(`
+#pragma omp parallel for collapse(2) schedule(static)
+for (i = 0; i < N - 1; i++)
+  for (j = i + 1; j < N; j++)
+    touch(i, j);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Collapse(prog.Nest, prog.CollapseCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := EmitC(res, CodegenOptions{Scheme: SchemeFirstIteration, Body: prog.Body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"first_iteration", "touch(i, j);", "csqrt("} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("emitted C missing %q:\n%s", frag, src)
+		}
+	}
+	goSrc, err := EmitGo(res, CodegenOptions{Scheme: SchemePerIteration})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(GoFile("demo", goSrc), "package demo") {
+		t.Error("GoFile wrapper broken")
+	}
+}
+
+func TestFacadeBinarySearchMode(t *testing.T) {
+	n := MustNewNest([]string{"N"}, L("i", "0", "N"), L("j", "i", "N"))
+	res, err := CollapseBinarySearch(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	if err := CollapsedFor(res, map[string]int64{"N": 30}, 4, Schedule{Kind: Dynamic, Chunk: 8},
+		func(int, []int64) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := count.Load(); got != 30*31/2 {
+		t.Errorf("count = %d", got)
+	}
+}
+
+func TestFacadeSIMDAndWarp(t *testing.T) {
+	n := MustNewNest([]string{"N"}, L("i", "0", "N"), L("j", "0", "i+1"))
+	res, err := Collapse(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int64{"N": 25}
+	var c1, c2 atomic.Int64
+	if err := CollapsedForSIMD(res, params, 3, 8, func(tid int, batch [][]int64) {
+		c1.Add(int64(len(batch)))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CollapsedForWarp(res, params, 16, func(lane int, pc int64, idx []int64) {
+		c2.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(25 * 26 / 2)
+	if c1.Load() != want || c2.Load() != want {
+		t.Errorf("simd %d warp %d, want %d", c1.Load(), c2.Load(), want)
+	}
+}
+
+func TestFacadeParallelFor(t *testing.T) {
+	var sum atomic.Int64
+	ParallelFor(5, 0, 100, Schedule{Kind: Guided}, func(tid int, i int64) { sum.Add(i) })
+	if sum.Load() != 4950 {
+		t.Errorf("sum = %d", sum.Load())
+	}
+}

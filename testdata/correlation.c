@@ -1,0 +1,7 @@
+#pragma omp parallel for private(j, k) collapse(2) schedule(static)
+for (i = 0; i < N - 1; i++)
+  for (j = i + 1; j < N; j++) {
+    for (k = 0; k < N; k++)
+      a[i][j] += b[k][i] * c[k][j];
+    a[j][i] = a[i][j];
+  }

@@ -1,0 +1,7 @@
+/* four loops depending on one index: quartic ranking, the SIV.B limit */
+#pragma omp parallel for collapse(4)
+for (i = 0; i < N; i++)
+  for (j = 0; j <= i; j++)
+    for (k = 0; k <= i; k++)
+      for (l = 0; l <= i; l++)
+        S(i, j, k, l);

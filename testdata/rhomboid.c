@@ -1,0 +1,5 @@
+/* rhomboidal band: a skewed stencil footprint */
+#pragma omp parallel for collapse(2) schedule(static, 64)
+for (i = 0; i < N; i++)
+  for (j = i; j < i + M; j++)
+    out[i][j - i] = f(in[j]);

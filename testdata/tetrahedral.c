@@ -1,0 +1,6 @@
+/* the paper's Fig. 6 tetrahedral nest: collapse all three loops */
+#pragma omp parallel for collapse(3) schedule(static)
+for (i = 0; i < N - 1; i++)
+  for (j = 0; j < i + 1; j++)
+    for (k = j; k < i + 1; k++)
+      S(i, j, k);

@@ -1,0 +1,5 @@
+/* sum of two upper triangular matrices (utma, paper SVII) */
+#pragma omp parallel for collapse(2) schedule(static)
+for (i = 0; i < N; i++)
+  for (j = i; j < N; j++)
+    C[i][j] = A[i][j] + B[i][j];
