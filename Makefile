@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench figures ablation scaling fuzz clean
+.PHONY: all build test test-short race check cover bench figures ablation scaling fuzz clean
 
 all: build test
 
@@ -17,7 +17,15 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/omp/ ./internal/kernels/ .
+	$(GO) test -race ./internal/telemetry/ ./internal/omp/ ./internal/kernels/ .
+
+# Full pre-merge gate: vet, the whole suite, and the race detector over
+# the concurrent packages (telemetry counters, the omp runtime, kernels).
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/telemetry/ ./internal/omp/ ./internal/kernels/ .
 
 cover:
 	$(GO) test -cover ./...

@@ -6,12 +6,16 @@
 //	benchfig -fig 8          Fig. 8  root curves r(i,0,0) - pc
 //	benchfig -fig 9          Fig. 9  gains of collapsing (simulated 12-thread makespans)
 //	benchfig -fig 10         Fig. 10 control overhead of 12 recoveries (measured)
+//	benchfig -fig imbalance  measured per-thread load distribution of the
+//	                         collapsed kernel under every schedule kind
 //	benchfig -fig all        everything
 //
 // Flags: -threads (virtual thread count, default 12), -quick (small
 // problem sizes), -real (also run the goroutine runtime for Fig. 9),
 // -chunks (recovery count for Fig. 10, default 12), -n / -fig2threads
-// (Fig. 2 geometry), -v (calibration details).
+// (Fig. 2 geometry), -kernel (kernel for -fig imbalance), -trace-out
+// (write the imbalance runs' chunk timeline as Chrome trace-event
+// JSON), -v (calibration details).
 package main
 
 import (
@@ -20,29 +24,47 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
+// options bundles the command-line configuration of one run.
+type options struct {
+	fig      string
+	threads  int
+	quick    bool
+	real     bool
+	chunks   int
+	fig2N    int64
+	fig2T    int
+	kernel   string
+	traceOut string
+	verbose  bool
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 2|8|9|10|all")
-	threads := flag.Int("threads", 12, "simulated thread count (paper: 12)")
-	quick := flag.Bool("quick", false, "use small problem sizes")
-	real := flag.Bool("real", false, "also run the goroutine runtime for Fig. 9")
-	chunks := flag.Int("chunks", 12, "recovery count for Fig. 10 (paper: 12)")
-	fig2N := flag.Int64("n", 1000, "Fig. 2 problem size N")
-	fig2T := flag.Int("fig2threads", 5, "Fig. 2 thread count (paper: 5)")
-	verbose := flag.Bool("v", false, "print calibration details")
+	var o options
+	flag.StringVar(&o.fig, "fig", "all", "figure to regenerate: 2|8|9|10|imbalance|all")
+	flag.IntVar(&o.threads, "threads", 12, "simulated thread count (paper: 12)")
+	flag.BoolVar(&o.quick, "quick", false, "use small problem sizes")
+	flag.BoolVar(&o.real, "real", false, "also run the goroutine runtime for Fig. 9")
+	flag.IntVar(&o.chunks, "chunks", 12, "recovery count for Fig. 10 (paper: 12)")
+	flag.Int64Var(&o.fig2N, "n", 1000, "Fig. 2 problem size N")
+	flag.IntVar(&o.fig2T, "fig2threads", 5, "Fig. 2 thread count (paper: 5)")
+	flag.StringVar(&o.kernel, "kernel", "correlation", "kernel for -fig imbalance")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the imbalance chunk timeline as Chrome trace-event JSON")
+	flag.BoolVar(&o.verbose, "v", false, "print calibration details")
 	flag.Parse()
 
-	if err := run(*fig, *threads, *quick, *real, *chunks, *fig2N, *fig2T, *verbose); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "benchfig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, threads int, quick, real bool, chunks int, fig2N int64, fig2T int, verbose bool) error {
-	do := func(f string) bool { return fig == "all" || fig == f }
+func run(o options) error {
+	do := func(f string) bool { return o.fig == "all" || o.fig == f }
 	if do("2") {
-		fmt.Print(experiments.Fig2(fig2N, fig2T).Render())
+		fmt.Print(experiments.Fig2(o.fig2N, o.fig2T).Render())
 		fmt.Println()
 	}
 	if do("8") {
@@ -50,8 +72,8 @@ func run(fig string, threads int, quick, real bool, chunks int, fig2N int64, fig
 		fmt.Println()
 	}
 	if do("9") {
-		opts := experiments.Fig9Options{Threads: threads, Quick: quick, Real: real}
-		if verbose {
+		opts := experiments.Fig9Options{Threads: o.threads, Quick: o.quick, Real: o.real}
+		if o.verbose {
 			opts.Verbose = func(format string, args ...interface{}) {
 				fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
 			}
@@ -60,27 +82,58 @@ func run(fig string, threads int, quick, real bool, chunks int, fig2N int64, fig
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig9(rows, threads, real))
+		fmt.Print(experiments.RenderFig9(rows, o.threads, o.real))
 		fmt.Println()
 	}
 	if do("10") {
-		rows, err := experiments.Fig10(experiments.Fig10Options{Chunks: chunks, Quick: quick})
+		rows, err := experiments.Fig10(experiments.Fig10Options{Chunks: o.chunks, Quick: o.quick})
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderFig10(rows, chunks))
+		fmt.Print(experiments.RenderFig10(rows, o.chunks))
 		fmt.Println()
 	}
-	if fig == "ablation" {
-		rows, err := experiments.Ablation(experiments.AblationOptions{Quick: quick})
+	if do("imbalance") {
+		var tel *telemetry.Registry
+		if o.traceOut != "" {
+			tel = telemetry.New()
+		}
+		rows, err := experiments.Imbalance(experiments.ImbalanceOptions{
+			Kernel:    o.kernel,
+			Threads:   o.threads,
+			Quick:     o.quick,
+			Telemetry: tel,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderImbalance(rows, o.kernel, o.threads))
+		fmt.Println()
+		if o.traceOut != "" {
+			f, err := os.Create(o.traceOut)
+			if err != nil {
+				return err
+			}
+			if err := tel.WriteChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s (open in about:tracing or https://ui.perfetto.dev)\n", o.traceOut)
+		}
+	}
+	if o.fig == "ablation" {
+		rows, err := experiments.Ablation(experiments.AblationOptions{Quick: o.quick})
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.RenderAblation(rows))
 		fmt.Println()
 	}
-	if fig == "scaling" {
-		rows, err := experiments.Scaling(experiments.ScalingOptions{Quick: quick})
+	if o.fig == "scaling" {
+		rows, err := experiments.Scaling(experiments.ScalingOptions{Quick: o.quick})
 		if err != nil {
 			return err
 		}

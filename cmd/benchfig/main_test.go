@@ -1,13 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
-func captureRun(t *testing.T, fig string, quick bool) (string, error) {
+func captureRun(t *testing.T, o options) (string, error) {
 	t.Helper()
 	old := os.Stdout
 	r, w, err := os.Pipe()
@@ -20,14 +22,26 @@ func captureRun(t *testing.T, fig string, quick bool) (string, error) {
 		data, _ := io.ReadAll(r)
 		done <- string(data)
 	}()
-	ferr := run(fig, 12, quick, false, 12, 200, 5, false)
+	ferr := run(o)
 	w.Close()
 	os.Stdout = old
 	return <-done, ferr
 }
 
+func quickOptions(fig string) options {
+	return options{
+		fig:     fig,
+		threads: 12,
+		quick:   true,
+		chunks:  12,
+		fig2N:   200,
+		fig2T:   5,
+		kernel:  "correlation",
+	}
+}
+
 func TestBenchfigFig2(t *testing.T) {
-	out, err := captureRun(t, "2", true)
+	out, err := captureRun(t, quickOptions("2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +51,7 @@ func TestBenchfigFig2(t *testing.T) {
 }
 
 func TestBenchfigFig8(t *testing.T) {
-	out, err := captureRun(t, "8", true)
+	out, err := captureRun(t, quickOptions("8"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +61,7 @@ func TestBenchfigFig8(t *testing.T) {
 }
 
 func TestBenchfigFig9Quick(t *testing.T) {
-	out, err := captureRun(t, "9", true)
+	out, err := captureRun(t, quickOptions("9"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +73,7 @@ func TestBenchfigFig9Quick(t *testing.T) {
 }
 
 func TestBenchfigFig10Quick(t *testing.T) {
-	out, err := captureRun(t, "10", true)
+	out, err := captureRun(t, quickOptions("10"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,5 +81,37 @@ func TestBenchfigFig10Quick(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("fig 10 output missing %q", frag)
 		}
+	}
+}
+
+func TestBenchfigImbalanceQuick(t *testing.T) {
+	o := quickOptions("imbalance")
+	o.threads = 4
+	o.traceOut = filepath.Join(t.TempDir(), "trace.json")
+	out, err := captureRun(t, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"Load imbalance of the collapsed correlation kernel",
+		"static", "dynamic", "guided",
+		"iter max/mu", "per-thread breakdown",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("imbalance output missing %q:\n%s", frag, out)
+		}
+	}
+	data, err := os.ReadFile(o.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
 	}
 }

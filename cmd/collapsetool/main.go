@@ -21,7 +21,18 @@
 //	-report    print the analysis (ranking polynomial, total count,
 //	           root candidates and the selected convenient root)
 //	-check N   self-check the transformation for parameter value N
-//	           (verifies rank/unrank bijection by enumeration)
+//	           (verifies rank/unrank bijection by enumeration) and print
+//	           the recovery statistics of the run
+//	-stats     execute the collapsed nest on the goroutine runtime and
+//	           print compile-pipeline phase times, per-thread iteration
+//	           counts, recovery/correction counters and a load-imbalance
+//	           summary
+//	-n N       parameter value for the -stats run (default 300)
+//	-threads P team size for the -stats run (default GOMAXPROCS)
+//	-trace-out FILE
+//	           write the chunk timeline and compile spans as Chrome
+//	           trace-event JSON (open in about:tracing or
+//	           https://ui.perfetto.dev)
 package main
 
 import (
@@ -29,39 +40,64 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/cparse"
+	"repro/internal/omp"
 	"repro/internal/roots"
+	"repro/internal/telemetry"
 	"repro/internal/unrank"
 )
 
-func main() {
-	scheme := flag.String("scheme", "first-iteration", "code scheme: per-iteration|first-iteration|chunked|simd|warp")
-	chunk := flag.Int("chunk", 64, "chunk size for -scheme chunked")
-	vlength := flag.Int("vlength", 8, "vector length for -scheme simd")
-	warp := flag.Int("warp", 32, "warp width for -scheme warp")
-	emitGo := flag.Bool("go", false, "also emit a serial Go rendition")
-	report := flag.Bool("report", false, "print ranking polynomial, count and root analysis")
-	check := flag.Int64("check", 0, "self-check the bijection for this parameter value")
-	flag.Parse()
+// options bundles the command-line configuration of one run.
+type options struct {
+	scheme   string
+	chunk    int
+	vlength  int
+	warp     int
+	emitGo   bool
+	report   bool
+	check    int64
+	stats    bool
+	statsN   int64
+	threads  int
+	traceOut string
+	args     []string
+}
 
-	if err := run(*scheme, *chunk, *vlength, *warp, *emitGo, *report, *check, flag.Args()); err != nil {
+func main() {
+	var o options
+	flag.StringVar(&o.scheme, "scheme", "first-iteration", "code scheme: per-iteration|first-iteration|chunked|simd|warp")
+	flag.IntVar(&o.chunk, "chunk", 64, "chunk size for -scheme chunked")
+	flag.IntVar(&o.vlength, "vlength", 8, "vector length for -scheme simd")
+	flag.IntVar(&o.warp, "warp", 32, "warp width for -scheme warp")
+	flag.BoolVar(&o.emitGo, "go", false, "also emit a serial Go rendition")
+	flag.BoolVar(&o.report, "report", false, "print ranking polynomial, count and root analysis")
+	flag.Int64Var(&o.check, "check", 0, "self-check the bijection for this parameter value")
+	flag.BoolVar(&o.stats, "stats", false, "run the collapsed nest and print telemetry (per-thread loads, recovery counters, imbalance)")
+	flag.Int64Var(&o.statsN, "n", 300, "parameter value for the -stats run")
+	flag.IntVar(&o.threads, "threads", omp.DefaultThreads(), "team size for the -stats run")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write Chrome trace-event JSON to this file")
+	flag.Parse()
+	o.args = flag.Args()
+
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "collapsetool:", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemeName string, chunk, vlength, warp int, emitGo, report bool, check int64, args []string) error {
+func run(o options) error {
 	var src []byte
 	var err error
-	switch len(args) {
+	switch len(o.args) {
 	case 0:
 		src, err = io.ReadAll(os.Stdin)
 	case 1:
-		src, err = os.ReadFile(args[0])
+		src, err = os.ReadFile(o.args[0])
 	default:
 		return fmt.Errorf("at most one input file")
 	}
@@ -73,12 +109,16 @@ func run(schemeName string, chunk, vlength, warp int, emitGo, report bool, check
 	if err != nil {
 		return err
 	}
-	res, err := core.Collapse(prog.Nest, prog.CollapseCount, unrank.Options{})
+	var tel *telemetry.Registry
+	if o.stats || o.traceOut != "" {
+		tel = telemetry.New()
+	}
+	res, err := core.Collapse(prog.Nest, prog.CollapseCount, unrank.Options{Telemetry: tel})
 	if err != nil {
 		return err
 	}
 
-	if report {
+	if o.report {
 		fmt.Printf("parsed nest (collapse %d, schedule %q):\n%s\n",
 			prog.CollapseCount, prog.Schedule, indent(prog.Nest.String(), "  "))
 		fmt.Printf("ranking polynomial:\n  r(%s) = %s\n",
@@ -94,7 +134,7 @@ func run(schemeName string, chunk, vlength, warp int, emitGo, report bool, check
 	}
 
 	var sch codegen.Scheme
-	switch schemeName {
+	switch o.scheme {
 	case "per-iteration":
 		sch = codegen.PerIteration
 	case "first-iteration":
@@ -106,14 +146,14 @@ func run(schemeName string, chunk, vlength, warp int, emitGo, report bool, check
 	case "warp":
 		sch = codegen.Warp
 	default:
-		return fmt.Errorf("unknown scheme %q", schemeName)
+		return fmt.Errorf("unknown scheme %q", o.scheme)
 	}
 	opts := codegen.Options{
 		Scheme:   sch,
 		Schedule: prog.Schedule,
-		Chunk:    chunk,
-		VLength:  vlength,
-		Warp:     warp,
+		Chunk:    o.chunk,
+		VLength:  o.vlength,
+		Warp:     o.warp,
 		Body:     prog.Body,
 	}
 	out, err := codegen.EmitC(res, opts)
@@ -122,7 +162,7 @@ func run(schemeName string, chunk, vlength, warp int, emitGo, report bool, check
 	}
 	fmt.Print(out)
 
-	if emitGo {
+	if o.emitGo {
 		goOpts := opts
 		if sch != codegen.PerIteration && sch != codegen.FirstIteration {
 			goOpts.Scheme = codegen.FirstIteration
@@ -136,42 +176,115 @@ func run(schemeName string, chunk, vlength, warp int, emitGo, report bool, check
 		fmt.Print(codegen.GoFile("collapsed", fn))
 	}
 
-	if check > 0 {
-		params := map[string]int64{}
-		for _, p := range prog.Nest.Params {
-			params[p] = check
+	if o.check > 0 {
+		if err := selfCheck(res, prog, o.check); err != nil {
+			return err
 		}
-		b, err := res.Unranker.Bind(params)
+	}
+	if o.stats {
+		if err := runStats(res, prog, o.statsN, o.threads, tel); err != nil {
+			return err
+		}
+	}
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
 		if err != nil {
 			return err
 		}
-		idx := make([]int64, res.C)
-		var pc int64
-		okCount := int64(0)
-		failed := false
-		b.Instance().Enumerate(func(truth []int64) bool {
-			pc++
-			if err := b.Unrank(pc, idx); err != nil {
-				fmt.Fprintf(os.Stderr, "check: Unrank(%d): %v\n", pc, err)
+		if err := tel.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in about:tracing or https://ui.perfetto.dev)\n", o.traceOut)
+	}
+	return nil
+}
+
+// selfCheck verifies the rank/unrank bijection by enumeration for the
+// given parameter value and reports the recovery statistics of the run.
+func selfCheck(res *core.Result, prog *cparse.Program, check int64) error {
+	params := map[string]int64{}
+	for _, p := range prog.Nest.Params {
+		params[p] = check
+	}
+	b, err := res.Unranker.Bind(params)
+	if err != nil {
+		return err
+	}
+	idx := make([]int64, res.C)
+	var pc int64
+	okCount := int64(0)
+	failed := false
+	b.Instance().Enumerate(func(truth []int64) bool {
+		pc++
+		if err := b.Unrank(pc, idx); err != nil {
+			fmt.Fprintf(os.Stderr, "check: Unrank(%d): %v\n", pc, err)
+			failed = true
+			return false
+		}
+		for q := range idx {
+			if idx[q] != truth[q] {
+				fmt.Fprintf(os.Stderr, "check: Unrank(%d) = %v, want %v\n", pc, idx, truth)
 				failed = true
 				return false
 			}
-			for q := range idx {
-				if idx[q] != truth[q] {
-					fmt.Fprintf(os.Stderr, "check: Unrank(%d) = %v, want %v\n", pc, idx, truth)
-					failed = true
-					return false
-				}
-			}
-			okCount++
-			return true
-		})
-		if failed {
-			return fmt.Errorf("self-check failed")
 		}
-		fmt.Fprintf(os.Stderr, "self-check: %d/%d iterations recovered exactly (params=%d)\n",
-			okCount, b.Total(), check)
+		okCount++
+		return true
+	})
+	if failed {
+		return fmt.Errorf("self-check failed")
 	}
+	fmt.Fprintf(os.Stderr, "self-check: %d/%d iterations recovered exactly (params=%d)\n",
+		okCount, b.Total(), check)
+	fmt.Fprintf(os.Stderr, "recovery stats: %s\n", b.Stats())
+	return nil
+}
+
+// parseSchedule maps the pragma's schedule clause text to a runtime
+// schedule (defaulting to static).
+func parseSchedule(clause string) omp.Schedule {
+	kind, arg, _ := strings.Cut(clause, ",")
+	s := omp.Schedule{Kind: omp.Static}
+	switch strings.TrimSpace(kind) {
+	case "dynamic":
+		s.Kind = omp.Dynamic
+	case "guided":
+		s.Kind = omp.Guided
+	case "static", "":
+	}
+	if n, err := strconv.ParseInt(strings.TrimSpace(arg), 10, 64); err == nil && n > 0 {
+		s.Chunk = n
+		if s.Kind == omp.Static {
+			s.Kind = omp.StaticChunk
+		}
+	}
+	return s
+}
+
+// runStats executes the collapsed nest with every parameter bound to
+// statsN and prints the telemetry: compile-phase spans, per-thread
+// loads, recovery counters and the load-imbalance summary.
+func runStats(res *core.Result, prog *cparse.Program, statsN int64, threads int,
+	tel *telemetry.Registry) error {
+	params := map[string]int64{}
+	for _, p := range prog.Nest.Params {
+		params[p] = statsN
+	}
+	sched := parseSchedule(prog.Schedule)
+	cs, err := omp.CollapsedForTelemetry(res, params, threads, sched,
+		tel, func(tid int, idx []int64) {})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n=== telemetry (params=%d, threads=%d, schedule %s, %d iterations) ===\n",
+		statsN, threads, sched.Kind, cs.Total)
+	fmt.Printf("\nload imbalance:\n%s", cs.ImbalanceReport())
+	fmt.Printf("\nrecovery stats (all threads): %s\n", cs.Stats)
+	fmt.Printf("\n%s", tel.Report())
 	return nil
 }
 

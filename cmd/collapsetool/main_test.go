@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -28,6 +29,19 @@ func writeInput(t *testing.T) string {
 	return path
 }
 
+// base returns the default options for one input file.
+func base(path string) options {
+	return options{
+		scheme:  "first-iteration",
+		chunk:   64,
+		vlength: 8,
+		warp:    32,
+		statsN:  40,
+		threads: 4,
+		args:    []string{path},
+	}
+}
+
 // capture redirects stdout around f.
 func capture(t *testing.T, f func() error) (string, error) {
 	t.Helper()
@@ -49,10 +63,10 @@ func capture(t *testing.T, f func() error) (string, error) {
 }
 
 func TestRunFirstIteration(t *testing.T) {
-	path := writeInput(t)
-	out, err := capture(t, func() error {
-		return run("first-iteration", 64, 8, 32, false, true, 10, []string{path})
-	})
+	o := base(writeInput(t))
+	o.report = true
+	o.check = 10
+	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,29 +84,24 @@ func TestRunFirstIteration(t *testing.T) {
 
 func TestRunAllSchemes(t *testing.T) {
 	path := writeInput(t)
-	for _, scheme := range []string{"per-iteration", "first-iteration", "chunked"} {
-		if _, err := capture(t, func() error {
-			return run(scheme, 32, 4, 16, false, false, 0, []string{path})
-		}); err != nil {
-			t.Errorf("scheme %s: %v", scheme, err)
-		}
-	}
 	// simd/warp require full collapse; the correlation input collapses
 	// 2 of 2 parsed loops (the k loop is body text), so they work too.
-	for _, scheme := range []string{"simd", "warp"} {
-		if _, err := capture(t, func() error {
-			return run(scheme, 32, 4, 16, false, false, 0, []string{path})
-		}); err != nil {
+	for _, scheme := range []string{"per-iteration", "first-iteration", "chunked", "simd", "warp"} {
+		o := base(path)
+		o.scheme = scheme
+		o.chunk = 32
+		o.vlength = 4
+		o.warp = 16
+		if _, err := capture(t, func() error { return run(o) }); err != nil {
 			t.Errorf("scheme %s: %v", scheme, err)
 		}
 	}
 }
 
 func TestRunGoEmission(t *testing.T) {
-	path := writeInput(t)
-	out, err := capture(t, func() error {
-		return run("first-iteration", 64, 8, 32, true, false, 0, []string{path})
-	})
+	o := base(writeInput(t))
+	o.emitGo = true
+	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,20 +110,113 @@ func TestRunGoEmission(t *testing.T) {
 	}
 }
 
+func TestRunStats(t *testing.T) {
+	o := base(writeInput(t))
+	o.stats = true
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"=== telemetry",
+		"load imbalance:",
+		"thread", "iterations", "recovery",
+		"recovery stats (all threads): root evals",
+		"compile/ehrhart.Ranking",
+		"compile/unrank.selectRoots",
+		"unrank.root_evals",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("stats output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunTraceOut(t *testing.T) {
+	o := base(writeInput(t))
+	o.stats = true
+	o.traceOut = filepath.Join(t.TempDir(), "trace.json")
+	if _, err := capture(t, func() error { return run(o) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	var haveCompile, haveChunk bool
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+		switch ev.Name {
+		case "core.Collapse":
+			haveCompile = true
+		case "static":
+			haveChunk = true
+		}
+	}
+	if !haveCompile || !haveChunk {
+		t.Errorf("trace missing compile (%v) or chunk (%v) events", haveCompile, haveChunk)
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind string
+	}{
+		{"static", "static"},
+		{"", "static"},
+		{"static, 8", "static,chunk"},
+		{"dynamic", "dynamic"},
+		{"dynamic, 4", "dynamic"},
+		{"guided", "guided"},
+	}
+	for _, c := range cases {
+		if got := parseSchedule(c.in).Kind.String(); got != c.kind {
+			t.Errorf("parseSchedule(%q).Kind = %s, want %s", c.in, got, c.kind)
+		}
+	}
+	if s := parseSchedule("dynamic, 4"); s.Chunk != 4 {
+		t.Errorf("chunk = %d, want 4", s.Chunk)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	path := writeInput(t)
-	if err := run("bogus", 1, 1, 1, false, false, 0, []string{path}); err == nil {
+	o := base(path)
+	o.scheme = "bogus"
+	if err := run(o); err == nil {
 		t.Error("bogus scheme accepted")
 	}
-	if err := run("chunked", 1, 1, 1, false, false, 0, []string{"a", "b"}); err == nil {
+	o = base(path)
+	o.args = []string{"a", "b"}
+	if err := run(o); err == nil {
 		t.Error("two files accepted")
 	}
-	if err := run("chunked", 1, 1, 1, false, false, 0, []string{"/does/not/exist.c"}); err == nil {
+	o = base(path)
+	o.args = []string{"/does/not/exist.c"}
+	if err := run(o); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.c")
 	os.WriteFile(bad, []byte("int main() {}"), 0o644)
-	if err := run("chunked", 1, 1, 1, false, false, 0, []string{bad}); err == nil {
+	o = base(path)
+	o.args = []string{bad}
+	if err := run(o); err == nil {
 		t.Error("non-annotated input accepted")
 	}
 }
@@ -130,9 +232,9 @@ func TestRunRepositoryTestdata(t *testing.T) {
 	for _, f := range files {
 		f := f
 		t.Run(filepath.Base(f), func(t *testing.T) {
-			if _, err := capture(t, func() error {
-				return run("first-iteration", 64, 8, 32, false, false, 6, []string{f})
-			}); err != nil {
+			o := base(f)
+			o.check = 6
+			if _, err := capture(t, func() error { return run(o) }); err != nil {
 				t.Errorf("%s: %v", f, err)
 			}
 		})

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ehrhart"
 	"repro/internal/nest"
 	"repro/internal/poly"
+	"repro/internal/telemetry"
 	"repro/internal/unrank"
 )
 
@@ -51,6 +52,11 @@ type Result struct {
 // opts configures the unranking construction (recovery mode, root
 // selection samples).
 func Collapse(n *nest.Nest, c int, opts unrank.Options) (*Result, error) {
+	sp := opts.Telemetry.StartSpan("compile", "core.Collapse", 0)
+	defer sp.End(
+		telemetry.Arg{Name: "collapse", Value: int64(c)},
+		telemetry.Arg{Name: "depth", Value: int64(n.Depth())},
+	)
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -97,6 +103,13 @@ func MustCollapse(n *nest.Nest, c int, opts unrank.Options) *Result {
 //
 // The loops deeper than the band stay inside the body, as with Collapse.
 func CollapseAt(n *nest.Nest, from, c int, opts unrank.Options) (*Result, error) {
+	if from != 0 {
+		sp := opts.Telemetry.StartSpan("compile", "core.CollapseAt", 0)
+		defer sp.End(
+			telemetry.Arg{Name: "from", Value: int64(from)},
+			telemetry.Arg{Name: "collapse", Value: int64(c)},
+		)
+	}
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}

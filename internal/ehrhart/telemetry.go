@@ -1,0 +1,25 @@
+package ehrhart
+
+import (
+	"repro/internal/nest"
+	"repro/internal/poly"
+	"repro/internal/telemetry"
+)
+
+// RankingInstrumented computes the ranking and counting polynomials of
+// the nest, emitting "compile"-category spans on tel so users can see
+// where symbolic-summation time goes (degree-2 vs degree-4 nests differ
+// sharply here). tel may be nil, in which case this is exactly
+// Ranking + Count.
+func RankingInstrumented(n *nest.Nest, tel *telemetry.Registry) (ranking, count *poly.Poly) {
+	sp := tel.StartSpan("compile", "ehrhart.Ranking", 0)
+	ranking = Ranking(n)
+	sp.End(
+		telemetry.Arg{Name: "depth", Value: int64(n.Depth())},
+		telemetry.Arg{Name: "degree", Value: int64(ranking.MaxVarDegree())},
+	)
+	sp = tel.StartSpan("compile", "ehrhart.Count", 0)
+	count = Count(n)
+	sp.End()
+	return ranking, count
+}

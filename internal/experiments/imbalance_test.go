@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestImbalanceStaticAtMostDynamic is the integration test of the
+// telemetry stack: run the correlation kernel collapsed under every
+// schedule and assert the static schedule's iteration-count imbalance
+// is no worse than dynamic's. This is deterministic: static partitions
+// the pc range into floor/ceil blocks, which minimises the maximum
+// per-thread iteration count over all integer partitions, so
+// MaxIter(static) <= MaxIter(any schedule) and both runs see the same
+// TotalIter and thread count.
+func TestImbalanceStaticAtMostDynamic(t *testing.T) {
+	rows, err := Imbalance(ImbalanceOptions{Quick: true, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]ImbalanceRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	static, ok := byLabel["static"]
+	if !ok {
+		t.Fatalf("no static row in %v", labels(rows))
+	}
+	dynamic, ok := byLabel["dynamic(1)"]
+	if !ok {
+		t.Fatalf("no dynamic(1) row in %v", labels(rows))
+	}
+	if static.Report.IterImbalance > dynamic.Report.IterImbalance+1e-9 {
+		t.Errorf("static iteration imbalance %.6f > dynamic %.6f",
+			static.Report.IterImbalance, dynamic.Report.IterImbalance)
+	}
+
+	// Every schedule covers the identical iteration space.
+	total := rows[0].Report.TotalIter
+	if total <= 0 {
+		t.Fatalf("no iterations recorded: %+v", rows[0].Report)
+	}
+	for _, r := range rows {
+		if r.Report.TotalIter != total {
+			t.Errorf("%s ran %d iterations, want %d", r.Label, r.Report.TotalIter, total)
+		}
+		if r.Stats.Total != total {
+			t.Errorf("%s Stats.Total = %d, want %d", r.Label, r.Stats.Total, total)
+		}
+		var sum int64
+		for _, th := range r.Stats.PerThread {
+			sum += th.Iterations
+		}
+		if sum != total {
+			t.Errorf("%s per-thread iterations sum to %d, want %d", r.Label, sum, total)
+		}
+	}
+
+	// Static's floor/ceil split: max and min per-thread counts differ by
+	// at most one.
+	var minIter, maxIter int64 = 1 << 62, 0
+	for _, th := range static.Stats.PerThread {
+		if th.Iterations < minIter {
+			minIter = th.Iterations
+		}
+		if th.Iterations > maxIter {
+			maxIter = th.Iterations
+		}
+	}
+	if maxIter-minIter > 1 {
+		t.Errorf("static per-thread spread %d..%d, want <= 1 apart", minIter, maxIter)
+	}
+}
+
+func labels(rows []ImbalanceRow) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Label
+	}
+	return out
+}
+
+// TestRenderImbalance smoke-tests the table rendering.
+func TestRenderImbalance(t *testing.T) {
+	rows, err := Imbalance(ImbalanceOptions{Quick: true, Threads: 2, Kernel: "symm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderImbalance(rows, "symm", 2)
+	for _, frag := range []string{
+		"Load imbalance of the collapsed symm kernel (2 threads)",
+		"schedule", "iter max/mu", "static,chunk(64)", "dynamic(64)", "guided",
+		"per-thread breakdown, static:",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestImbalanceUnknownKernel checks error propagation.
+func TestImbalanceUnknownKernel(t *testing.T) {
+	if _, err := Imbalance(ImbalanceOptions{Kernel: "nope"}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}

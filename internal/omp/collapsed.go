@@ -1,9 +1,12 @@
 package omp
 
 import (
+	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/unrank"
 )
 
@@ -63,19 +66,72 @@ func collapsedRun(r *core.Result, params map[string]int64, threads int, sched Sc
 	return firstErr
 }
 
-// CollapsedStats aggregates the recovery statistics of the workers of the
-// most recent CollapsedFor-style call made through RunCollapsedWithStats.
+// ThreadStats is the per-thread runtime record of an instrumented
+// collapsed run: how many chunks and iterations the thread executed,
+// how long it was busy, how that time splits between the once-per-chunk
+// closed-form recovery and the per-iteration lexicographic
+// incrementation, and the thread's own unranker counters.
+type ThreadStats struct {
+	TID        int
+	Chunks     int64
+	Iterations int64
+	Busy       time.Duration
+	Recovery   time.Duration
+	Increment  time.Duration
+	Unrank     unrank.Stats
+}
+
+// CollapsedStats aggregates the runtime statistics of one collapsed
+// parallel run: the per-thread breakdown plus the team-wide sums of the
+// recovery counters (root evaluations, corrections, fallbacks,
+// searches) — the quantities behind the paper's Fig. 10 overhead
+// discussion.
 type CollapsedStats struct {
 	Threads int
 	Total   int64
-	Stats   unrank.Stats
+	// Stats is the sum of every thread's unranker counters.
+	Stats unrank.Stats
+	// PerThread has one entry per team member, indexed by tid.
+	PerThread []ThreadStats
 }
 
-// RunCollapsedWithStats is CollapsedFor returning aggregate recovery
-// statistics (root evaluations, corrections, fallbacks) across the team —
-// the quantities behind the paper's Fig. 10 overhead discussion.
+// ImbalanceReport derives the load-balance summary (max/mean busy time,
+// coefficients of variation) from the per-thread breakdown.
+func (cs CollapsedStats) ImbalanceReport() telemetry.ImbalanceReport {
+	loads := make([]telemetry.ThreadLoad, len(cs.PerThread))
+	for i, t := range cs.PerThread {
+		loads[i] = telemetry.ThreadLoad{
+			TID:        t.TID,
+			Chunks:     t.Chunks,
+			Iterations: t.Iterations,
+			Busy:       t.Busy,
+			Recovery:   t.Recovery,
+			Increment:  t.Increment,
+		}
+	}
+	return telemetry.NewImbalance(loads)
+}
+
+// RunCollapsedWithStats is CollapsedFor returning the per-thread runtime
+// breakdown and the recovery statistics aggregated across *all* workers'
+// unrankers.
 func RunCollapsedWithStats(r *core.Result, params map[string]int64, threads int, sched Schedule,
 	body func(tid int, idx []int64)) (CollapsedStats, error) {
+	return CollapsedForTelemetry(r, params, threads, sched, nil, body)
+}
+
+// CollapsedForTelemetry is the instrumented collapsed executor: it runs
+// the §V scheme like CollapsedFor while recording a per-thread chunk
+// timeline — chunk bounds, iteration count, recovery time vs increment
+// time — and aggregating each worker's unrank statistics. When tel is
+// non-nil, every chunk additionally becomes a "chunk"-category trace
+// event (named after the schedule kind) suitable for Chrome trace
+// export, and the team-wide counters are published on the registry.
+//
+// The per-iteration timing instrumentation costs two monotonic clock
+// reads per iteration; use CollapsedFor for uninstrumented runs.
+func CollapsedForTelemetry(r *core.Result, params map[string]int64, threads int, sched Schedule,
+	tel *telemetry.Registry, body func(tid int, idx []int64)) (CollapsedStats, error) {
 	if threads < 1 {
 		threads = 1
 	}
@@ -88,26 +144,81 @@ func RunCollapsedWithStats(r *core.Result, params map[string]int64, threads int,
 		bounds[t] = b
 	}
 	total := bounds[0].Total()
-	cs := CollapsedStats{Threads: threads, Total: total}
+	cs := CollapsedStats{Threads: threads, Total: total, PerThread: make([]ThreadStats, threads)}
+	for t := range cs.PerThread {
+		cs.PerThread[t].TID = t
+	}
 	if total == 0 {
 		return cs, nil
 	}
+	tr := tel.Trace()
+	hist := tel.Histogram("omp.chunk_seconds", nil)
+	evName := sched.Kind.String()
+	idxs := make([][]int64, threads)
+	for t := range idxs {
+		idxs[t] = make([]int64, r.C)
+	}
 	var firstErr error
 	var errOnce sync.Once
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
 	ParallelForChunks(threads, 1, total+1, sched, func(tid int, clo, chi int64) {
-		if err := core.ForRange(bounds[tid], clo, chi-1, func(pc int64, idx []int64) {
+		st := &cs.PerThread[tid]
+		b := bounds[tid]
+		idx := idxs[tid]
+		var startOff time.Duration
+		if tr != nil {
+			startOff = tr.Now()
+		}
+		t0 := time.Now()
+		if err := b.Unrank(clo, idx); err != nil {
+			fail(err)
+			return
+		}
+		recovery := time.Since(t0)
+		var incDur time.Duration
+		var done int64
+		for pc := clo; pc < chi; pc++ {
 			body(tid, idx)
-		}); err != nil {
-			errOnce.Do(func() { firstErr = err })
+			done++
+			if pc+1 < chi {
+				is := time.Now()
+				if !b.Increment(idx) {
+					fail(fmt.Errorf("omp: iteration space exhausted at pc=%d before reaching %d", pc, chi-1))
+					break
+				}
+				incDur += time.Since(is)
+			}
+		}
+		busy := time.Since(t0)
+		st.Chunks++
+		st.Iterations += done
+		st.Busy += busy
+		st.Recovery += recovery
+		st.Increment += incDur
+		hist.Observe(busy.Seconds())
+		if tr != nil {
+			tr.Add(telemetry.Event{
+				Name: evName, Cat: "chunk", TID: tid, Start: startOff, Dur: busy,
+				Args: []telemetry.Arg{
+					{Name: "pc_lo", Value: clo},
+					{Name: "pc_hi", Value: chi},
+					{Name: "iters", Value: done},
+					{Name: "recovery_ns", Value: recovery.Nanoseconds()},
+					{Name: "increment_ns", Value: incDur.Nanoseconds()},
+				},
+			})
 		}
 	})
-	for _, b := range bounds {
+	for t, b := range bounds {
 		s := b.Stats()
-		cs.Stats.RootEvals += s.RootEvals
-		cs.Stats.Corrections += s.Corrections
-		cs.Stats.Fallbacks += s.Fallbacks
-		cs.Stats.Searches += s.Searches
+		cs.PerThread[t].Unrank = s
+		cs.Stats.Add(s)
 	}
+	tel.Counter("unrank.root_evals").Add(cs.Stats.RootEvals)
+	tel.Counter("unrank.corrections").Add(cs.Stats.Corrections)
+	tel.Counter("unrank.fallbacks").Add(cs.Stats.Fallbacks)
+	tel.Counter("unrank.searches").Add(cs.Stats.Searches)
+	tel.Counter("omp.iterations").Add(total)
 	return cs, firstErr
 }
 

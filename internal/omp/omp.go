@@ -23,6 +23,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Kind enumerates the worksharing schedules.
@@ -207,4 +210,39 @@ func ParallelFor(threads int, lo, hi int64, sched Schedule, body func(tid int, i
 			body(tid, i)
 		}
 	})
+}
+
+// ParallelForTelemetry is ParallelFor with a per-thread chunk timeline
+// recorded on tel: each chunk becomes a "chunk"-category trace event
+// (named after the schedule kind, annotated with its bounds and
+// iteration count) and an observation of the "omp.chunk_seconds"
+// histogram. A nil tel falls through to the uninstrumented ParallelFor,
+// so the hot loop pays nothing when telemetry is off.
+func ParallelForTelemetry(threads int, lo, hi int64, sched Schedule, tel *telemetry.Registry,
+	body func(tid int, i int64)) {
+	if tel == nil {
+		ParallelFor(threads, lo, hi, sched, body)
+		return
+	}
+	tr := tel.Trace()
+	hist := tel.Histogram("omp.chunk_seconds", nil)
+	evName := sched.Kind.String()
+	ParallelForChunks(threads, lo, hi, sched, func(tid int, clo, chi int64) {
+		startOff := tr.Now()
+		t0 := time.Now()
+		for i := clo; i < chi; i++ {
+			body(tid, i)
+		}
+		d := time.Since(t0)
+		hist.Observe(d.Seconds())
+		tr.Add(telemetry.Event{
+			Name: evName, Cat: "chunk", TID: tid, Start: startOff, Dur: d,
+			Args: []telemetry.Arg{
+				{Name: "lo", Value: clo},
+				{Name: "hi", Value: chi},
+				{Name: "iters", Value: chi - clo},
+			},
+		})
+	})
+	tel.Counter("omp.iterations").Add(hi - lo)
 }

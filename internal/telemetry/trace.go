@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Arg is one key/value annotation attached to an Event. Args are a
+// slice (not a map) so event annotations keep a deterministic order in
+// exports.
+type Arg struct {
+	Name  string
+	Value int64
+}
+
+// Event is one completed span on the trace timeline: a named,
+// categorised interval with a thread id and monotonic start/duration
+// relative to the trace epoch.
+type Event struct {
+	Name  string
+	Cat   string
+	TID   int
+	Start time.Duration
+	Dur   time.Duration
+	Args  []Arg
+}
+
+// Trace records events against a monotonic epoch (the wall time of its
+// creation; Go's time package carries the monotonic clock through
+// Since, so intervals are immune to wall-clock adjustments).
+type Trace struct {
+	epoch  time.Time
+	mu     sync.Mutex
+	events []Event
+}
+
+func newTrace() *Trace { return &Trace{epoch: time.Now()} }
+
+// Now returns the monotonic offset since the trace epoch (0 on nil).
+func (t *Trace) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch)
+}
+
+// Add appends a completed event. No-op on a nil receiver.
+func (t *Trace) Add(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in append order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Span is an in-flight interval started by Trace.Start. It is a plain
+// value (no allocation); an inert Span (zero value) records nothing.
+type Span struct {
+	t     *Trace
+	name  string
+	cat   string
+	tid   int
+	start time.Duration
+}
+
+// Start begins a span at the current monotonic offset.
+func (t *Trace) Start(cat, name string, tid int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, cat: cat, tid: tid, start: t.Now()}
+}
+
+// End completes the span, recording it with optional annotations.
+func (s Span) End(args ...Arg) {
+	if s.t == nil {
+		return
+	}
+	s.t.Add(Event{
+		Name:  s.name,
+		Cat:   s.cat,
+		TID:   s.tid,
+		Start: s.start,
+		Dur:   s.t.Now() - s.start,
+		Args:  args,
+	})
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// complete events ("ph":"X") with microsecond timestamps.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	PID  int              `json:"pid"`
+	TID  int              `json:"tid"`
+	Ts   float64          `json:"ts"`
+	Dur  float64          `json:"dur,omitempty"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serialises the recorded events as a Chrome
+// trace-event JSON object, loadable in chrome://tracing and
+// https://ui.perfetto.dev. Spans become complete ("X") events; the
+// event category maps to the trace category, the span's thread id to
+// the trace tid.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events))}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   "X",
+			PID:  1,
+			TID:  ev.TID,
+			Ts:   float64(ev.Start) / float64(time.Microsecond),
+			Dur:  float64(ev.Dur) / float64(time.Microsecond),
+		}
+		if len(ev.Args) > 0 {
+			ce.Args = make(map[string]int64, len(ev.Args))
+			for _, a := range ev.Args {
+				ce.Args[a.Name] = a.Value
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteChromeTrace is the Registry-level convenience for
+// Trace.WriteChromeTrace; on a nil registry it writes an empty trace.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		_, err := fmt.Fprintln(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	return r.trace.WriteChromeTrace(w)
+}

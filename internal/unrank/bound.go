@@ -17,6 +17,20 @@ type Stats struct {
 	Searches    int64 // binary-search recoveries (fallbacks + binary mode)
 }
 
+// Add accumulates o into s (used to aggregate per-thread stats).
+func (s *Stats) Add(o Stats) {
+	s.RootEvals += o.RootEvals
+	s.Corrections += o.Corrections
+	s.Fallbacks += o.Fallbacks
+	s.Searches += o.Searches
+}
+
+// String renders the counters in a compact fixed-order form.
+func (s Stats) String() string {
+	return fmt.Sprintf("root evals %d, corrections %d, fallbacks %d, searches %d",
+		s.RootEvals, s.Corrections, s.Fallbacks, s.Searches)
+}
+
 // Bound is an Unranker bound to concrete parameter values, ready for
 // repeated Unrank/Rank/Increment calls. A Bound is not safe for
 // concurrent use — give each goroutine its own via Unranker.Bind (the

@@ -28,6 +28,7 @@ import (
 	"repro/internal/nest"
 	"repro/internal/poly"
 	"repro/internal/roots"
+	"repro/internal/telemetry"
 )
 
 // Mode selects the recovery strategy.
@@ -57,6 +58,11 @@ type Options struct {
 	// MaxCorrection bounds the ±1 exact-correction steps before falling
 	// back to binary search. Defaults to 8.
 	MaxCorrection int
+	// Telemetry, when non-nil, receives "compile"-category spans for the
+	// pipeline phases (ranking computation, per-level radical solving,
+	// root selection, root compilation). Nil disables instrumentation at
+	// no cost.
+	Telemetry *telemetry.Registry
 }
 
 // level holds the recovery machinery for one non-final loop level.
@@ -101,18 +107,22 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 	if opts.MaxCorrection <= 0 {
 		opts.MaxCorrection = 8
 	}
-	ranking := ehrhart.Ranking(n)
+	tel := opts.Telemetry
+	spNew := tel.StartSpan("compile", "unrank.New", 0)
+	defer spNew.End()
+	ranking, count := ehrhart.RankingInstrumented(n, tel)
 	if err := ehrhart.CheckDegree(ranking); err != nil {
 		return nil, err
 	}
 	u := &Unranker{
 		nest:    n,
 		ranking: ranking,
-		count:   ehrhart.Count(n),
+		count:   count,
 		mode:    opts.Mode,
 		maxCorr: opts.MaxCorrection,
 	}
 	u.order = append(append([]string(nil), n.Params...), n.Indices()...)
+	spPoly := tel.StartSpan("compile", "poly.Compile", 0)
 	var err error
 	u.rankComp, err = ranking.Compile(u.order)
 	if err != nil {
@@ -122,6 +132,7 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 	if err != nil {
 		return nil, err
 	}
+	spPoly.End()
 
 	d := n.Depth()
 	for k := 0; k < d-1; k++ {
@@ -133,10 +144,16 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 		}
 		if opts.Mode == ModeClosedForm {
 			eq := rk.Sub(poly.Var("pc"))
+			spSolve := tel.StartSpan("compile", "roots.Solve", 0)
 			lv.candidates, err = roots.Solve(eq.UnivariateIn(lv.varName))
+			spSolve.End(
+				telemetry.Arg{Name: "level", Value: int64(k)},
+				telemetry.Arg{Name: "candidates", Value: int64(len(lv.candidates))},
+			)
 			if err != nil {
 				return nil, fmt.Errorf("unrank: level %d (%s): %w", k, lv.varName, err)
 			}
+			tel.Counter("compile.root_candidates").Add(int64(len(lv.candidates)))
 		}
 		u.levels = append(u.levels, lv)
 	}
@@ -152,11 +169,15 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 	}
 
 	if opts.Mode == ModeClosedForm {
-		if err := u.selectRoots(opts); err != nil {
+		spSel := tel.StartSpan("compile", "unrank.selectRoots", 0)
+		err := u.selectRoots(opts)
+		spSel.End(telemetry.Arg{Name: "levels", Value: int64(len(u.levels))})
+		if err != nil {
 			return nil, err
 		}
 		// Compile each selected root for the hot path: variables are the
 		// parameters, the already-recovered prefix, and pc (positional).
+		spComp := tel.StartSpan("compile", "roots.Compile", 0)
 		for k := range u.levels {
 			vars := append(append([]string(nil), u.order[:len(n.Params)+k]...), "pc")
 			fn, err := roots.Compile(u.levels[k].root, vars)
@@ -165,6 +186,7 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 			}
 			u.levels[k].rootFn = fn
 		}
+		spComp.End()
 	}
 	return u, nil
 }

@@ -59,9 +59,51 @@ import (
 	"repro/internal/omp"
 	"repro/internal/poly"
 	"repro/internal/reshape"
+	"repro/internal/telemetry"
 	"repro/internal/transform"
 	"repro/internal/unrank"
 )
+
+// Telemetry is a metrics-and-tracing registry (atomic counters, latency
+// histograms, a span/event recorder). Pass one via WithTelemetry to
+// observe the compile pipeline and the parallel runtime; see
+// internal/telemetry for the report and Chrome-trace exports.
+type Telemetry = telemetry.Registry
+
+// NewTelemetry creates an enabled telemetry registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// CollapsedStats is the per-run runtime record of an instrumented
+// collapsed execution: team-wide recovery counters plus the per-thread
+// breakdown (chunks, iterations, busy/recovery/increment time).
+type CollapsedStats = omp.CollapsedStats
+
+// ThreadStats is one thread's row of CollapsedStats.PerThread.
+type ThreadStats = omp.ThreadStats
+
+// Option configures optional behaviour of Collapse and the runtime
+// entry points. All options default to off with near-zero overhead.
+type Option func(*config)
+
+type config struct {
+	tel *telemetry.Registry
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithTelemetry attaches a telemetry registry: Collapse/CollapseAt emit
+// compile-pipeline phase spans, and CollapsedFor/ParallelFor record a
+// per-thread chunk timeline plus recovery counters. A nil registry (or
+// omitting the option) leaves every hot path uninstrumented.
+func WithTelemetry(t *Telemetry) Option {
+	return func(c *config) { c.tel = t }
+}
 
 // Nest is a perfect affine loop nest (paper Fig. 5 model).
 type Nest = nest.Nest
@@ -101,8 +143,10 @@ func MustNewNest(params []string, loops ...Loop) *Nest { return nest.MustNew(par
 // Collapse builds the collapsed form of the c outermost loops of n: the
 // ranking Ehrhart polynomial, its symbolic inverse (with automatically
 // selected convenient roots), and the iteration-count polynomial.
-func Collapse(n *Nest, c int) (*Result, error) {
-	return core.Collapse(n, c, unrank.Options{})
+// WithTelemetry records per-phase compile spans.
+func Collapse(n *Nest, c int, opts ...Option) (*Result, error) {
+	cfg := buildConfig(opts)
+	return core.Collapse(n, c, unrank.Options{Telemetry: cfg.tel})
 }
 
 // CollapseBinarySearch is Collapse with the closed-form recovery
@@ -115,8 +159,9 @@ func CollapseBinarySearch(n *Nest, c int) (*Result, error) {
 // CollapseAt collapses c successive loops starting at level from
 // (0-based); the surrounding iterators become symbolic parameters of the
 // ranking polynomial, bound per outer iteration via res.Unranker.Bind.
-func CollapseAt(n *Nest, from, c int) (*Result, error) {
-	return core.CollapseAt(n, from, c, unrank.Options{})
+func CollapseAt(n *Nest, from, c int, opts ...Option) (*Result, error) {
+	cfg := buildConfig(opts)
+	return core.CollapseAt(n, from, c, unrank.Options{Telemetry: cfg.tel})
 }
 
 // CollapsedFor executes the collapsed iteration space on a goroutine
@@ -124,8 +169,23 @@ func CollapseAt(n *Nest, from, c int) (*Result, error) {
 // worker id and the recovered original indices (slice reused per
 // worker).
 func CollapsedFor(res *Result, params map[string]int64, threads int, sched Schedule,
-	body func(tid int, idx []int64)) error {
-	return omp.CollapsedFor(res, params, threads, sched, body)
+	body func(tid int, idx []int64), opts ...Option) error {
+	cfg := buildConfig(opts)
+	if cfg.tel == nil {
+		return omp.CollapsedFor(res, params, threads, sched, body)
+	}
+	_, err := omp.CollapsedForTelemetry(res, params, threads, sched, cfg.tel, body)
+	return err
+}
+
+// CollapsedForStats is CollapsedFor returning the per-thread runtime
+// breakdown (chunks, iterations, recovery vs increment time, unrank
+// counters); pass WithTelemetry to additionally record the chunk
+// timeline as trace events.
+func CollapsedForStats(res *Result, params map[string]int64, threads int, sched Schedule,
+	body func(tid int, idx []int64), opts ...Option) (CollapsedStats, error) {
+	cfg := buildConfig(opts)
+	return omp.CollapsedForTelemetry(res, params, threads, sched, cfg.tel, body)
 }
 
 // CollapsedForSIMD executes the collapsed space with the §VI.A batch
@@ -144,8 +204,15 @@ func CollapsedForWarp(res *Result, params map[string]int64, w int,
 
 // ParallelFor is the plain worksharing loop (the paper's baselines):
 // body(tid, i) runs for every i in [lo, hi) under the schedule.
-func ParallelFor(threads int, lo, hi int64, sched Schedule, body func(tid int, i int64)) {
-	omp.ParallelFor(threads, lo, hi, sched, body)
+// WithTelemetry records each chunk as a trace event; without it the hot
+// loop is completely uninstrumented.
+func ParallelFor(threads int, lo, hi int64, sched Schedule, body func(tid int, i int64), opts ...Option) {
+	cfg := buildConfig(opts)
+	if cfg.tel == nil {
+		omp.ParallelFor(threads, lo, hi, sched, body)
+		return
+	}
+	omp.ParallelForTelemetry(threads, lo, hi, sched, cfg.tel, body)
 }
 
 // Team is a persistent worker pool (OpenMP-style thread team) for
