@@ -16,16 +16,23 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-race:
-	$(GO) test -race ./internal/telemetry/ ./internal/omp/ ./internal/kernels/ .
+# Race-detector packages: everything concurrent (telemetry counters, the
+# omp runtime, kernels, the public API) plus the fault-tolerance layers
+# (fault injection registry, verified recovery) whose tests exercise
+# panic capture, cancellation and escalation under load.
+RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/kernels/ ./internal/faults/ ./internal/unrank/ .
 
-# Full pre-merge gate: vet, the whole suite, and the race detector over
-# the concurrent packages (telemetry counters, the omp runtime, kernels).
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Full pre-merge gate: vet, the whole suite, a short fuzz pass over every
+# fuzz target, and the race detector over the concurrent packages.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/telemetry/ ./internal/omp/ ./internal/kernels/ .
+	$(GO) test -race $(RACE_PKGS)
+	$(MAKE) fuzz FUZZTIME=5s
 
 cover:
 	$(GO) test -cover ./...
@@ -43,10 +50,15 @@ ablation:
 scaling:
 	$(GO) run ./cmd/benchfig -fig scaling
 
-# Short fuzzing sessions for the two parsers.
+# Short fuzzing sessions over every fuzz target: the two parsers, the
+# poly compiler, and the whole-pipeline rank/unrank round trip.
+FUZZTIME ?= 10s
+
 fuzz:
-	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/poly/
-	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/cparse/
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/poly/
+	$(GO) test -fuzz=FuzzCompile -fuzztime=$(FUZZTIME) ./internal/poly/
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/cparse/
+	$(GO) test -fuzz=FuzzRankUnrank -fuzztime=$(FUZZTIME) .
 
 clean:
 	$(GO) clean ./...

@@ -13,16 +13,21 @@
 // Flags: -threads (virtual thread count, default 12), -quick (small
 // problem sizes), -real (also run the goroutine runtime for Fig. 9),
 // -chunks (recovery count for Fig. 10, default 12), -n / -fig2threads
-// (Fig. 2 geometry), -kernel (kernel for -fig imbalance), -trace-out
+// (Fig. 2 geometry), -kernel (kernel for -fig imbalance), -src / -srcn
+// (run -fig imbalance on the nest of an annotated C file instead of a
+// named kernel; parse errors are reported file:line:col), -trace-out
 // (write the imbalance runs' chunk timeline as Chrome trace-event
 // JSON), -v (calibration details).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"repro/internal/cparse"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
@@ -37,9 +42,15 @@ type options struct {
 	fig2N    int64
 	fig2T    int
 	kernel   string
+	src      string
+	srcN     int64
 	traceOut string
 	verbose  bool
 }
+
+// knownFigs are the accepted -fig values; anything else is rejected up
+// front instead of silently printing nothing.
+var knownFigs = []string{"2", "8", "9", "10", "imbalance", "ablation", "scaling", "all"}
 
 func main() {
 	var o options
@@ -51,6 +62,8 @@ func main() {
 	flag.Int64Var(&o.fig2N, "n", 1000, "Fig. 2 problem size N")
 	flag.IntVar(&o.fig2T, "fig2threads", 5, "Fig. 2 thread count (paper: 5)")
 	flag.StringVar(&o.kernel, "kernel", "correlation", "kernel for -fig imbalance")
+	flag.StringVar(&o.src, "src", "", "annotated C file: run -fig imbalance on its nest instead of a named kernel")
+	flag.Int64Var(&o.srcN, "srcn", 200, "parameter value for every parameter of the -src nest")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the imbalance chunk timeline as Chrome trace-event JSON")
 	flag.BoolVar(&o.verbose, "v", false, "print calibration details")
 	flag.Parse()
@@ -62,6 +75,16 @@ func main() {
 }
 
 func run(o options) error {
+	known := false
+	for _, f := range knownFigs {
+		if o.fig == f {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown figure %q (valid: %v)", o.fig, knownFigs)
+	}
 	do := func(f string) bool { return o.fig == "all" || o.fig == f }
 	if do("2") {
 		fmt.Print(experiments.Fig2(o.fig2N, o.fig2T).Render())
@@ -98,16 +121,32 @@ func run(o options) error {
 		if o.traceOut != "" {
 			tel = telemetry.New()
 		}
-		rows, err := experiments.Imbalance(experiments.ImbalanceOptions{
+		opts := experiments.ImbalanceOptions{
 			Kernel:    o.kernel,
 			Threads:   o.threads,
 			Quick:     o.quick,
 			Telemetry: tel,
-		})
+		}
+		label := o.kernel
+		if o.src != "" {
+			prog, err := parseSrc(o.src)
+			if err != nil {
+				return err
+			}
+			opts.Nest = prog.Nest
+			opts.Collapse = prog.CollapseCount
+			opts.Params = map[string]int64{}
+			for _, p := range prog.Nest.Params {
+				opts.Params[p] = o.srcN
+			}
+			label = fmt.Sprintf("%s (collapse %d, params=%d)",
+				filepath.Base(o.src), prog.CollapseCount, o.srcN)
+		}
+		rows, err := experiments.Imbalance(opts)
 		if err != nil {
 			return err
 		}
-		fmt.Print(experiments.RenderImbalance(rows, o.kernel, o.threads))
+		fmt.Print(experiments.RenderImbalance(rows, label, o.threads))
 		fmt.Println()
 		if o.traceOut != "" {
 			f, err := os.Create(o.traceOut)
@@ -141,4 +180,22 @@ func run(o options) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// parseSrc reads and parses an annotated C file, reporting parse
+// failures compiler style (file:line:col).
+func parseSrc(path string) (*cparse.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := cparse.Parse(string(data))
+	if err != nil {
+		var se *cparse.SyntaxError
+		if errors.As(err, &se) {
+			return nil, fmt.Errorf("%s:%d:%d: %s", path, se.Line, se.Col, se.Msg)
+		}
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return prog, nil
 }

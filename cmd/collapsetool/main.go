@@ -36,6 +36,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/cparse"
+	"repro/internal/faults"
 	"repro/internal/omp"
 	"repro/internal/roots"
 	"repro/internal/telemetry"
@@ -62,6 +64,7 @@ type options struct {
 	report   bool
 	check    int64
 	stats    bool
+	verify   bool
 	statsN   int64
 	threads  int
 	traceOut string
@@ -78,6 +81,7 @@ func main() {
 	flag.BoolVar(&o.report, "report", false, "print ranking polynomial, count and root analysis")
 	flag.Int64Var(&o.check, "check", 0, "self-check the bijection for this parameter value")
 	flag.BoolVar(&o.stats, "stats", false, "run the collapsed nest and print telemetry (per-thread loads, recovery counters, imbalance)")
+	flag.BoolVar(&o.verify, "verify", false, "re-rank every recovered tuple exactly during -check/-stats runs (escalates to binary search on mismatch)")
 	flag.Int64Var(&o.statsN, "n", 300, "parameter value for the -stats run")
 	flag.IntVar(&o.threads, "threads", omp.DefaultThreads(), "team size for the -stats run")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write Chrome trace-event JSON to this file")
@@ -86,6 +90,11 @@ func main() {
 
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "collapsetool:", err)
+		if pe := faults.AsPanic(err); pe != nil {
+			// An internal invariant tripped; the captured stack is the
+			// only clue worth filing, so print it after the message.
+			fmt.Fprintf(os.Stderr, "%s", pe.Stack)
+		}
 		os.Exit(1)
 	}
 }
@@ -93,11 +102,13 @@ func main() {
 func run(o options) error {
 	var src []byte
 	var err error
+	name := "<stdin>"
 	switch len(o.args) {
 	case 0:
 		src, err = io.ReadAll(os.Stdin)
 	case 1:
-		src, err = os.ReadFile(o.args[0])
+		name = o.args[0]
+		src, err = os.ReadFile(name)
 	default:
 		return fmt.Errorf("at most one input file")
 	}
@@ -107,14 +118,26 @@ func run(o options) error {
 
 	prog, err := cparse.Parse(string(src))
 	if err != nil {
+		var se *cparse.SyntaxError
+		if errors.As(err, &se) {
+			// Point at the offending construct, compiler style.
+			return fmt.Errorf("%s:%d:%d: %s", name, se.Line, se.Col, se.Msg)
+		}
 		return err
 	}
 	var tel *telemetry.Registry
 	if o.stats || o.traceOut != "" {
 		tel = telemetry.New()
 	}
-	res, err := core.Collapse(prog.Nest, prog.CollapseCount, unrank.Options{Telemetry: tel})
+	res, err := core.Collapse(prog.Nest, prog.CollapseCount, unrank.Options{Telemetry: tel, Verify: o.verify})
 	if err != nil {
+		if o.stats && faults.Collapsible(err) {
+			// The technique is inapplicable to this nest; run it anyway
+			// with plain outer-loop worksharing and report the downgrade.
+			fmt.Fprintf(os.Stderr, "collapsetool: %s: collapse inapplicable: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "collapsetool: downgrading to uncollapsed outer-loop worksharing\n")
+			return runFallbackStats(prog, o.statsN, o.threads, tel)
+		}
 		return err
 	}
 
@@ -284,6 +307,38 @@ func runStats(res *core.Result, prog *cparse.Program, statsN int64, threads int,
 		statsN, threads, sched.Kind, cs.Total)
 	fmt.Printf("\nload imbalance:\n%s", cs.ImbalanceReport())
 	fmt.Printf("\nrecovery stats (all threads): %s\n", cs.Stats)
+	fmt.Printf("\n%s", tel.Report())
+	return nil
+}
+
+// runFallbackStats is the degraded form of runStats: the nest runs
+// uncollapsed (outermost loop workshared) because collapsing was
+// inapplicable, and the telemetry report records the downgrade.
+func runFallbackStats(prog *cparse.Program, statsN int64, threads int,
+	tel *telemetry.Registry) error {
+	params := map[string]int64{}
+	for _, p := range prog.Nest.Params {
+		params[p] = statsN
+	}
+	sched := parseSchedule(prog.Schedule)
+	tel.Counter("omp.downgrades").Inc()
+	var iters int64
+	perThread := make([]int64, threads)
+	err := omp.UncollapsedFor(nil, prog.Nest, params, threads, sched,
+		func(tid int, idx []int64) { perThread[tid]++ })
+	if err != nil {
+		return err
+	}
+	for _, c := range perThread {
+		iters += c
+	}
+	tel.Counter("omp.iterations").Add(iters)
+	fmt.Printf("\n=== telemetry (uncollapsed fallback, params=%d, threads=%d, schedule %s, %d iterations) ===\n",
+		statsN, threads, sched.Kind, iters)
+	fmt.Printf("\nper-thread iterations (outer-loop worksharing):\n")
+	for t, c := range perThread {
+		fmt.Printf("  thread %d: %d\n", t, c)
+	}
 	fmt.Printf("\n%s", tel.Report())
 	return nil
 }

@@ -221,6 +221,85 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// TestRunMalformedDiagnostics checks that parse failures come back as
+// located, compiler-style diagnostics (file:line:col) rather than byte
+// offsets or panics.
+func TestRunMalformedDiagnostics(t *testing.T) {
+	o := base("../../testdata/malformed/stride.c")
+	err := run(o)
+	if err == nil {
+		t.Fatal("malformed input accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "stride.c:5:") || !strings.Contains(msg, "unit stride") {
+		t.Errorf("diagnostic not located (want file:5:col + cause): %v", err)
+	}
+
+	o = base("../../testdata/malformed/nonaffine.c")
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "not affine") {
+		t.Errorf("non-affine diagnostic: %v", err)
+	}
+}
+
+const quinticC = `
+#pragma omp parallel for collapse(5) schedule(static)
+for (a = 0; a < N; a++)
+  for (b = 0; b <= a; b++)
+    for (c = 0; c <= b; c++)
+      for (d = 0; d <= c; d++)
+        for (e = 0; e <= d; e++)
+          x += 1;
+`
+
+// TestRunStatsDowngrade checks the graceful-degradation path of -stats:
+// a collapse(5) simplex nest has a degree-5 ranking polynomial (beyond
+// radical solvability), so the tool downgrades to uncollapsed outer-loop
+// worksharing and reports the downgrade in the telemetry.
+func TestRunStatsDowngrade(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "quintic.c")
+	if err := os.WriteFile(path, []byte(quinticC), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := base(path)
+	o.stats = true
+	o.statsN = 8
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"uncollapsed fallback",
+		"per-thread iterations (outer-loop worksharing)",
+		"omp.downgrades",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("downgrade output missing %q:\n%s", frag, out)
+		}
+	}
+	// Without -stats the inapplicability is a hard, classified error.
+	o.stats = false
+	if _, err := capture(t, func() error { return run(o) }); err == nil ||
+		!strings.Contains(err.Error(), "degree") {
+		t.Errorf("codegen of degree-5 nest not rejected: %v", err)
+	}
+}
+
+// TestRunStatsVerify runs -stats with exact per-recovery verification
+// enabled and checks the verify counter surfaces in the report.
+func TestRunStatsVerify(t *testing.T) {
+	o := base(writeInput(t))
+	o.stats = true
+	o.verify = true
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "unrank.verifies") || !strings.Contains(out, "verifies") {
+		t.Errorf("verify counters missing from -stats output:\n%s", out)
+	}
+}
+
 // TestRunRepositoryTestdata self-checks the transformation on every
 // sample input shipped in testdata/, including the quartic §IV.B limit
 // case.

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/ehrhart"
+	"repro/internal/faults"
 	"repro/internal/nest"
 	"repro/internal/poly"
 	"repro/internal/telemetry"
@@ -48,10 +49,27 @@ type Result struct {
 	Unranker *unrank.Unranker
 }
 
+// guard converts a compile-pipeline panic into a *faults.PanicError so
+// the public Collapse API never panics on malformed input; provable
+// internal invariants still surface, but as inspectable errors with the
+// panicking stack attached.
+func guard(res **Result, err *error) {
+	if r := recover(); r != nil {
+		*res = nil
+		*err = fmt.Errorf("core: collapse pipeline: %w", faults.Recovered(r))
+	}
+}
+
 // Collapse builds the collapsed form of the c outermost loops of n.
 // opts configures the unranking construction (recovery mode, root
 // selection samples).
-func Collapse(n *nest.Nest, c int, opts unrank.Options) (*Result, error) {
+//
+// Failures are typed (see internal/faults): applicability limits wrap
+// ErrNonAffine, ErrDegreeTooHigh or ErrNoConvenientRoot; arithmetic
+// limits wrap ErrOverflow; an internal panic is captured and returned
+// as a *faults.PanicError instead of crashing the caller.
+func Collapse(n *nest.Nest, c int, opts unrank.Options) (res *Result, err error) {
+	defer guard(&res, &err)
 	sp := opts.Telemetry.StartSpan("compile", "core.Collapse", 0)
 	defer sp.End(
 		telemetry.Arg{Name: "collapse", Value: int64(c)},
@@ -102,7 +120,8 @@ func MustCollapse(n *nest.Nest, c int, opts unrank.Options) *Result {
 // through Unranker.Bind (together with the size parameters).
 //
 // The loops deeper than the band stay inside the body, as with Collapse.
-func CollapseAt(n *nest.Nest, from, c int, opts unrank.Options) (*Result, error) {
+func CollapseAt(n *nest.Nest, from, c int, opts unrank.Options) (res *Result, err error) {
+	defer guard(&res, &err)
 	if from != 0 {
 		sp := opts.Telemetry.StartSpan("compile", "core.CollapseAt", 0)
 		defer sp.End(
@@ -188,7 +207,8 @@ func ForRange(b *unrank.Bound, pcLo, pcHi int64, body func(pc int64, idx []int64
 			return nil
 		}
 		if !b.Increment(idx) {
-			return fmt.Errorf("core: iteration space exhausted at pc=%d before reaching %d", pc, pcHi)
+			return fmt.Errorf("core: iteration space exhausted at pc=%d before reaching %d: %w",
+				pc, pcHi, faults.ErrRecoveryDiverged)
 		}
 	}
 }

@@ -50,6 +50,34 @@ var (
 	scheduleRe = regexp.MustCompile(`schedule\s*\(\s*([^)]*?)\s*\)`)
 )
 
+// SyntaxError is a parse failure located in the source text (1-based
+// line and column), so tools can point at the offending construct
+// instead of reporting a byte offset.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lineCol converts a byte offset into 1-based line and column.
+func lineCol(src string, pos int) (line, col int) {
+	if pos > len(src) {
+		pos = len(src)
+	}
+	line = 1 + strings.Count(src[:pos], "\n")
+	nl := strings.LastIndexByte(src[:pos], '\n')
+	return line, pos - nl
+}
+
+// errAt builds a *SyntaxError at the given byte offset.
+func (s *scanner) errAt(pos int, format string, args ...any) error {
+	line, col := lineCol(s.src, pos)
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
 // Parse parses the first OpenMP-annotated loop nest in src.
 func Parse(src string) (*Program, error) {
 	loc := pragmaRe.FindStringIndex(src)
@@ -171,7 +199,7 @@ func (s *scanner) peekByte() byte {
 func (s *scanner) expect(word string) error {
 	s.skipSpace()
 	if !strings.HasPrefix(s.src[s.pos:], word) {
-		return fmt.Errorf("expected %q at offset %d (found %q)", word, s.pos, snippet(s.src, s.pos))
+		return s.errAt(s.pos, "expected %q (found %q)", word, snippet(s.src, s.pos))
 	}
 	s.pos += len(word)
 	return nil
@@ -192,7 +220,7 @@ func (s *scanner) ident() (string, error) {
 		s.pos++
 	}
 	if s.pos == start {
-		return "", fmt.Errorf("expected identifier at offset %d (found %q)", start, snippet(s.src, start))
+		return "", s.errAt(start, "expected identifier (found %q)", snippet(s.src, start))
 	}
 	return s.src[start:s.pos], nil
 }
@@ -221,7 +249,7 @@ func (s *scanner) until(stops string) (string, byte, error) {
 		}
 		s.pos++
 	}
-	return "", 0, fmt.Errorf("unterminated expression starting at offset %d", start)
+	return "", 0, s.errAt(start, "unterminated expression")
 }
 
 // parseForHeader parses: for ( i = lo ; i < hi ; i++ ).
@@ -254,7 +282,7 @@ func (s *scanner) parseForHeader() (nest.Loop, error) {
 	}
 	s.skipSpace()
 	if s.peekByte() != '<' {
-		return loop, fmt.Errorf("only '<' and '<=' conditions are supported (offset %d)", s.pos)
+		return loop, s.errAt(s.pos, "only '<' and '<=' conditions are supported (found %q)", snippet(s.src, s.pos))
 	}
 	s.pos++
 	le := false
@@ -302,7 +330,7 @@ func (s *scanner) parseIncrement(idx string) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("unsupported increment at offset %d (found %q); unit stride required", s.pos, snippet(s.src, s.pos))
+	return s.errAt(s.pos, "unsupported increment (found %q); unit stride required", snippet(s.src, s.pos))
 }
 
 // captureBody grabs the loop body: a braced block (returning its inner
@@ -349,7 +377,7 @@ func (s *scanner) captureInnerFor() (string, error) {
 	}
 	s.skipSpace()
 	if s.peekByte() != '(' {
-		return "", fmt.Errorf("cparse: malformed inner for at offset %d", s.pos)
+		return "", s.errAt(s.pos, "malformed inner for statement")
 	}
 	depth := 0
 	for s.pos < len(s.src) {

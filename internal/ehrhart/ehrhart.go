@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/faults"
 	"repro/internal/nest"
 	"repro/internal/numeric"
 	"repro/internal/poly"
@@ -109,7 +110,8 @@ func Ranking(n *nest.Nest) *poly.Poly {
 func CheckDegree(r *poly.Poly) error {
 	if d := r.MaxVarDegree(); d > 4 {
 		return fmt.Errorf("ehrhart: ranking polynomial has a variable of degree %d > 4; "+
-			"more than 4 nested loops depend on a single index (paper §IV.B)", d)
+			"more than 4 nested loops depend on a single index (paper §IV.B): %w",
+			d, faults.ErrDegreeTooHigh)
 	}
 	return nil
 }

@@ -5,9 +5,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/nest"
 	"repro/internal/omp"
 	"repro/internal/telemetry"
+	"repro/internal/unrank"
 )
 
 // ImbalanceOptions configure the per-schedule load-balance experiment.
@@ -22,6 +25,15 @@ type ImbalanceOptions struct {
 	// Telemetry, when non-nil, receives the chunk timelines of every
 	// schedule run on one shared timebase (for Chrome trace export).
 	Telemetry *telemetry.Registry
+
+	// Nest, when non-nil, replaces the named kernel: the Collapse
+	// outermost loops of the nest run with an empty body under each
+	// schedule, so arbitrary parsed sources (benchfig -src) can have
+	// their chunk distribution measured. Params binds the nest's
+	// parameters.
+	Nest     *nest.Nest
+	Collapse int
+	Params   map[string]int64
 }
 
 // ImbalanceRow is one schedule's measured load distribution.
@@ -59,31 +71,46 @@ func scheduleLabel(s omp.Schedule) string {
 // busy times, recovery-vs-increment split, and the balance statistics
 // (max/mean, coefficient of variation).
 func Imbalance(opts ImbalanceOptions) ([]ImbalanceRow, error) {
-	if opts.Kernel == "" {
-		opts.Kernel = "correlation"
-	}
 	if opts.Threads <= 0 {
 		opts.Threads = 8
 	}
-	k, err := kernels.ByName(opts.Kernel)
-	if err != nil {
-		return nil, err
-	}
-	p := k.BenchParams
-	if opts.Quick {
-		p = k.TestParams
-	}
-	inst := k.New(p)
-	res, err := k.Collapsed()
-	if err != nil {
-		return nil, err
+	var res *core.Result
+	var params map[string]int64
+	reset := func() {}
+	body := func(tid int, idx []int64) {}
+	if opts.Nest != nil {
+		r, err := core.Collapse(opts.Nest, opts.Collapse, unrank.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res, params = r, opts.Params
+	} else {
+		if opts.Kernel == "" {
+			opts.Kernel = "correlation"
+		}
+		k, err := kernels.ByName(opts.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		p := k.BenchParams
+		if opts.Quick {
+			p = k.TestParams
+		}
+		inst := k.New(p)
+		res, err = k.Collapsed()
+		if err != nil {
+			return nil, err
+		}
+		params = k.NestParams(p)
+		reset = inst.Reset
+		body = func(tid int, idx []int64) { inst.RunCollapsed(idx) }
 	}
 	var rows []ImbalanceRow
 	for _, sched := range imbalanceSchedules() {
-		inst.Reset()
+		reset()
 		start := time.Now()
-		cs, err := omp.CollapsedForTelemetry(res, k.NestParams(p), opts.Threads, sched,
-			opts.Telemetry, func(tid int, idx []int64) { inst.RunCollapsed(idx) })
+		cs, err := omp.CollapsedForTelemetry(res, params, opts.Threads, sched,
+			opts.Telemetry, body)
 		if err != nil {
 			return nil, fmt.Errorf("schedule %s: %w", scheduleLabel(sched), err)
 		}

@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSentinelWrapping(t *testing.T) {
+	err := fmt.Errorf("ehrhart: degree 5 at level 2: %w", ErrDegreeTooHigh)
+	if !errors.Is(err, ErrDegreeTooHigh) {
+		t.Fatal("wrapped sentinel not matched by errors.Is")
+	}
+	if errors.Is(err, ErrNonAffine) {
+		t.Fatal("unrelated sentinel matched")
+	}
+}
+
+func TestCollapsible(t *testing.T) {
+	for _, err := range []error{ErrNonAffine, ErrDegreeTooHigh, ErrNoConvenientRoot, ErrOverflow} {
+		if !Collapsible(fmt.Errorf("ctx: %w", err)) {
+			t.Errorf("Collapsible(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{ErrRecoveryDiverged, ErrCanceled, errors.New("other")} {
+		if Collapsible(err) {
+			t.Errorf("Collapsible(%v) = true, want false", err)
+		}
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	pe := func() (pe *PanicError) {
+		defer func() { pe = Recovered(recover()) }()
+		panic("boom")
+	}()
+	if pe.Value != "boom" {
+		t.Fatalf("Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "faults") {
+		t.Fatalf("stack not captured: %q", pe.Stack)
+	}
+	wrapped := fmt.Errorf("omp: worker 3: %w", pe)
+	if AsPanic(wrapped) != pe {
+		t.Fatal("AsPanic did not find the PanicError")
+	}
+	if !strings.Contains(fmt.Sprintf("%+v", pe), "goroutine") {
+		t.Fatal("verbose format does not include the stack")
+	}
+}
+
+func TestPanicErrorUnwrapsErrorValue(t *testing.T) {
+	pe := &PanicError{Value: fmt.Errorf("poly: too big: %w", ErrOverflow)}
+	if !errors.Is(pe, ErrOverflow) {
+		t.Fatal("error panic value not unwrapped")
+	}
+	if (&PanicError{Value: "text"}).Unwrap() != nil {
+		t.Fatal("non-error panic value should unwrap to nil")
+	}
+}
+
+func TestInjectionPlan(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("plan active at test start")
+	}
+	if err := InjectChunk(0, 1, 10); err != nil {
+		t.Fatalf("InjectChunk with no plan: %v", err)
+	}
+	if got := PerturbRoot(0, 3+4i); got != 3+4i {
+		t.Fatalf("PerturbRoot with no plan altered value: %v", got)
+	}
+
+	calls := 0
+	restore := Activate(&Plan{
+		PerturbRoot: func(level int, x complex128) complex128 { return x + 1 },
+		OnChunk: func(tid int, clo, chi int64) error {
+			calls++
+			if clo == 5 {
+				return ErrCanceled
+			}
+			return nil
+		},
+	})
+	if got := PerturbRoot(1, 2); got != 3 {
+		t.Fatalf("PerturbRoot = %v, want 3", got)
+	}
+	if err := InjectChunk(0, 1, 5); err != nil {
+		t.Fatalf("InjectChunk(1): %v", err)
+	}
+	if err := InjectChunk(0, 5, 9); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("InjectChunk(5) = %v, want ErrCanceled", err)
+	}
+	if calls != 2 {
+		t.Fatalf("OnChunk calls = %d", calls)
+	}
+	restore()
+	if Active() != nil {
+		t.Fatal("restore did not clear the plan")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/poly"
 )
 
@@ -124,18 +125,21 @@ func (n *Nest) Validate() error {
 }
 
 // checkAffine verifies p is an affine combination with integer
-// coefficients of the variables in scope.
+// coefficients of the variables in scope. Violations wrap
+// faults.ErrNonAffine so callers can classify the applicability failure.
 func checkAffine(p *poly.Poly, inScope map[string]bool) error {
 	for _, v := range p.Vars() {
 		if !inScope[v] {
-			return fmt.Errorf("uses %q which is not a parameter or enclosing iterator", v)
+			return fmt.Errorf("uses %q which is not a parameter or enclosing iterator: %w",
+				v, faults.ErrNonAffine)
 		}
 	}
 	if p.TotalDegree() > 1 {
-		return fmt.Errorf("not affine (total degree %d)", p.TotalDegree())
+		return fmt.Errorf("not affine (total degree %d): %w", p.TotalDegree(), faults.ErrNonAffine)
 	}
 	if d := p.CommonDenominator(); d.Int64() != 1 || !d.IsInt64() {
-		return fmt.Errorf("has non-integer coefficients (denominator %s)", p.CommonDenominator())
+		return fmt.Errorf("has non-integer coefficients (denominator %s): %w",
+			p.CommonDenominator(), faults.ErrNonAffine)
 	}
 	return nil
 }

@@ -1,11 +1,14 @@
 package omp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 	"repro/internal/unrank"
 )
@@ -21,7 +24,18 @@ import (
 // invocation on distinct iterations; the idx slice is reused per worker.
 func CollapsedFor(r *core.Result, params map[string]int64, threads int, sched Schedule,
 	body func(tid int, idx []int64)) error {
-	return collapsedRun(r, params, threads, sched, body, false)
+	return collapsedRun(nil, r, params, threads, sched, body, false)
+}
+
+// CollapsedForCtx is CollapsedFor with cooperative cancellation: ctx is
+// checked at every chunk boundary (never inside a chunk, so the §V
+// recovery/incrementation fast path is untouched), and a canceled
+// context stops the team with an error wrapping faults.ErrCanceled. A
+// panic in body is captured with its stack and returned as a
+// *faults.PanicError; the process survives and the team drains cleanly.
+func CollapsedForCtx(ctx context.Context, r *core.Result, params map[string]int64,
+	threads int, sched Schedule, body func(tid int, idx []int64)) error {
+	return collapsedRun(ctx, r, params, threads, sched, body, false)
 }
 
 // CollapsedForEvery is CollapsedFor with the recovery performed at every
@@ -29,11 +43,11 @@ func CollapsedFor(r *core.Result, params map[string]int64, threads int, sched Sc
 // associates with dynamic scheduling of collapsed loops (§V).
 func CollapsedForEvery(r *core.Result, params map[string]int64, threads int, sched Schedule,
 	body func(tid int, idx []int64)) error {
-	return collapsedRun(r, params, threads, sched, body, true)
+	return collapsedRun(nil, r, params, threads, sched, body, true)
 }
 
-func collapsedRun(r *core.Result, params map[string]int64, threads int, sched Schedule,
-	body func(tid int, idx []int64), every bool) error {
+func collapsedRun(ctx context.Context, r *core.Result, params map[string]int64, threads int,
+	sched Schedule, body func(tid int, idx []int64), every bool) error {
 	if threads < 1 {
 		threads = 1
 	}
@@ -49,21 +63,16 @@ func collapsedRun(r *core.Result, params map[string]int64, threads int, sched Sc
 	if total == 0 {
 		return nil
 	}
-	var firstErr error
-	var errOnce sync.Once
-	ParallelForChunks(threads, 1, total+1, sched, func(tid int, clo, chi int64) {
+	return ParallelForChunksCtx(ctx, threads, 1, total+1, sched, func(tid int, clo, chi int64) error {
 		b := bounds[tid]
 		run := core.ForRange
 		if every {
 			run = core.ForRangeEvery
 		}
-		if err := run(b, clo, chi-1, func(pc int64, idx []int64) {
+		return run(b, clo, chi-1, func(pc int64, idx []int64) {
 			body(tid, idx)
-		}); err != nil {
-			errOnce.Do(func() { firstErr = err })
-		}
+		})
 	})
-	return firstErr
 }
 
 // ThreadStats is the per-thread runtime record of an instrumented
@@ -132,6 +141,18 @@ func RunCollapsedWithStats(r *core.Result, params map[string]int64, threads int,
 // reads per iteration; use CollapsedFor for uninstrumented runs.
 func CollapsedForTelemetry(r *core.Result, params map[string]int64, threads int, sched Schedule,
 	tel *telemetry.Registry, body func(tid int, idx []int64)) (CollapsedStats, error) {
+	return CollapsedForTelemetryCtx(nil, r, params, threads, sched, tel, body)
+}
+
+// CollapsedForTelemetryCtx is CollapsedForTelemetry with cooperative
+// cancellation at chunk boundaries. It additionally publishes the
+// robustness counters on tel: "omp.panics_recovered" (worker panics
+// captured as errors), "omp.cancellations" (runs stopped by ctx), and
+// "unrank.verifies"/"unrank.verify_escalations" (exact re-rank checks
+// and binary-search escalations of verified recovery).
+func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[string]int64,
+	threads int, sched Schedule, tel *telemetry.Registry,
+	body func(tid int, idx []int64)) (CollapsedStats, error) {
 	if threads < 1 {
 		threads = 1
 	}
@@ -158,10 +179,7 @@ func CollapsedForTelemetry(r *core.Result, params map[string]int64, threads int,
 	for t := range idxs {
 		idxs[t] = make([]int64, r.C)
 	}
-	var firstErr error
-	var errOnce sync.Once
-	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
-	ParallelForChunks(threads, 1, total+1, sched, func(tid int, clo, chi int64) {
+	runErr := ParallelForChunksCtx(ctx, threads, 1, total+1, sched, func(tid int, clo, chi int64) error {
 		st := &cs.PerThread[tid]
 		b := bounds[tid]
 		idx := idxs[tid]
@@ -171,19 +189,20 @@ func CollapsedForTelemetry(r *core.Result, params map[string]int64, threads int,
 		}
 		t0 := time.Now()
 		if err := b.Unrank(clo, idx); err != nil {
-			fail(err)
-			return
+			return err
 		}
 		recovery := time.Since(t0)
 		var incDur time.Duration
 		var done int64
+		var chunkErr error
 		for pc := clo; pc < chi; pc++ {
 			body(tid, idx)
 			done++
 			if pc+1 < chi {
 				is := time.Now()
 				if !b.Increment(idx) {
-					fail(fmt.Errorf("omp: iteration space exhausted at pc=%d before reaching %d", pc, chi-1))
+					chunkErr = fmt.Errorf("omp: iteration space exhausted at pc=%d before reaching %d: %w",
+						pc, chi-1, faults.ErrRecoveryDiverged)
 					break
 				}
 				incDur += time.Since(is)
@@ -208,6 +227,7 @@ func CollapsedForTelemetry(r *core.Result, params map[string]int64, threads int,
 				},
 			})
 		}
+		return chunkErr
 	})
 	for t, b := range bounds {
 		s := b.Stats()
@@ -218,8 +238,22 @@ func CollapsedForTelemetry(r *core.Result, params map[string]int64, threads int,
 	tel.Counter("unrank.corrections").Add(cs.Stats.Corrections)
 	tel.Counter("unrank.fallbacks").Add(cs.Stats.Fallbacks)
 	tel.Counter("unrank.searches").Add(cs.Stats.Searches)
+	if cs.Stats.Verifies > 0 {
+		tel.Counter("unrank.verifies").Add(cs.Stats.Verifies)
+	}
+	if cs.Stats.Escalations > 0 {
+		tel.Counter("unrank.verify_escalations").Add(cs.Stats.Escalations)
+	}
+	if runErr != nil {
+		switch {
+		case faults.AsPanic(runErr) != nil:
+			tel.Counter("omp.panics_recovered").Inc()
+		case errors.Is(runErr, faults.ErrCanceled):
+			tel.Counter("omp.cancellations").Inc()
+		}
+	}
 	tel.Counter("omp.iterations").Add(total)
-	return cs, firstErr
+	return cs, runErr
 }
 
 // CollapsedForSIMD executes the collapsed space with the §VI.A
@@ -248,37 +282,35 @@ func CollapsedForSIMD(r *core.Result, params map[string]int64, threads, vlength 
 		return nil
 	}
 	depth := r.C
-	var firstErr error
-	var errOnce sync.Once
-	ParallelForChunks(threads, 1, total+1, Schedule{Kind: Static}, func(tid int, clo, chi int64) {
-		b := bounds[tid]
-		// Pre-allocate the thread-private tuple array T[vlength].
-		backing := make([]int64, vlength*depth)
-		batch := make([][]int64, vlength)
-		for v := range batch {
-			batch[v] = backing[v*depth : (v+1)*depth]
-		}
-		cur := make([]int64, depth)
-		if err := b.Unrank(clo, cur); err != nil {
-			errOnce.Do(func() { firstErr = err })
-			return
-		}
-		for pc := clo; pc < chi; {
-			nb := 0
-			for v := 0; v < vlength && pc+int64(v) < chi; v++ {
-				copy(batch[v], cur)
-				nb++
-				if pc+int64(v)+1 < chi {
-					if !b.Increment(cur) {
-						break
+	return ParallelForChunksCtx(nil, threads, 1, total+1, Schedule{Kind: Static},
+		func(tid int, clo, chi int64) error {
+			b := bounds[tid]
+			// Pre-allocate the thread-private tuple array T[vlength].
+			backing := make([]int64, vlength*depth)
+			batch := make([][]int64, vlength)
+			for v := range batch {
+				batch[v] = backing[v*depth : (v+1)*depth]
+			}
+			cur := make([]int64, depth)
+			if err := b.Unrank(clo, cur); err != nil {
+				return err
+			}
+			for pc := clo; pc < chi; {
+				nb := 0
+				for v := 0; v < vlength && pc+int64(v) < chi; v++ {
+					copy(batch[v], cur)
+					nb++
+					if pc+int64(v)+1 < chi {
+						if !b.Increment(cur) {
+							break
+						}
 					}
 				}
+				body(tid, batch[:nb])
+				pc += int64(nb)
 			}
-			body(tid, batch[:nb])
-			pc += int64(nb)
-		}
-	})
-	return firstErr
+			return nil
+		})
 }
 
 // CollapsedForWarp executes the collapsed space with the §VI.B GPU-warp
@@ -307,6 +339,13 @@ func CollapsedForWarp(r *core.Result, params map[string]int64, W int,
 		wg.Add(1)
 		go func(lane int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("omp: warp lane %d: %w", lane, faults.Recovered(r))
+					})
+				}
+			}()
 			b := bounds[lane]
 			start := int64(lane) + 1
 			if start > total {

@@ -19,12 +19,14 @@
 package omp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 )
 
@@ -72,14 +74,16 @@ func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
 // chunkPlan builds the per-thread chunk iterator for a schedule over
 // [lo, hi). The returned function is called once per thread (possibly
 // concurrently) and emits that thread's chunks in order; shared state
-// (the dynamic/guided queues) lives in the plan's closure.
-func chunkPlan(threads int, lo, hi int64, sched Schedule) func(tid int, emit func(clo, chi int64)) {
+// (the dynamic/guided queues) lives in the plan's closure. emit returns
+// false to stop the thread's chunk stream early (cancellation or a
+// failure elsewhere in the team).
+func chunkPlan(threads int, lo, hi int64, sched Schedule) func(tid int, emit func(clo, chi int64) bool) {
 	n := hi - lo
 	switch sched.Kind {
 	case Static:
 		base := n / int64(threads)
 		rem := n % int64(threads)
-		return func(tid int, emit func(clo, chi int64)) {
+		return func(tid int, emit func(clo, chi int64) bool) {
 			size := base
 			start := lo + int64(tid)*base
 			if int64(tid) < rem {
@@ -94,20 +98,22 @@ func chunkPlan(threads int, lo, hi int64, sched Schedule) func(tid int, emit fun
 		}
 	case StaticChunk:
 		ch := sched.chunk()
-		return func(tid int, emit func(clo, chi int64)) {
+		return func(tid int, emit func(clo, chi int64) bool) {
 			for clo := lo + int64(tid)*ch; clo < hi; clo += int64(threads) * ch {
 				chi := clo + ch
 				if chi > hi {
 					chi = hi
 				}
-				emit(clo, chi)
+				if !emit(clo, chi) {
+					return
+				}
 			}
 		}
 	case Dynamic:
 		ch := sched.chunk()
 		var next atomic.Int64
 		next.Store(lo)
-		return func(tid int, emit func(clo, chi int64)) {
+		return func(tid int, emit func(clo, chi int64) bool) {
 			for {
 				clo := next.Add(ch) - ch
 				if clo >= hi {
@@ -117,7 +123,9 @@ func chunkPlan(threads int, lo, hi int64, sched Schedule) func(tid int, emit fun
 				if chi > hi {
 					chi = hi
 				}
-				emit(clo, chi)
+				if !emit(clo, chi) {
+					return
+				}
 			}
 		}
 	case Guided:
@@ -142,13 +150,15 @@ func chunkPlan(threads int, lo, hi int64, sched Schedule) func(tid int, emit fun
 			cur += size
 			return clo, clo + size, true
 		}
-		return func(tid int, emit func(clo, chi int64)) {
+		return func(tid int, emit func(clo, chi int64) bool) {
 			for {
 				clo, chi, ok := grab()
 				if !ok {
 					return
 				}
-				emit(clo, chi)
+				if !emit(clo, chi) {
+					return
+				}
 			}
 		}
 	default:
@@ -156,10 +166,99 @@ func chunkPlan(threads int, lo, hi int64, sched Schedule) func(tid int, emit fun
 	}
 }
 
+// canceled wraps the context's cause in faults.ErrCanceled so callers
+// can classify the stop with a single errors.Is test.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("omp: %v: %w", context.Cause(ctx), faults.ErrCanceled)
+}
+
+// ParallelForChunksCtx is the fault-tolerant worksharing engine every
+// parallel entry point is built on. It partitions [lo, hi) according to
+// the schedule and runs body(tid, clo, chi) for each contiguous chunk,
+// with three guarantees the plain OpenMP-style loops lack:
+//
+//   - a panic in body is recovered on the worker, captured with its
+//     stack as a *faults.PanicError, and returned as an error — the
+//     team drains cleanly at the next chunk boundaries and the process
+//     survives;
+//   - ctx is checked at every chunk boundary (never mid-chunk), so a
+//     canceled context stops the run cooperatively with an error
+//     wrapping faults.ErrCanceled;
+//   - a non-nil error from body stops the whole team at the next chunk
+//     boundaries; the first error (in team observation order) wins.
+//
+// A nil ctx disables cancellation. An active fault-injection plan
+// (faults.Activate, test-only) is consulted before each chunk.
+func ParallelForChunksCtx(ctx context.Context, threads int, lo, hi int64, sched Schedule,
+	body func(tid int, clo, chi int64) error) error {
+	if threads < 1 {
+		threads = 1
+	}
+	if hi-lo <= 0 {
+		return nil
+	}
+	var stop atomic.Bool
+	var firstErr error
+	var errOnce sync.Once
+	fail := func(err error) {
+		stop.Store(true)
+		errOnce.Do(func() { firstErr = err })
+	}
+	plan := chunkPlan(threads, lo, hi, sched)
+	worker := func(tid int) {
+		defer func() {
+			if r := recover(); r != nil {
+				fail(fmt.Errorf("omp: worker %d: %w", tid, faults.Recovered(r)))
+			}
+		}()
+		plan(tid, func(clo, chi int64) bool {
+			if stop.Load() {
+				return false
+			}
+			if ctx != nil {
+				select {
+				case <-ctx.Done():
+					fail(canceled(ctx))
+					return false
+				default:
+				}
+			}
+			if err := faults.InjectChunk(tid, clo, chi); err != nil {
+				fail(fmt.Errorf("omp: injected fault at chunk [%d,%d): %w", clo, chi, err))
+				return false
+			}
+			if err := body(tid, clo, chi); err != nil {
+				fail(err)
+				return false
+			}
+			return true
+		})
+	}
+	if threads == 1 {
+		worker(0)
+		return firstErr
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			worker(tid)
+		}(t)
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // ParallelForChunks partitions the half-open range [lo, hi) according to
 // the schedule and invokes body(tid, clo, chi) for each contiguous chunk
 // [clo, chi). All chunks assigned to a thread run on the same goroutine,
 // in increasing order for the static schedules.
+//
+// A panic in body no longer kills the process from a worker goroutine:
+// it is captured with its stack and re-panicked on the caller as a
+// *faults.PanicError, which the caller may recover. Use
+// ParallelForChunksCtx to receive it as an error instead.
 func ParallelForChunks(threads int, lo, hi int64, sched Schedule, body func(tid int, clo, chi int64)) {
 	if threads < 1 {
 		threads = 1
@@ -171,16 +270,17 @@ func ParallelForChunks(threads int, lo, hi int64, sched Schedule, body func(tid 
 		serialChunks(lo, hi, sched, body)
 		return
 	}
-	plan := chunkPlan(threads, lo, hi, sched)
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(tid int) {
-			defer wg.Done()
-			plan(tid, func(clo, chi int64) { body(tid, clo, chi) })
-		}(t)
+	err := ParallelForChunksCtx(nil, threads, lo, hi, sched,
+		func(tid int, clo, chi int64) error {
+			body(tid, clo, chi)
+			return nil
+		})
+	if err != nil {
+		if pe := faults.AsPanic(err); pe != nil {
+			panic(pe)
+		}
+		panic(err) // injected faults only: the void body returns no errors
 	}
-	wg.Wait()
 }
 
 // serialChunks reproduces each schedule's chunking on a single thread,
@@ -210,6 +310,22 @@ func ParallelFor(threads int, lo, hi int64, sched Schedule, body func(tid int, i
 			body(tid, i)
 		}
 	})
+}
+
+// ParallelForCtx is ParallelFor with cooperative cancellation checked at
+// chunk boundaries and worker panics returned as *faults.PanicError: the
+// context-aware, fault-tolerant form of the plain worksharing loop. A
+// canceled ctx stops the run at the next chunk boundary with an error
+// wrapping faults.ErrCanceled.
+func ParallelForCtx(ctx context.Context, threads int, lo, hi int64, sched Schedule,
+	body func(tid int, i int64)) error {
+	return ParallelForChunksCtx(ctx, threads, lo, hi, sched,
+		func(tid int, clo, chi int64) error {
+			for i := clo; i < chi; i++ {
+				body(tid, i)
+			}
+			return nil
+		})
 }
 
 // ParallelForTelemetry is ParallelFor with a per-thread chunk timeline

@@ -1,6 +1,12 @@
 package omp
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faults"
+)
 
 // Team is a persistent worker pool mirroring an OpenMP thread team: the
 // goroutines are created once and reused across parallel regions, so
@@ -17,6 +23,11 @@ type Team struct {
 	wg      sync.WaitGroup // workers alive
 	barrier sync.WaitGroup // region completion
 	closed  bool
+	// panicked holds the first worker panic of the current region as a
+	// *faults.PanicError; Do re-panics it on the caller after the join,
+	// so a region panic neither kills the process from a worker
+	// goroutine nor deadlocks the barrier.
+	panicked atomic.Pointer[faults.PanicError]
 }
 
 // NewTeam starts a team of n persistent workers (n >= 1).
@@ -32,7 +43,7 @@ func NewTeam(n int) *Team {
 		go func(tid int) {
 			defer t.wg.Done()
 			for region := range ch {
-				region(tid)
+				t.runRegion(region, tid)
 				t.barrier.Done()
 			}
 		}(i)
@@ -40,20 +51,50 @@ func NewTeam(n int) *Team {
 	return t
 }
 
+// runRegion executes one worker's share of a region under a recover
+// guard; the worker survives to serve later regions.
+func (t *Team) runRegion(region func(tid int), tid int) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicked.CompareAndSwap(nil, faults.Recovered(r))
+		}
+	}()
+	region(tid)
+}
+
 // Size returns the number of workers.
 func (t *Team) Size() int { return t.n }
 
 // Do runs region once on every worker (fork), waiting for all to finish
-// (join).
+// (join). If a worker panics, the remaining workers complete their
+// shares, the team stays usable, and the first panic is re-panicked on
+// the caller as a *faults.PanicError (recoverable, stack attached); use
+// DoErr to receive it as an error instead.
 func (t *Team) Do(region func(tid int)) {
+	if err := t.DoErr(region); err != nil {
+		if pe := faults.AsPanic(err); pe != nil {
+			panic(pe)
+		}
+		panic(err)
+	}
+}
+
+// DoErr is Do returning the first worker panic as an error (nil when the
+// region completed cleanly).
+func (t *Team) DoErr(region func(tid int)) error {
 	if t.closed {
 		panic("omp: Do on closed Team")
 	}
+	t.panicked.Store(nil)
 	t.barrier.Add(t.n)
 	for _, ch := range t.regions {
 		ch <- region
 	}
 	t.barrier.Wait()
+	if pe := t.panicked.Load(); pe != nil {
+		return fmt.Errorf("omp: team region: %w", pe)
+	}
+	return nil
 }
 
 // ParallelForChunks is ParallelForChunks on the persistent team.
@@ -63,7 +104,7 @@ func (t *Team) ParallelForChunks(lo, hi int64, sched Schedule, body func(tid int
 	}
 	plan := chunkPlan(t.n, lo, hi, sched)
 	t.Do(func(tid int) {
-		plan(tid, func(clo, chi int64) { body(tid, clo, chi) })
+		plan(tid, func(clo, chi int64) bool { body(tid, clo, chi); return true })
 	})
 }
 

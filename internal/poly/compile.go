@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"sort"
 
+	"repro/internal/faults"
 	"repro/internal/numeric"
 )
 
@@ -183,7 +184,9 @@ func (c *Compiled) EvalExact(vals []int64) int64 {
 		q.Sub(q, big.NewInt(1))
 	}
 	if !q.IsInt64() {
-		panic("poly: evaluation exceeds int64 range")
+		// The panic value wraps faults.ErrOverflow so boundary recover
+		// guards (unrank.Bound.Unrank, core.Collapse) can classify it.
+		panic(fmt.Errorf("poly: evaluation %s exceeds int64 range: %w", q, faults.ErrOverflow))
 	}
 	return q.Int64()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"repro/internal/faults"
 	"repro/internal/poly"
 )
 
@@ -39,7 +40,7 @@ func Solve(coeffs []*poly.Poly) ([]Expr, error) {
 	case 0:
 		return nil, fmt.Errorf("roots: equation of degree 0 has no roots")
 	default:
-		return nil, fmt.Errorf("roots: degree %d not solvable by radicals (max 4)", d)
+		return nil, fmt.Errorf("roots: degree %d not solvable by radicals: %w", d, faults.ErrDegreeTooHigh)
 	}
 }
 

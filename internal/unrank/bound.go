@@ -1,10 +1,13 @@
 package unrank
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"math/big"
 	"math/cmplx"
 
+	"repro/internal/faults"
 	"repro/internal/nest"
 )
 
@@ -15,6 +18,8 @@ type Stats struct {
 	Corrections int64 // exact ±1 correction steps taken
 	Fallbacks   int64 // binary-search fallbacks (NaN/Inf or non-convergence)
 	Searches    int64 // binary-search recoveries (fallbacks + binary mode)
+	Verifies    int64 // exact big.Rat re-rank checks (verify mode)
+	Escalations int64 // verify mismatches escalated to binary search
 }
 
 // Add accumulates o into s (used to aggregate per-thread stats).
@@ -23,12 +28,18 @@ func (s *Stats) Add(o Stats) {
 	s.Corrections += o.Corrections
 	s.Fallbacks += o.Fallbacks
 	s.Searches += o.Searches
+	s.Verifies += o.Verifies
+	s.Escalations += o.Escalations
 }
 
 // String renders the counters in a compact fixed-order form.
 func (s Stats) String() string {
-	return fmt.Sprintf("root evals %d, corrections %d, fallbacks %d, searches %d",
+	out := fmt.Sprintf("root evals %d, corrections %d, fallbacks %d, searches %d",
 		s.RootEvals, s.Corrections, s.Fallbacks, s.Searches)
+	if s.Verifies > 0 || s.Escalations > 0 {
+		out += fmt.Sprintf(", verifies %d, escalations %d", s.Verifies, s.Escalations)
+	}
+	return out
 }
 
 // Bound is an Unranker bound to concrete parameter values, ready for
@@ -49,12 +60,23 @@ type Bound struct {
 }
 
 // Bind fixes parameter values, precomputing the total iteration count.
-func (u *Unranker) Bind(params map[string]int64) (*Bound, error) {
+// A parameter binding whose iteration count exceeds int64 returns an
+// error wrapping faults.ErrOverflow.
+func (u *Unranker) Bind(params map[string]int64) (b *Bound, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, faults.ErrOverflow) {
+				b, err = nil, fmt.Errorf("unrank: bind %v: %w", params, e)
+				return
+			}
+			panic(r)
+		}
+	}()
 	inst, err := u.nest.Bind(params)
 	if err != nil {
 		return nil, err
 	}
-	b := &Bound{
+	b = &Bound{
 		u:     u,
 		inst:  inst,
 		np:    len(u.nest.Params),
@@ -131,7 +153,22 @@ func (b *Bound) searchLevel(k int, pc, lo, hi int64) int64 {
 
 // Unrank recovers the iteration tuple of rank pc (1-based) into idx,
 // which must have length equal to the nest depth.
-func (b *Bound) Unrank(pc int64, idx []int64) error {
+//
+// In verify mode (Options.Verify) the recovered tuple is exactly
+// re-ranked with big.Rat arithmetic; a mismatch escalates every level to
+// exact binary search, and a second mismatch returns an error wrapping
+// faults.ErrRecoveryDiverged. An exact evaluation overflowing int64 is
+// returned as an error wrapping faults.ErrOverflow rather than a panic.
+func (b *Bound) Unrank(pc int64, idx []int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, faults.ErrOverflow) {
+				err = fmt.Errorf("unrank: pc = %d: %w", pc, e)
+				return
+			}
+			panic(r)
+		}
+	}()
 	if len(idx) != b.depth {
 		return fmt.Errorf("unrank: index slice has length %d, want %d", len(idx), b.depth)
 	}
@@ -148,7 +185,7 @@ func (b *Bound) Unrank(pc int64, idx []int64) error {
 		if lv.rootFn != nil {
 			fv := b.fvals[k]
 			fv[len(fv)-1] = pcf
-			x := lv.rootFn(fv)
+			x := faults.PerturbRoot(k, lv.rootFn(fv))
 			b.stats.RootEvals++
 			if !cmplx.IsNaN(x) && !cmplx.IsInf(x) &&
 				math.Abs(imag(x)) <= 1e-6*(1+math.Abs(real(x))) {
@@ -184,6 +221,7 @@ func (b *Bound) Unrank(pc int64, idx []int64) error {
 				if ok {
 					b.stats.Corrections += int64(steps)
 					recovered = true
+					ik = faults.PerturbLevel(k, ik)
 				}
 			}
 			if !recovered {
@@ -193,19 +231,59 @@ func (b *Bound) Unrank(pc int64, idx []int64) error {
 		if !recovered {
 			ik = b.searchLevel(k, pc, lo, hi)
 		}
-		idx[k] = ik
-		b.vals[b.np+k] = ik
-		// Propagate the recovered prefix into the deeper levels' compiled
-		// argument vectors.
-		for q := k + 1; q < len(b.fvals); q++ {
-			b.fvals[q][b.np+k] = float64(ik)
+		b.setLevel(k, ik, idx)
+	}
+	b.lastLevel(pc, idx)
+	if b.u.verify && !b.verifyRank(pc, idx) {
+		// Escalation rung of the degradation ladder: redo every level
+		// with exact binary search over the monotone ranking polynomial.
+		b.stats.Escalations++
+		for k := 0; k < b.depth-1; k++ {
+			ik := b.searchLevel(k, pc, b.inst.LowerAt(k, idx), b.inst.UpperAt(k, idx))
+			b.setLevel(k, ik, idx)
+		}
+		b.lastLevel(pc, idx)
+		if !b.verifyRank(pc, idx) {
+			return fmt.Errorf("unrank: pc = %d: exact re-rank of %v mismatches after binary-search escalation: %w",
+				pc, idx, faults.ErrRecoveryDiverged)
 		}
 	}
-	// Last level: i = lb + (pc - rank of first iteration at this prefix).
+	return nil
+}
+
+// setLevel records the recovered value of level k in idx, the exact
+// evaluation vector, and the deeper levels' compiled float arguments.
+func (b *Bound) setLevel(k int, ik int64, idx []int64) {
+	idx[k] = ik
+	b.vals[b.np+k] = ik
+	for q := k + 1; q < len(b.fvals); q++ {
+		b.fvals[q][b.np+k] = float64(ik)
+	}
+}
+
+// lastLevel computes the final index directly from the prefix rank:
+// i = lb + (pc - rank of first iteration at this prefix).
+func (b *Bound) lastLevel(pc int64, idx []int64) {
 	base := b.u.lastRank.EvalExact(b.vals[:b.np+b.depth-1])
 	lb := b.inst.LowerAt(b.depth-1, idx)
 	idx[b.depth-1] = lb + (pc - base)
-	return nil
+}
+
+// verifyRank checks idx is the iteration of rank pc: every index within
+// its (prefix-dependent) bounds, and the exact big.Rat re-rank equal to
+// pc. Both checks are needed — the last level is constructed so its rank
+// is pc for any prefix, so re-ranking alone cannot catch a corrupted
+// prefix; domain membership plus the rank bijection can.
+func (b *Bound) verifyRank(pc int64, idx []int64) bool {
+	b.stats.Verifies++
+	for k := 0; k < b.depth; k++ {
+		if idx[k] < b.inst.LowerAt(k, idx) || idx[k] >= b.inst.UpperAt(k, idx) {
+			return false
+		}
+	}
+	copy(b.vals[b.np:], idx)
+	r := b.u.rankComp.EvalBig(b.vals)
+	return r.Cmp(new(big.Rat).SetInt64(pc)) == 0
 }
 
 // Rank exactly evaluates the ranking polynomial at idx. The result is

@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"repro/internal/ehrhart"
+	"repro/internal/faults"
 	"repro/internal/nest"
 	"repro/internal/poly"
 	"repro/internal/roots"
@@ -58,6 +59,14 @@ type Options struct {
 	// MaxCorrection bounds the ±1 exact-correction steps before falling
 	// back to binary search. Defaults to 8.
 	MaxCorrection int
+	// Verify enables verified recovery: after each Unrank the recovered
+	// tuple is exactly re-ranked with big.Rat arithmetic and compared to
+	// pc; on mismatch every level is recomputed by exact binary search,
+	// and a second mismatch aborts with faults.ErrRecoveryDiverged. This
+	// turns the floating-point radical path into a checked computation at
+	// the cost of one exact polynomial evaluation per recovery (per
+	// chunk under the §V scheme, not per iteration).
+	Verify bool
 	// Telemetry, when non-nil, receives "compile"-category spans for the
 	// pipeline phases (ranking computation, per-level radical solving,
 	// root selection, root compilation). Nil disables instrumentation at
@@ -85,6 +94,7 @@ type Unranker struct {
 	count   *poly.Poly
 	mode    Mode
 	maxCorr int
+	verify  bool
 
 	order    []string // params..., all indices...
 	rankComp *poly.Compiled
@@ -120,6 +130,7 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 		count:   count,
 		mode:    opts.Mode,
 		maxCorr: opts.MaxCorrection,
+		verify:  opts.Verify,
 	}
 	u.order = append(append([]string(nil), n.Params...), n.Indices()...)
 	spPoly := tel.StartSpan("compile", "poly.Compile", 0)
@@ -293,7 +304,7 @@ func (u *Unranker) selectRoots(opts Options) error {
 				// a distinct recovery obligation, but testing every pc
 				// exercises the in-between values too.
 				for ci, cand := range u.levels[k].candidates {
-					x := cand.Eval(env)
+					x := faults.PerturbRoot(k, cand.Eval(env))
 					if math.Abs(imag(x)) > 1e-6 ||
 						int64(math.Floor(real(x)+1e-9)) != truth {
 						mismatch[k][ci]++
@@ -306,7 +317,8 @@ func (u *Unranker) selectRoots(opts Options) error {
 	}
 	for k := range u.levels {
 		if tested[k] == 0 {
-			return fmt.Errorf("unrank: no sample iterations available to select root of level %d", k)
+			return fmt.Errorf("unrank: no sample iterations available to select root of level %d: %w",
+				k, faults.ErrNoConvenientRoot)
 		}
 		best := -1
 		for ci := range u.levels[k].candidates {
@@ -325,8 +337,8 @@ func (u *Unranker) selectRoots(opts Options) error {
 				}
 			}
 			if minMis*20 > tested[k] {
-				return fmt.Errorf("unrank: no convenient root at level %d: best candidate wrong on %d/%d samples",
-					k, minMis, tested[k])
+				return fmt.Errorf("unrank: level %d: best candidate wrong on %d/%d samples: %w",
+					k, minMis, tested[k], faults.ErrNoConvenientRoot)
 			}
 		}
 		u.levels[k].root = u.levels[k].candidates[best]

@@ -1,0 +1,96 @@
+package unrank
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestVerifyCleanRun checks that with Verify on and no faults, every
+// recovery is re-ranked exactly, nothing escalates, and the bijection
+// still holds.
+func TestVerifyCleanRun(t *testing.T) {
+	u := MustNew(correlationNest(), Options{Mode: ModeClosedForm, Verify: true})
+	b := u.MustBind(map[string]int64{"N": 30})
+	checkBijection(t, b)
+	s := b.Stats()
+	if s.Verifies == 0 {
+		t.Fatal("Verify enabled but no verifications recorded")
+	}
+	if s.Escalations != 0 {
+		t.Fatalf("clean run escalated %d times", s.Escalations)
+	}
+}
+
+// TestVerifyEscalatesOnCorruptedRecovery injects a fault that corrupts
+// every closed-form-recovered index value after the exact correction
+// (the correction would repair any mere root perturbation) and checks
+// verified recovery detects each wrong tuple, escalates to exact binary
+// search, and still produces the exact tuple for every pc.
+func TestVerifyEscalatesOnCorruptedRecovery(t *testing.T) {
+	u := MustNew(correlationNest(), Options{Mode: ModeClosedForm, Verify: true})
+	restore := faults.Activate(&faults.Plan{
+		PerturbLevel: func(level int, ik int64) int64 { return ik + 1 },
+	})
+	defer restore()
+	b := u.MustBind(map[string]int64{"N": 25})
+	inst := b.Instance()
+	idx := make([]int64, inst.Depth())
+	var pc int64
+	inst.Enumerate(func(truth []int64) bool {
+		pc++
+		if err := b.Unrank(pc, idx); err != nil {
+			t.Fatalf("Unrank(%d) under corrupted recovery: %v", pc, err)
+		}
+		for q := range idx {
+			if idx[q] != truth[q] {
+				t.Fatalf("Unrank(%d) = %v, want %v (escalation failed)", pc, idx, truth)
+			}
+		}
+		return true
+	})
+	s := b.Stats()
+	if s.Escalations == 0 {
+		t.Fatal("corrupted recovery never triggered an escalation")
+	}
+	t.Logf("recovered %d tuples exactly, %d verified, %d escalations", pc, s.Verifies, s.Escalations)
+}
+
+// TestPerturbedRootsStayExact shifts every float root evaluation by a
+// full unit and checks recovery remains exact — with and without verify
+// mode — because the exact integer correction (or the binary-search
+// fallback when the correction budget is exceeded) repairs the noise.
+func TestPerturbedRootsStayExact(t *testing.T) {
+	for _, verify := range []bool{false, true} {
+		// Build before activating: the perturbation would otherwise defeat
+		// root selection itself (see TestNoConvenientRootClassified).
+		u := MustNew(correlationNest(), Options{Mode: ModeClosedForm, Verify: verify})
+		restore := faults.Activate(&faults.Plan{
+			PerturbRoot: func(level int, x complex128) complex128 { return x + 1.25 },
+		})
+		b := u.MustBind(map[string]int64{"N": 20})
+		checkBijection(t, b)
+		if s := b.Stats(); s.Corrections == 0 && s.Fallbacks == 0 {
+			t.Errorf("verify=%v: perturbation repaired without corrections or fallbacks?", verify)
+		}
+		restore()
+	}
+}
+
+// TestNoConvenientRootClassified checks root-selection failure carries
+// the typed applicability sentinel: a perturbation large enough that no
+// candidate reproduces the ground truth on any validation sample.
+func TestNoConvenientRootClassified(t *testing.T) {
+	restore := faults.Activate(&faults.Plan{
+		PerturbRoot: func(level int, x complex128) complex128 { return x + 100 },
+	})
+	defer restore()
+	_, err := New(correlationNest(), Options{Mode: ModeClosedForm})
+	if err == nil {
+		t.Fatal("root selection succeeded under a +100 perturbation")
+	}
+	if !errors.Is(err, faults.ErrNoConvenientRoot) {
+		t.Fatalf("err = %v, want ErrNoConvenientRoot in the chain", err)
+	}
+}

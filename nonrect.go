@@ -51,10 +51,14 @@
 package nonrect
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/cparse"
 	"repro/internal/ehrhart"
+	"repro/internal/faults"
 	"repro/internal/nest"
 	"repro/internal/omp"
 	"repro/internal/poly"
@@ -63,6 +67,39 @@ import (
 	"repro/internal/transform"
 	"repro/internal/unrank"
 )
+
+// Typed failure classes of the pipeline and runtime (see internal/faults
+// for the full taxonomy). Errors returned by Collapse and the runtime
+// entry points wrap these sentinels; test with errors.Is.
+var (
+	// ErrNonAffine: a loop bound is outside the affine Fig. 5 model.
+	ErrNonAffine = faults.ErrNonAffine
+	// ErrDegreeTooHigh: the ranking polynomial exceeds radical
+	// solvability (degree > 4, §IV.B).
+	ErrDegreeTooHigh = faults.ErrDegreeTooHigh
+	// ErrOverflow: an exact evaluation exceeds the int64 range.
+	ErrOverflow = faults.ErrOverflow
+	// ErrNoConvenientRoot: symbolic root selection failed (§IV.A).
+	ErrNoConvenientRoot = faults.ErrNoConvenientRoot
+	// ErrRecoveryDiverged: index recovery cannot be trusted even after
+	// binary-search escalation.
+	ErrRecoveryDiverged = faults.ErrRecoveryDiverged
+	// ErrCanceled: a context-aware run stopped at a chunk boundary.
+	ErrCanceled = faults.ErrCanceled
+)
+
+// PanicError is a panic recovered at an API boundary (worker goroutine
+// or compile pipeline), carrying the panic value and stack.
+type PanicError = faults.PanicError
+
+// AsPanic extracts the *PanicError from an error chain, or nil.
+func AsPanic(err error) *PanicError { return faults.AsPanic(err) }
+
+// Collapsible reports whether err is an applicability failure of the
+// collapsing technique (non-affine, degree too high, no convenient
+// root, overflow) — the class CollapsedForAuto downgrades to an
+// uncollapsed parallel loop rather than failing.
+func Collapsible(err error) bool { return faults.Collapsible(err) }
 
 // Telemetry is a metrics-and-tracing registry (atomic counters, latency
 // histograms, a span/event recorder). Pass one via WithTelemetry to
@@ -86,7 +123,8 @@ type ThreadStats = omp.ThreadStats
 type Option func(*config)
 
 type config struct {
-	tel *telemetry.Registry
+	tel    *telemetry.Registry
+	verify bool
 }
 
 func buildConfig(opts []Option) config {
@@ -103,6 +141,16 @@ func buildConfig(opts []Option) config {
 // omitting the option) leaves every hot path uninstrumented.
 func WithTelemetry(t *Telemetry) Option {
 	return func(c *config) { c.tel = t }
+}
+
+// WithVerify makes every per-chunk index recovery re-rank the recovered
+// tuple with exact rational arithmetic and escalate to binary search on
+// mismatch (returning ErrRecoveryDiverged if even that disagrees): a
+// paranoid mode guaranteeing a collapsed run never silently executes a
+// wrong tuple, at the cost of one exact polynomial evaluation per
+// recovery. Pass it to Collapse/CollapseAt/CollapsedForAuto.
+func WithVerify() Option {
+	return func(c *config) { c.verify = true }
 }
 
 // Nest is a perfect affine loop nest (paper Fig. 5 model).
@@ -146,7 +194,7 @@ func MustNewNest(params []string, loops ...Loop) *Nest { return nest.MustNew(par
 // WithTelemetry records per-phase compile spans.
 func Collapse(n *Nest, c int, opts ...Option) (*Result, error) {
 	cfg := buildConfig(opts)
-	return core.Collapse(n, c, unrank.Options{Telemetry: cfg.tel})
+	return core.Collapse(n, c, unrank.Options{Telemetry: cfg.tel, Verify: cfg.verify})
 }
 
 // CollapseBinarySearch is Collapse with the closed-form recovery
@@ -161,7 +209,7 @@ func CollapseBinarySearch(n *Nest, c int) (*Result, error) {
 // ranking polynomial, bound per outer iteration via res.Unranker.Bind.
 func CollapseAt(n *Nest, from, c int, opts ...Option) (*Result, error) {
 	cfg := buildConfig(opts)
-	return core.CollapseAt(n, from, c, unrank.Options{Telemetry: cfg.tel})
+	return core.CollapseAt(n, from, c, unrank.Options{Telemetry: cfg.tel, Verify: cfg.verify})
 }
 
 // CollapsedFor executes the collapsed iteration space on a goroutine
@@ -176,6 +224,54 @@ func CollapsedFor(res *Result, params map[string]int64, threads int, sched Sched
 	}
 	_, err := omp.CollapsedForTelemetry(res, params, threads, sched, cfg.tel, body)
 	return err
+}
+
+// CollapsedForCtx is CollapsedFor with cooperative cancellation: ctx is
+// checked at every chunk boundary (never mid-chunk), so cancellation
+// stops the team promptly without slowing the hot loop. A canceled run
+// returns an error wrapping ErrCanceled; a worker panic returns an
+// error carrying a *PanicError with the worker's stack.
+func CollapsedForCtx(ctx context.Context, res *Result, params map[string]int64, threads int,
+	sched Schedule, body func(tid int, idx []int64), opts ...Option) error {
+	cfg := buildConfig(opts)
+	if cfg.tel == nil {
+		return omp.CollapsedForCtx(ctx, res, params, threads, sched, body)
+	}
+	_, err := omp.CollapsedForTelemetryCtx(ctx, res, params, threads, sched, cfg.tel, body)
+	return err
+}
+
+// CollapsedForAuto is the self-degrading entry point: it collapses the c
+// outermost loops of n and runs the collapsed schedule, but when the
+// technique is inapplicable to this nest (non-affine bounds, ranking
+// degree above 4, no convenient root, int64 overflow) it falls back to
+// plain parallel worksharing of the outermost loop over the original
+// nest — the program still runs, merely without the balance guarantee.
+// It reports which path executed; a downgrade increments the
+// "omp.downgrades" telemetry counter when WithTelemetry is given.
+// Errors outside the applicability class (and any runtime error) are
+// returned, not downgraded.
+func CollapsedForAuto(ctx context.Context, n *Nest, c int, params map[string]int64, threads int,
+	sched Schedule, body func(tid int, idx []int64), opts ...Option) (collapsed bool, err error) {
+	cfg := buildConfig(opts)
+	if c < 1 || c > len(n.Loops) {
+		return false, fmt.Errorf("nonrect: collapse depth %d out of range [1,%d]", c, len(n.Loops))
+	}
+	res, cerr := core.Collapse(n, c, unrank.Options{Telemetry: cfg.tel, Verify: cfg.verify})
+	if cerr == nil {
+		return true, CollapsedForCtx(ctx, res, params, threads, sched, body, opts...)
+	}
+	if !faults.Collapsible(cerr) {
+		return false, cerr
+	}
+	if cfg.tel != nil {
+		cfg.tel.Counter("omp.downgrades").Inc()
+	}
+	// Worksharing the outermost loop needs only the c loops the caller
+	// asked to run (bounds of loop k reference levels < k only, so the
+	// prefix is self-contained); body still sees idx of length c.
+	sub := &nest.Nest{Params: n.Params, Loops: n.Loops[:c]}
+	return false, omp.UncollapsedFor(ctx, sub, params, threads, sched, body)
 }
 
 // CollapsedForStats is CollapsedFor returning the per-thread runtime
@@ -213,6 +309,13 @@ func ParallelFor(threads int, lo, hi int64, sched Schedule, body func(tid int, i
 		return
 	}
 	omp.ParallelForTelemetry(threads, lo, hi, sched, cfg.tel, body)
+}
+
+// ParallelForCtx is ParallelFor with cooperative cancellation at chunk
+// boundaries and worker panics returned as errors carrying *PanicError.
+func ParallelForCtx(ctx context.Context, threads int, lo, hi int64, sched Schedule,
+	body func(tid int, i int64)) error {
+	return omp.ParallelForCtx(ctx, threads, lo, hi, sched, body)
 }
 
 // Team is a persistent worker pool (OpenMP-style thread team) for

@@ -1,0 +1,6 @@
+/* Malformed on purpose: the inner upper bound is quadratic in i, which
+   is outside the affine Fig. 5 model (ErrNonAffine). */
+#pragma omp parallel for collapse(2) schedule(static)
+for (i = 0; i < N; i++)
+  for (j = 0; j < i*i + 1; j++)
+    a[i][j] = 0;

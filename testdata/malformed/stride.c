@@ -1,0 +1,6 @@
+/* Malformed on purpose: the inner loop has a non-unit stride, which the
+   Fig. 5 loop model (and the cparse front end) does not accept. */
+#pragma omp parallel for collapse(2) schedule(static)
+for (i = 0; i < N; i++)
+  for (j = 0; j < N; j += 2)
+    a[i][j] = 0;
