@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check cover bench figures ablation scaling fuzz clean
+.PHONY: all build test test-short race check cover bench figures ablation scaling fuzz stress clean
 
 all: build test
 
@@ -20,19 +20,29 @@ test-short:
 # omp runtime, kernels, the public API) plus the fault-tolerance layers
 # (fault injection registry, verified recovery) whose tests exercise
 # panic capture, cancellation and escalation under load.
-RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/kernels/ ./internal/faults/ ./internal/unrank/ .
+RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/kernels/ ./internal/faults/ ./internal/unrank/ ./internal/stress/ .
 
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Full pre-merge gate: vet, the whole suite, a short fuzz pass over every
-# fuzz target, and the race detector over the concurrent packages.
+# Full pre-merge gate: vet, the whole suite, the differential stress
+# harness, a short fuzz pass over every fuzz target, and the race
+# detector over the concurrent packages.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
+	$(MAKE) stress
 	$(MAKE) fuzz FUZZTIME=5s
+
+# Differential stress soak: seedable random nests through every
+# schedule and every precision-ladder tier, with fault injection,
+# diffing visit sets against sequential enumeration.
+STRESS_SEEDS ?= 12
+
+stress:
+	$(GO) run ./cmd/stresstool -seeds $(STRESS_SEEDS) -faults
 
 cover:
 	$(GO) test -cover ./...
@@ -51,7 +61,8 @@ scaling:
 	$(GO) run ./cmd/benchfig -fig scaling
 
 # Short fuzzing sessions over every fuzz target: the two parsers, the
-# poly compiler, and the whole-pipeline rank/unrank round trip.
+# poly compiler, the whole-pipeline rank/unrank round trip, and the
+# generated-nest precision-ladder differential.
 FUZZTIME ?= 10s
 
 fuzz:
@@ -59,6 +70,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzCompile -fuzztime=$(FUZZTIME) ./internal/poly/
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/cparse/
 	$(GO) test -fuzz=FuzzRankUnrank -fuzztime=$(FUZZTIME) .
+	$(GO) test -fuzz=FuzzStressNest -fuzztime=$(FUZZTIME) ./internal/stress/
 
 clean:
 	$(GO) clean ./...

@@ -25,8 +25,9 @@
 //	           the recovery statistics of the run
 //	-stats     execute the collapsed nest on the goroutine runtime and
 //	           print compile-pipeline phase times, per-thread iteration
-//	           counts, recovery/correction counters and a load-imbalance
-//	           summary
+//	           counts, recovery/correction counters (including the
+//	           precision-ladder escalations prec128/prec256 and exact
+//	           big-integer evaluation paths) and a load-imbalance summary
 //	-n N       parameter value for the -stats run (default 300)
 //	-threads P team size for the -stats run (default GOMAXPROCS)
 //	-trace-out FILE

@@ -15,13 +15,16 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math/big"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/ehrhart"
+	"repro/internal/faults"
 	"repro/internal/nest"
 	"repro/internal/poly"
 	"repro/internal/roots"
@@ -145,6 +148,21 @@ func run(nestSpec string, params paramFlags, args []string) error {
 	}
 	b, err := u.Bind(params)
 	if err != nil {
+		// Domains whose iteration count exceeds the int64 pc range
+		// cannot be unranked, but their exact cardinality still exists:
+		// answer "total" from the counting polynomial over big.Rat.
+		if cmd == "total" && errors.Is(err, faults.ErrOverflow) {
+			env := make(map[string]*big.Rat, len(params))
+			for name, v := range params {
+				env[name] = new(big.Rat).SetInt64(v)
+			}
+			r, perr := u.Count().EvalRat(env)
+			if perr != nil {
+				return err
+			}
+			fmt.Println(new(big.Int).Quo(r.Num(), r.Denom()).String())
+			return nil
+		}
 		return err
 	}
 	switch cmd {

@@ -125,3 +125,20 @@ func TestParamFlags(t *testing.T) {
 		t.Error("empty String")
 	}
 }
+
+func TestRankqHugeTotal(t *testing.T) {
+	// N = 2^32 makes the count 2^64: beyond the int64 pc range, so
+	// unranking is refused, but "total" still answers exactly from the
+	// counting polynomial over big integers.
+	out, err := captureRun(t, "i=0:N; j=0:N", paramFlags{"N": 1 << 32}, []string{"total"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "18446744073709551616" {
+		t.Errorf("huge total = %q, want 2^64", out)
+	}
+	// Everything else must still refuse the overflowing domain.
+	if _, err := captureRun(t, "i=0:N; j=0:N", paramFlags{"N": 1 << 32}, []string{"unrank", "5"}); err == nil {
+		t.Error("unrank on an overflowing domain should fail")
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallSweep(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 2, 1, 2, true, true); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "stress ok: 2 cases") {
+		t.Errorf("summary line missing or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "prec128") {
+		t.Errorf("faulted sweep should report precision escalations:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadSeeds(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 0, 1, 1, false, false); err == nil {
+		t.Error("run with -seeds 0 should fail")
+	}
+}

@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/ehrhart"
 	"repro/internal/faults"
@@ -219,6 +220,11 @@ func ForRange(b *unrank.Bound, pcLo, pcHi int64, body func(pc int64, idx []int64
 // scheduling (§V: "dynamic scheduling requires indices to be recovered by
 // evaluating the roots at each iteration").
 func ForRangeEvery(b *unrank.Bound, pcLo, pcHi int64, body func(pc int64, idx []int64)) error {
+	if pcHi == math.MaxInt64 {
+		// pc <= pcHi can never become false: pc++ would wrap instead.
+		return fmt.Errorf("core: pc range upper bound %d would overflow the loop counter: %w",
+			pcHi, faults.ErrOverflow)
+	}
 	idx := make([]int64, b.Instance().Depth())
 	for pc := pcLo; pc <= pcHi; pc++ {
 		if err := b.Unrank(pc, idx); err != nil {

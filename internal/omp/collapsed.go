@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -46,6 +47,18 @@ func CollapsedForEvery(r *core.Result, params map[string]int64, threads int, sch
 	return collapsedRun(nil, r, params, threads, sched, body, true)
 }
 
+// pcEnd returns the exclusive upper bound total+1 of the collapsed pc
+// range [1, total], refusing totals whose +1 would wrap. Bind already
+// rejects counts beyond int64, but the int64 fast path can legitimately
+// produce math.MaxInt64 itself.
+func pcEnd(total int64) (int64, error) {
+	if total >= math.MaxInt64 {
+		return 0, fmt.Errorf("omp: collapsed total %d overflows the pc range: %w",
+			total, faults.ErrOverflow)
+	}
+	return total + 1, nil
+}
+
 func collapsedRun(ctx context.Context, r *core.Result, params map[string]int64, threads int,
 	sched Schedule, body func(tid int, idx []int64), every bool) error {
 	if threads < 1 {
@@ -63,7 +76,11 @@ func collapsedRun(ctx context.Context, r *core.Result, params map[string]int64, 
 	if total == 0 {
 		return nil
 	}
-	return ParallelForChunksCtx(ctx, threads, 1, total+1, sched, func(tid int, clo, chi int64) error {
+	end, err := pcEnd(total)
+	if err != nil {
+		return err
+	}
+	return ParallelForChunksCtx(ctx, threads, 1, end, sched, func(tid int, clo, chi int64) error {
 		b := bounds[tid]
 		run := core.ForRange
 		if every {
@@ -172,6 +189,10 @@ func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[st
 	if total == 0 {
 		return cs, nil
 	}
+	end, err := pcEnd(total)
+	if err != nil {
+		return cs, err
+	}
 	tr := tel.Trace()
 	hist := tel.Histogram("omp.chunk_seconds", nil)
 	evName := sched.Kind.String()
@@ -179,7 +200,7 @@ func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[st
 	for t := range idxs {
 		idxs[t] = make([]int64, r.C)
 	}
-	runErr := ParallelForChunksCtx(ctx, threads, 1, total+1, sched, func(tid int, clo, chi int64) error {
+	runErr := ParallelForChunksCtx(ctx, threads, 1, end, sched, func(tid int, clo, chi int64) error {
 		st := &cs.PerThread[tid]
 		b := bounds[tid]
 		idx := idxs[tid]
@@ -244,6 +265,15 @@ func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[st
 	if cs.Stats.Escalations > 0 {
 		tel.Counter("unrank.verify_escalations").Add(cs.Stats.Escalations)
 	}
+	if cs.Stats.EscalationsPrec128 > 0 {
+		tel.Counter("unrank.escalations_prec128").Add(cs.Stats.EscalationsPrec128)
+	}
+	if cs.Stats.EscalationsPrec256 > 0 {
+		tel.Counter("unrank.escalations_prec256").Add(cs.Stats.EscalationsPrec256)
+	}
+	if cs.Stats.BigIntPaths > 0 {
+		tel.Counter("unrank.bigint_paths").Add(cs.Stats.BigIntPaths)
+	}
 	if runErr != nil {
 		switch {
 		case faults.AsPanic(runErr) != nil:
@@ -281,8 +311,12 @@ func CollapsedForSIMD(r *core.Result, params map[string]int64, threads, vlength 
 	if total == 0 {
 		return nil
 	}
+	end, err := pcEnd(total)
+	if err != nil {
+		return err
+	}
 	depth := r.C
-	return ParallelForChunksCtx(nil, threads, 1, total+1, Schedule{Kind: Static},
+	return ParallelForChunksCtx(nil, threads, 1, end, Schedule{Kind: Static},
 		func(tid int, clo, chi int64) error {
 			b := bounds[tid]
 			// Pre-allocate the thread-private tuple array T[vlength].
@@ -332,6 +366,11 @@ func CollapsedForWarp(r *core.Result, params map[string]int64, W int,
 		bounds[t] = b
 	}
 	total := bounds[0].Total()
+	if total > math.MaxInt64-int64(W) {
+		// Lane strides pc += W would wrap past MaxInt64 near the end.
+		return fmt.Errorf("omp: collapsed total %d overflows the warp stride: %w",
+			total, faults.ErrOverflow)
+	}
 	var wg sync.WaitGroup
 	var firstErr error
 	var errOnce sync.Once

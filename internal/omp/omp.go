@@ -21,6 +21,7 @@ package omp
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -99,14 +100,23 @@ func chunkPlan(threads int, lo, hi int64, sched Schedule) func(tid int, emit fun
 	case StaticChunk:
 		ch := sched.chunk()
 		return func(tid int, emit func(clo, chi int64) bool) {
-			for clo := lo + int64(tid)*ch; clo < hi; clo += int64(threads) * ch {
+			clo := lo + int64(tid)*ch
+			if clo < lo { // tid*ch overflowed past MaxInt64
+				return
+			}
+			for clo < hi {
 				chi := clo + ch
-				if chi > hi {
+				if chi > hi || chi < clo { // clo+ch overflow saturates at hi
 					chi = hi
 				}
 				if !emit(clo, chi) {
 					return
 				}
+				next := clo + int64(threads)*ch
+				if next <= clo { // stride overflowed: no further chunks exist
+					return
+				}
+				clo = next
 			}
 		}
 	case Dynamic:
@@ -116,11 +126,14 @@ func chunkPlan(threads int, lo, hi int64, sched Schedule) func(tid int, emit fun
 		return func(tid int, emit func(clo, chi int64) bool) {
 			for {
 				clo := next.Add(ch) - ch
-				if clo >= hi {
+				// clo < lo means the shared counter wrapped past MaxInt64
+				// (possible when hi is near the top of the int64 range and
+				// several threads race past exhaustion); treat as done.
+				if clo >= hi || clo < lo {
 					return
 				}
 				chi := clo + ch
-				if chi > hi {
+				if chi > hi || chi < clo {
 					chi = hi
 				}
 				if !emit(clo, chi) {
@@ -193,6 +206,11 @@ func ParallelForChunksCtx(ctx context.Context, threads int, lo, hi int64, sched 
 	body func(tid int, clo, chi int64) error) error {
 	if threads < 1 {
 		threads = 1
+	}
+	if lo < 0 && hi > math.MaxInt64+lo {
+		// The extent hi-lo does not fit in int64: the chunk planners'
+		// size arithmetic would wrap. Refuse rather than mis-iterate.
+		return fmt.Errorf("omp: range [%d,%d) extent exceeds int64: %w", lo, hi, faults.ErrOverflow)
 	}
 	if hi-lo <= 0 {
 		return nil
@@ -279,7 +297,7 @@ func ParallelForChunks(threads int, lo, hi int64, sched Schedule, body func(tid 
 		if pe := faults.AsPanic(err); pe != nil {
 			panic(pe)
 		}
-		panic(err) // injected faults only: the void body returns no errors
+		panic(err) // injected faults or range overflow: the void body returns no errors
 	}
 }
 
@@ -292,12 +310,13 @@ func serialChunks(lo, hi int64, sched Schedule, body func(tid int, clo, chi int6
 		body(0, lo, hi)
 	default:
 		ch := sched.chunk()
-		for clo := lo; clo < hi; clo += ch {
+		for clo := lo; clo < hi; {
 			chi := clo + ch
-			if chi > hi {
+			if chi > hi || chi < clo { // clo+ch overflow saturates at hi
 				chi = hi
 			}
 			body(0, clo, chi)
+			clo = chi
 		}
 	}
 }

@@ -174,8 +174,17 @@ func (c *Compiled) EvalBig(vals []int64) *big.Rat {
 // polynomials evaluated outside their domain can be fractional; floor is
 // the right semantics for the monotone correction search).
 func (c *Compiled) EvalExact(vals []int64) int64 {
+	v, _ := c.EvalExactTracked(vals)
+	return v
+}
+
+// EvalExactTracked is EvalExact additionally reporting whether the exact
+// big.Int slow path ran (the int64 fast path overflowed or produced a
+// fractional value). The unranker counts these events to surface how
+// often a domain strays into big-integer territory.
+func (c *Compiled) EvalExactTracked(vals []int64) (v int64, usedBig bool) {
 	if v, ok := c.EvalInt64(vals); ok {
-		return v
+		return v, false
 	}
 	r := c.EvalBig(vals)
 	q := new(big.Int).Quo(r.Num(), r.Denom())
@@ -188,7 +197,7 @@ func (c *Compiled) EvalExact(vals []int64) int64 {
 		// guards (unrank.Bound.Unrank, core.Collapse) can classify it.
 		panic(fmt.Errorf("poly: evaluation %s exceeds int64 range: %w", q, faults.ErrOverflow))
 	}
-	return q.Int64()
+	return q.Int64(), true
 }
 
 // EvalFloat evaluates the polynomial at a float64 point.

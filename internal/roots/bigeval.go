@@ -1,0 +1,502 @@
+package roots
+
+// Adaptive-precision evaluation of radical root expressions.
+//
+// The complex128 fast path (Expr.Eval, Compile) loses precision once the
+// ranking polynomial's coefficients approach 2^53: near term boundaries
+// the discriminant of the quadratic/cubic formulas cancels catastrophically
+// and the floored real part can be off by far more than the exact ±1
+// correction tolerates. This file provides the escalation rungs: the same
+// expression trees evaluated over big.Float complex pairs at a caller-
+// chosen precision, together with a *certified error radius* — an upper
+// bound on |computed − exact| propagated through every node (first-order
+// interval/ulp propagation with conservative constants). The radius lets
+// the unranker decide whether a floor is provably correct (the certified
+// interval [Re−Rad, Re+Rad] contains no integer boundary) or whether it
+// must escalate to the next precision tier or to exact binary search.
+//
+// Soundness of recovery never rests on the radius alone: the unranker
+// re-verifies every floor with exact integer arithmetic (the monotone
+// correction step). The radius only gates *when* a tier's floor is worth
+// attempting, so a too-small radius costs correctness nothing — at worst
+// a wasted correction attempt before escalating.
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/cmplx"
+)
+
+// BigVal is an arbitrary-precision complex value with a certified error
+// radius: |computed − exact| <= Rad (as complex modulus; each component
+// individually satisfies the same bound). Rad is +Inf when no certificate
+// could be established (division by a near-zero quantity, a radical of a
+// value indistinguishable from zero) — callers must then escalate.
+type BigVal struct {
+	Re, Im *big.Float
+	Rad    float64
+}
+
+// IsCertified reports whether the value carries a finite error bound.
+func (v BigVal) IsCertified() bool {
+	return !math.IsInf(v.Rad, 0) && !math.IsNaN(v.Rad)
+}
+
+// Complex128 rounds the value to a complex128 (for diagnostics).
+func (v BigVal) Complex128() complex128 {
+	re, _ := v.Re.Float64()
+	im, _ := v.Im.Float64()
+	return complex(re, im)
+}
+
+// FloorCertain returns floor(Re) when the certified interval
+// [Re−Rad, Re+Rad] lies strictly within one unit interval — i.e. the
+// floor of the exact value is provably the returned one — and the value
+// fits in int64. ok is false when the radius straddles an integer
+// boundary, the value is uncertified, or the floor exceeds int64.
+func (v BigVal) FloorCertain() (floor int64, ok bool) {
+	if !v.IsCertified() {
+		return 0, false
+	}
+	rad := new(big.Float).SetPrec(v.Re.Prec()).SetFloat64(v.Rad)
+	lo := new(big.Float).SetPrec(v.Re.Prec()).Sub(v.Re, rad)
+	hi := new(big.Float).SetPrec(v.Re.Prec()).Add(v.Re, rad)
+	flo, ok1 := floorInt64(lo)
+	fhi, ok2 := floorInt64(hi)
+	if !ok1 || !ok2 || flo != fhi {
+		return 0, false
+	}
+	return flo, true
+}
+
+// FloorNear returns floor(Re+Rad) when the radius is small enough that
+// the certified interval [Re−Rad, Re+Rad] contains at most one integer
+// boundary (Rad < 1/4): the returned floor is then within one of the
+// exact floor. It is the big-tier analogue of the float64 path's nudge
+// for roots that land (to within the radius) exactly on an integer —
+// FloorCertain must refuse those, but a caller holding an exact ±1
+// verification step (the unranker's monotone correction) can still use
+// the near-certain floor soundly.
+func (v BigVal) FloorNear() (int64, bool) {
+	if !v.IsCertified() || v.Rad >= 0.25 {
+		return 0, false
+	}
+	hi := new(big.Float).SetPrec(v.Re.Prec()).Add(
+		v.Re, new(big.Float).SetPrec(v.Re.Prec()).SetFloat64(v.Rad))
+	return floorInt64(hi)
+}
+
+// ImagNegligible reports whether the imaginary component is consistent
+// with an exactly real value: |Im| within twice the certified radius
+// (plus a tiny absolute slack for radius-zero linear expressions).
+func (v BigVal) ImagNegligible() bool {
+	if !v.IsCertified() {
+		return false
+	}
+	im, _ := new(big.Float).Abs(v.Im).Float64()
+	re, _ := new(big.Float).Abs(v.Re).Float64()
+	return im <= 2*v.Rad+1e-18*(1+re)
+}
+
+// floorInt64 returns floor(x) as an int64, ok=false when out of range.
+func floorInt64(x *big.Float) (int64, bool) {
+	if x.IsInf() {
+		return 0, false
+	}
+	z, acc := x.Int(nil)
+	// Int truncates toward zero; for negative non-integers the truncation
+	// sits above x and must be stepped down to the floor.
+	if acc == big.Above {
+		z.Sub(z, big.NewInt(1))
+	}
+	if !z.IsInt64() {
+		return 0, false
+	}
+	return z.Int64(), true
+}
+
+// BigEvalFunc evaluates a compiled expression at a positional integer
+// point (the unranker's hot arguments — parameters, recovered prefix,
+// pc — are all integers, so leaves evaluate exactly before one rounding).
+type BigEvalFunc func(vals []int64) BigVal
+
+// bigCtx carries the evaluation precision and the per-operation relative
+// rounding bound (a generous multiple of one ulp at that precision).
+type bigCtx struct {
+	prec uint
+	rel  float64 // >= a few ulps: bounds the rounding of one operation
+}
+
+func newBigCtx(prec uint) bigCtx {
+	if prec < 64 {
+		prec = 64
+	}
+	// 16 ulps per compound complex operation is far beyond the actual
+	// 2–6 roundings each performs; cheap insurance on the certificate.
+	return bigCtx{prec: prec, rel: math.Ldexp(1, 4-int(prec))}
+}
+
+func (c bigCtx) nf() *big.Float { return new(big.Float).SetPrec(c.prec) }
+
+// mag returns |Re|+|Im| as float64 — an upper bound on the modulus
+// (within a factor sqrt(2)) used in the radius formulas. Values beyond
+// float64 range saturate to +Inf, which poisons the radius and forces
+// escalation; magnitudes that large mean the domain is out of int64
+// territory anyway.
+func mag(v BigVal) float64 {
+	re, _ := new(big.Float).Abs(v.Re).Float64()
+	im, _ := new(big.Float).Abs(v.Im).Float64()
+	return re + im
+}
+
+// modLower returns a lower bound on the modulus of v: the larger
+// component's magnitude is >= modulus/sqrt(2) >= mag/2.
+func modLower(v BigVal) float64 { return mag(v) / 2 }
+
+func (c bigCtx) add(a, b BigVal) BigVal {
+	v := BigVal{Re: c.nf().Add(a.Re, b.Re), Im: c.nf().Add(a.Im, b.Im)}
+	v.Rad = a.Rad + b.Rad + c.rel*mag(v)
+	return v
+}
+
+func (c bigCtx) sub(a, b BigVal) BigVal {
+	v := BigVal{Re: c.nf().Sub(a.Re, b.Re), Im: c.nf().Sub(a.Im, b.Im)}
+	v.Rad = a.Rad + b.Rad + c.rel*mag(v)
+	return v
+}
+
+func (c bigCtx) neg(a BigVal) BigVal {
+	return BigVal{Re: c.nf().Neg(a.Re), Im: c.nf().Neg(a.Im), Rad: a.Rad}
+}
+
+func (c bigCtx) mul(a, b BigVal) BigVal {
+	rr := c.nf().Mul(a.Re, b.Re)
+	ii := c.nf().Mul(a.Im, b.Im)
+	ri := c.nf().Mul(a.Re, b.Im)
+	ir := c.nf().Mul(a.Im, b.Re)
+	v := BigVal{Re: c.nf().Sub(rr, ii), Im: c.nf().Add(ri, ir)}
+	ma, mb := mag(a), mag(b)
+	v.Rad = ma*b.Rad + mb*a.Rad + a.Rad*b.Rad + c.rel*ma*mb
+	return v
+}
+
+func (c bigCtx) div(a, b BigVal) BigVal {
+	den := c.nf().Add(c.nf().Mul(b.Re, b.Re), c.nf().Mul(b.Im, b.Im))
+	if den.Sign() == 0 {
+		// Division by exact zero: mirror the complex128 path's Inf/NaN
+		// (callers detect non-finite values); no certificate.
+		return BigVal{Re: c.nf().SetInf(false), Im: c.nf().SetInf(false), Rad: math.Inf(1)}
+	}
+	re := c.nf().Quo(c.nf().Add(c.nf().Mul(a.Re, b.Re), c.nf().Mul(a.Im, b.Im)), den)
+	im := c.nf().Quo(c.nf().Sub(c.nf().Mul(a.Im, b.Re), c.nf().Mul(a.Re, b.Im)), den)
+	v := BigVal{Re: re, Im: im}
+	bLow := modLower(b)
+	if b.Rad >= bLow/2 {
+		v.Rad = math.Inf(1) // divisor indistinguishable from zero
+		return v
+	}
+	v.Rad = (a.Rad+mag(v)*b.Rad)/(bLow-b.Rad) + c.rel*mag(v)
+	return v
+}
+
+// sqrt computes the principal complex square root (branch matching
+// cmplx.Sqrt: Re >= 0, with Im carrying the sign of the input's Im).
+func (c bigCtx) sqrt(a BigVal) BigVal {
+	if a.Re.Sign() == 0 && a.Im.Sign() == 0 {
+		rad := a.Rad
+		if rad > 0 {
+			rad = 4 * math.Sqrt(rad)
+		}
+		return BigVal{Re: c.nf(), Im: c.nf(), Rad: rad}
+	}
+	// r = |a|; for Re >= 0: w = sqrt((r+Re)/2) + i*Im/(2 sqrt(...));
+	// for Re < 0:  w = |Im|/(2u) + i*sign(Im)*u with u = sqrt((r-Re)/2).
+	r := c.nf().Sqrt(c.nf().Add(c.nf().Mul(a.Re, a.Re), c.nf().Mul(a.Im, a.Im)))
+	var re, im *big.Float
+	if a.Re.Sign() >= 0 {
+		t := c.nf().Sqrt(c.nf().Quo(c.nf().Add(r, a.Re), big.NewFloat(2)))
+		re = t
+		if t.Sign() == 0 {
+			im = c.nf()
+		} else {
+			im = c.nf().Quo(a.Im, c.nf().Mul(big.NewFloat(2), t))
+		}
+	} else {
+		u := c.nf().Sqrt(c.nf().Quo(c.nf().Sub(r, a.Re), big.NewFloat(2)))
+		re = c.nf().Quo(c.nf().Abs(a.Im), c.nf().Mul(big.NewFloat(2), u))
+		if a.Im.Signbit() {
+			im = c.nf().Neg(u)
+		} else {
+			im = new(big.Float).SetPrec(c.prec).Set(u)
+		}
+	}
+	v := BigVal{Re: re, Im: im}
+	v.Rad = c.radRoot(a, v, 2)
+	return v
+}
+
+// radRoot bounds the error of w = a^(1/n) given a's radius: first-order
+// |δw| <= |δa| / (n·|a|^((n-1)/n)), with a fallback to the Hölder bound
+// 4·|δa|^(1/n) when a is indistinguishable from zero at its radius.
+func (c bigCtx) radRoot(a, w BigVal, n int) float64 {
+	mw := mag(w)
+	if a.Rad == 0 {
+		return c.rel * mw
+	}
+	aLow := modLower(a)
+	if a.Rad >= aLow/2 {
+		return 4 * math.Pow(a.Rad, 1/float64(n))
+	}
+	deriv := a.Rad / (float64(n) * math.Pow(aLow-a.Rad, float64(n-1)/float64(n)))
+	return 2*deriv + c.rel*mw
+}
+
+// rootN computes the branch of a^(1/n) continuing the principal branch
+// of cmplx.Pow: the complex128 evaluation seeds a Newton iteration on
+// w^n = a in big.Float arithmetic, which converges quadratically to the
+// root nearest the seed. Exponents are pre-scaled by powers of 2^n so
+// the seed never over/underflows float64.
+func (c bigCtx) rootN(a BigVal, n int) BigVal {
+	if a.Re.Sign() == 0 && a.Im.Sign() == 0 {
+		rad := a.Rad
+		if rad > 0 {
+			rad = 4 * math.Pow(rad, 1/float64(n))
+		}
+		return BigVal{Re: c.nf(), Im: c.nf(), Rad: rad}
+	}
+	// Scale a by 2^(-k*n) so the float64 seed is well inside range.
+	e := 0
+	if a.Re.Sign() != 0 {
+		e = a.Re.MantExp(nil)
+	}
+	if a.Im.Sign() != 0 {
+		if ei := a.Im.MantExp(nil); ei > e || a.Re.Sign() == 0 {
+			e = ei
+		}
+	}
+	k := e / n
+	shift := -k * n
+	as := BigVal{Re: scale2(c, a.Re, shift), Im: scale2(c, a.Im, shift)}
+	sre, _ := as.Re.Float64()
+	sim, _ := as.Im.Float64()
+	seed := cmplx.Pow(complex(sre, sim), complex(1/float64(n), 0))
+	w := BigVal{Re: c.nf().SetFloat64(real(seed)), Im: c.nf().SetFloat64(imag(seed))}
+	// Newton: w <- ((n-1)·w + a/w^(n-1)) / n. The float64 seed carries
+	// ~50 accurate bits; each step doubles them.
+	iters := 2
+	for acc := 40.0; acc < float64(c.prec); acc *= 2 {
+		iters++
+	}
+	nf := c.nf().SetInt64(int64(n))
+	n1 := c.nf().SetInt64(int64(n - 1))
+	for i := 0; i < iters; i++ {
+		wp := w
+		for j := 1; j < n-1; j++ {
+			wp = c.mul(wp, w)
+		}
+		q := c.div(BigVal{Re: as.Re, Im: as.Im}, wp)
+		w = BigVal{
+			Re: c.nf().Quo(c.nf().Add(c.nf().Mul(n1, w.Re), q.Re), nf),
+			Im: c.nf().Quo(c.nf().Add(c.nf().Mul(n1, w.Im), q.Im), nf),
+		}
+	}
+	// Undo the scaling: multiply by 2^k.
+	v := BigVal{Re: scale2(c, w.Re, k), Im: scale2(c, w.Im, k)}
+	v.Rad = c.radRoot(a, v, n)
+	return v
+}
+
+// scale2 returns x * 2^shift at the context precision.
+func scale2(c bigCtx, x *big.Float, shift int) *big.Float {
+	if x.Sign() == 0 {
+		return c.nf()
+	}
+	m := c.nf()
+	e := x.MantExp(m)
+	return c.nf().SetMantExp(m, e+shift)
+}
+
+// powInt computes a^n (n >= 0) by repeated multiplication.
+func (c bigCtx) powInt(a BigVal, n int) BigVal {
+	r := BigVal{Re: c.nf().SetInt64(1), Im: c.nf()}
+	for i := 0; i < n; i++ {
+		r = c.mul(r, a)
+	}
+	return r
+}
+
+func (c bigCtx) pow(a BigVal, num, den int) BigVal {
+	if den == 1 {
+		if num >= 0 {
+			return c.powInt(a, num)
+		}
+		one := BigVal{Re: c.nf().SetInt64(1), Im: c.nf()}
+		return c.div(one, c.powInt(a, -num))
+	}
+	r := c.rootN(a, den)
+	if num == 1 {
+		return r
+	}
+	if num >= 0 {
+		return c.powInt(r, num)
+	}
+	one := BigVal{Re: c.nf().SetInt64(1), Im: c.nf()}
+	return c.div(one, c.powInt(r, -num))
+}
+
+// exactLeaf wraps an exact rational as a certified BigVal: one rounding.
+func (c bigCtx) exactLeaf(r *big.Rat) BigVal {
+	v := BigVal{Re: c.nf().SetRat(r), Im: c.nf()}
+	v.Rad = c.rel * mag(v)
+	return v
+}
+
+// CompileBig translates an expression tree into a positional
+// arbitrary-precision evaluator with a certified error radius. The
+// integer argument values evaluate exactly at the leaves (polynomials go
+// through exact big.Rat arithmetic), so the radius reflects only the
+// radical arithmetic above them. This is the escalation form used by the
+// unranker's precision ladder; Compile remains the complex128 fast path.
+func CompileBig(e Expr, vars []string, prec uint) (BigEvalFunc, error) {
+	c := newBigCtx(prec)
+	switch v := e.(type) {
+	case Num:
+		val := new(big.Rat).Set(v.Val)
+		return func([]int64) BigVal { return c.exactLeaf(val) }, nil
+	case PolyExpr:
+		comp, err := v.P.Compile(vars)
+		if err != nil {
+			return nil, err
+		}
+		return func(vals []int64) BigVal {
+			return c.exactLeaf(comp.EvalBig(vals))
+		}, nil
+	case Add:
+		a, b, err := compileBig2(v.A, v.B, vars, prec)
+		if err != nil {
+			return nil, err
+		}
+		return func(vals []int64) BigVal { return c.add(a(vals), b(vals)) }, nil
+	case Sub:
+		a, b, err := compileBig2(v.A, v.B, vars, prec)
+		if err != nil {
+			return nil, err
+		}
+		return func(vals []int64) BigVal { return c.sub(a(vals), b(vals)) }, nil
+	case Mul:
+		a, b, err := compileBig2(v.A, v.B, vars, prec)
+		if err != nil {
+			return nil, err
+		}
+		return func(vals []int64) BigVal { return c.mul(a(vals), b(vals)) }, nil
+	case Div:
+		a, b, err := compileBig2(v.A, v.B, vars, prec)
+		if err != nil {
+			return nil, err
+		}
+		return func(vals []int64) BigVal { return c.div(a(vals), b(vals)) }, nil
+	case Neg:
+		a, err := CompileBig(v.A, vars, prec)
+		if err != nil {
+			return nil, err
+		}
+		return func(vals []int64) BigVal { return c.neg(a(vals)) }, nil
+	case Pow:
+		base, err := CompileBig(v.Base, vars, prec)
+		if err != nil {
+			return nil, err
+		}
+		num, den := v.Num, v.Den
+		if den == 2 && num == 1 {
+			return func(vals []int64) BigVal { return c.sqrt(base(vals)) }, nil
+		}
+		return func(vals []int64) BigVal { return c.pow(base(vals), num, den) }, nil
+	}
+	return nil, fmt.Errorf("roots: cannot compile expression of type %T", e)
+}
+
+func compileBig2(ea, eb Expr, vars []string, prec uint) (BigEvalFunc, BigEvalFunc, error) {
+	a, err := CompileBig(ea, vars, prec)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := CompileBig(eb, vars, prec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// EvalBig evaluates an expression with named rational bindings at the
+// given precision — the tool-time/test form of CompileBig (the hot path
+// compiles once and evaluates positionally).
+func EvalBig(e Expr, env map[string]*big.Rat, prec uint) (BigVal, error) {
+	c := newBigCtx(prec)
+	return evalBig(c, e, env)
+}
+
+func evalBig2(c bigCtx, ea, eb Expr, env map[string]*big.Rat) (BigVal, BigVal, error) {
+	a, err := evalBig(c, ea, env)
+	if err != nil {
+		return BigVal{}, BigVal{}, err
+	}
+	b, err := evalBig(c, eb, env)
+	if err != nil {
+		return BigVal{}, BigVal{}, err
+	}
+	return a, b, nil
+}
+
+func evalBig(c bigCtx, e Expr, env map[string]*big.Rat) (BigVal, error) {
+	switch v := e.(type) {
+	case Num:
+		return c.exactLeaf(v.Val), nil
+	case PolyExpr:
+		r, err := v.P.EvalRat(env)
+		if err != nil {
+			return BigVal{}, err
+		}
+		return c.exactLeaf(r), nil
+	case Add:
+		a, b, err := evalBig2(c, v.A, v.B, env)
+		if err != nil {
+			return BigVal{}, err
+		}
+		return c.add(a, b), nil
+	case Sub:
+		a, b, err := evalBig2(c, v.A, v.B, env)
+		if err != nil {
+			return BigVal{}, err
+		}
+		return c.sub(a, b), nil
+	case Mul:
+		a, b, err := evalBig2(c, v.A, v.B, env)
+		if err != nil {
+			return BigVal{}, err
+		}
+		return c.mul(a, b), nil
+	case Div:
+		a, b, err := evalBig2(c, v.A, v.B, env)
+		if err != nil {
+			return BigVal{}, err
+		}
+		return c.div(a, b), nil
+	case Neg:
+		a, err := evalBig(c, v.A, env)
+		if err != nil {
+			return BigVal{}, err
+		}
+		return c.neg(a), nil
+	case Pow:
+		a, err := evalBig(c, v.Base, env)
+		if err != nil {
+			return BigVal{}, err
+		}
+		if v.Den == 2 && v.Num == 1 {
+			return c.sqrt(a), nil
+		}
+		return c.pow(a, v.Num, v.Den), nil
+	}
+	return BigVal{}, fmt.Errorf("roots: cannot evaluate expression of type %T", e)
+}

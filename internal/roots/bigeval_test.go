@@ -1,0 +1,232 @@
+package roots
+
+import (
+	"math"
+	"math/big"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/poly"
+)
+
+// bigRef evaluates e at a very high precision (1024 bits) to serve as
+// ground truth for the certified-radius checks below.
+func bigRef(t *testing.T, e Expr, vars []string, vals []int64) complex128 {
+	t.Helper()
+	fn, err := CompileBig(e, vars, 1024)
+	if err != nil {
+		t.Fatalf("CompileBig(ref): %v", err)
+	}
+	return fn(vals).Complex128()
+}
+
+func TestCompileBigMatchesComplex128(t *testing.T) {
+	n := poly.Var("N")
+	exprs := []struct {
+		name string
+		e    Expr
+	}{
+		{"linear", Sub{A: P(n), B: NumInt(3)}},
+		{"quadratic root", Mul{
+			A: NumRat(1, 2),
+			B: Add{A: NumInt(-1), B: Sqrt(Add{A: NumInt(1), B: Mul{A: NumInt(8), B: P(n)}})},
+		}},
+		{"cbrt", Cbrt(Add{A: P(n), B: NumInt(5)})},
+		{"nested", Div{
+			A: Sub{A: Sqrt(P(n.Mul(n))), B: NumInt(1)},
+			B: NumInt(2),
+		}},
+	}
+	vars := []string{"N"}
+	for _, tc := range exprs {
+		fn, err := CompileBig(tc.e, vars, 128)
+		if err != nil {
+			t.Fatalf("%s: CompileBig: %v", tc.name, err)
+		}
+		for _, nv := range []int64{0, 1, 7, 1000, 1 << 20} {
+			got := fn([]int64{nv})
+			env := map[string]float64{"N": float64(nv)}
+			want := tc.e.Eval(env)
+			g := got.Complex128()
+			if d := cmplx.Abs(g - want); d > 1e-9*(1+cmplx.Abs(want)) {
+				t.Errorf("%s at N=%d: big=%v float64=%v (diff %g)", tc.name, nv, g, want, d)
+			}
+			if !got.IsCertified() {
+				t.Errorf("%s at N=%d: radius not certified", tc.name, nv)
+			}
+		}
+	}
+}
+
+
+func TestCertifiedRadiusBoundsTrueError(t *testing.T) {
+	// Expressions with catastrophic cancellation: sqrt(N^2+N) - N loses
+	// about half the working precision; the radius must still dominate
+	// the true error against a 1024-bit reference.
+	n := poly.Var("N")
+	e := Sub{A: Sqrt(P(n.Mul(n).Add(n))), B: P(n)}
+	vars := []string{"N"}
+	for _, prec := range []uint{64, 128, 256} {
+		fn, err := CompileBig(e, vars, prec)
+		if err != nil {
+			t.Fatalf("CompileBig: %v", err)
+		}
+		for _, nv := range []int64{3, 1 << 26, 1 << 31, 1 << 40} {
+			got := fn([]int64{nv})
+			ref := bigRef(t, e, vars, []int64{nv})
+			err := cmplx.Abs(got.Complex128() - ref)
+			if !got.IsCertified() {
+				t.Fatalf("prec=%d N=%d: uncertified", prec, nv)
+			}
+			// Allow the float64 rounding of the comparison itself.
+			if err > got.Rad+1e-12*math.Abs(real(ref)) {
+				t.Errorf("prec=%d N=%d: true error %g exceeds certified radius %g",
+					prec, nv, err, got.Rad)
+			}
+		}
+	}
+}
+
+func TestSqrtBranchMatchesCmplx(t *testing.T) {
+	c := newBigCtx(128)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		re := (rng.Float64() - 0.5) * 100
+		im := (rng.Float64() - 0.5) * 100
+		switch i % 4 {
+		case 1:
+			im = 0
+		case 2:
+			re = 0
+		case 3:
+			re = -math.Abs(re)
+		}
+		a := BigVal{Re: c.nf().SetFloat64(re), Im: c.nf().SetFloat64(im)}
+		got := c.sqrt(a).Complex128()
+		want := cmplx.Sqrt(complex(re, im))
+		if d := cmplx.Abs(got - want); d > 1e-12*(1+cmplx.Abs(want)) {
+			t.Fatalf("sqrt(%g%+gi): big=%v cmplx=%v", re, im, got, want)
+		}
+	}
+}
+
+func TestRootNBranchMatchesCmplxPow(t *testing.T) {
+	c := newBigCtx(128)
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{3, 4, 5} {
+		for i := 0; i < 100; i++ {
+			re := (rng.Float64() - 0.5) * 1000
+			im := (rng.Float64() - 0.5) * 1000
+			if i%3 == 0 {
+				im = 0
+			}
+			a := BigVal{Re: c.nf().SetFloat64(re), Im: c.nf().SetFloat64(im)}
+			got := c.rootN(a, n).Complex128()
+			want := cmplx.Pow(complex(re, im), complex(1/float64(n), 0))
+			if d := cmplx.Abs(got - want); d > 1e-10*(1+cmplx.Abs(want)) {
+				t.Fatalf("root%d(%g%+gi): big=%v cmplx=%v", n, re, im, got, want)
+			}
+		}
+	}
+}
+
+func TestRootNExtremeExponents(t *testing.T) {
+	// Values far outside float64 range: the exponent pre-scaling must keep
+	// the Newton seed finite. 2^1200 is representable only in big.Float.
+	c := newBigCtx(128)
+	huge := BigVal{Re: c.nf().SetMantExp(c.nf().SetInt64(1), 1200), Im: c.nf()}
+	w := c.rootN(huge, 3)
+	// Cube root of 2^1200 is 2^400.
+	want := c.nf().SetMantExp(c.nf().SetInt64(1), 400)
+	diff := new(big.Float).Sub(w.Re, want)
+	diff.Quo(diff, want)
+	rel, _ := diff.Float64()
+	if math.Abs(rel) > 1e-30 {
+		t.Fatalf("cbrt(2^1200) relative error %g", rel)
+	}
+}
+
+func TestFloorCertain(t *testing.T) {
+	mk := func(x float64, rad float64) BigVal {
+		return BigVal{
+			Re:  new(big.Float).SetPrec(128).SetFloat64(x),
+			Im:  new(big.Float).SetPrec(128),
+			Rad: rad,
+		}
+	}
+	cases := []struct {
+		v      BigVal
+		want   int64
+		wantOK bool
+	}{
+		{mk(5.5, 0.25), 5, true},
+		{mk(5.5, 0), 5, true},
+		{mk(5.2, 0.1), 5, true},
+		{mk(5.0001, 0.001), 0, false}, // 5.0001-0.001 dips below 5
+		{mk(5.0001, 0.5), 0, false},   // straddles 5
+		{mk(5.999, 0.01), 0, false},   // straddles 6
+		{mk(-2.5, 0.25), -3, true},   // floor of negative non-integer
+		{mk(-2.01, 0.25), 0, false},  // straddles -2
+		{mk(7, math.Inf(1)), 0, false},
+		{mk(7, math.NaN()), 0, false},
+	}
+	for i, tc := range cases {
+		got, ok := tc.v.FloorCertain()
+		if ok != tc.wantOK || (ok && got != tc.want) {
+			re, _ := tc.v.Re.Float64()
+			t.Errorf("case %d (re=%g rad=%g): got (%d,%v) want (%d,%v)",
+				i, re, tc.v.Rad, got, ok, tc.want, tc.wantOK)
+		}
+	}
+}
+
+func TestImagNegligible(t *testing.T) {
+	mk := func(re, im, rad float64) BigVal {
+		return BigVal{
+			Re:  new(big.Float).SetPrec(128).SetFloat64(re),
+			Im:  new(big.Float).SetPrec(128).SetFloat64(im),
+			Rad: rad,
+		}
+	}
+	if !mk(3, 0, 0).ImagNegligible() {
+		t.Error("exact real value should have negligible imaginary part")
+	}
+	if !mk(3, 1e-20, 1e-19).ImagNegligible() {
+		t.Error("imaginary part within radius should be negligible")
+	}
+	if mk(3, 0.5, 1e-19).ImagNegligible() {
+		t.Error("large imaginary part should not be negligible")
+	}
+	if mk(3, 0, math.Inf(1)).ImagNegligible() {
+		t.Error("uncertified value should not be negligible")
+	}
+}
+
+func TestDivByNearZeroPoisonsRadius(t *testing.T) {
+	c := newBigCtx(128)
+	one := BigVal{Re: c.nf().SetInt64(1), Im: c.nf()}
+	zero := BigVal{Re: c.nf(), Im: c.nf()}
+	if v := c.div(one, zero); v.IsCertified() {
+		t.Error("division by zero must not be certified")
+	}
+	// Divisor whose radius swallows its magnitude.
+	fuzzy := BigVal{Re: c.nf().SetFloat64(1e-30), Im: c.nf(), Rad: 1e-30}
+	if v := c.div(one, fuzzy); v.IsCertified() {
+		t.Error("division by a value indistinguishable from zero must not be certified")
+	}
+}
+
+func TestEvalBigNamedEnv(t *testing.T) {
+	n := poly.Var("N")
+	e := Sqrt(P(n))
+	env := map[string]*big.Rat{"N": new(big.Rat).SetInt64(49)}
+	v, err := EvalBig(e, env, 128)
+	if err != nil {
+		t.Fatalf("EvalBig: %v", err)
+	}
+	got, _ := v.Re.Float64()
+	if got != 7 || !v.IsCertified() {
+		t.Fatalf("sqrt(49) = %g (certified %v), want 7", got, v.IsCertified())
+	}
+}

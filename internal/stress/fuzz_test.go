@@ -1,0 +1,47 @@
+package stress
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/omp"
+	"repro/internal/unrank"
+)
+
+// FuzzStressNest drives the generator from arbitrary seeds and pushes
+// each generated nest through the full precision ladder: recovery
+// forced to start at every tier (float64, 128-bit, 256-bit, exact
+// binary search) must visit exactly the sequential iteration set.
+// Unlike FuzzRankUnrank (which fuzzes the C front end), this target
+// fuzzes the numeric recovery engine over the space of collapsible
+// shapes directly.
+func FuzzStressNest(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c, err := NewCase(seed)
+		if err != nil {
+			// Pathological seeds that never generate a collapsible
+			// nest are uninteresting, not failures.
+			t.Skip(err)
+		}
+		truth, err := enumerate(c)
+		if err != nil {
+			t.Fatalf("%s: enumerate: %v", c.Name, err)
+		}
+		for _, tier := range Tiers() {
+			res, err := core.Collapse(c.Nest, c.C, unrank.Options{StartTier: tier})
+			if err != nil {
+				t.Fatalf("%s: collapse at %v: %v", c.Name, tier, err)
+			}
+			got, cs, err := runParallel(res, c.Params, 2, omp.Schedule{Kind: omp.Dynamic, Chunk: 3})
+			if err != nil {
+				t.Fatalf("%s at %v: %v", c.Name, tier, err)
+			}
+			if err := diffVisitSets(truth, got); err != nil {
+				t.Fatalf("%s at %v: %v (stats: %s)", c.Name, tier, err, cs.Stats.String())
+			}
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package stress
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/omp"
+	"repro/internal/unrank"
+)
+
+func TestNewCaseDeterministic(t *testing.T) {
+	a, err := NewCase(42)
+	if err != nil {
+		t.Fatalf("NewCase(42): %v", err)
+	}
+	b, err := NewCase(42)
+	if err != nil {
+		t.Fatalf("NewCase(42) again: %v", err)
+	}
+	if a.Name != b.Name || a.Total != b.Total {
+		t.Fatalf("seed 42 not deterministic: %q/%d vs %q/%d", a.Name, a.Total, b.Name, b.Total)
+	}
+	if a.Total < 1 {
+		t.Fatalf("case %s has empty domain", a.Name)
+	}
+}
+
+func TestGeneratorCoversShapes(t *testing.T) {
+	shapes := map[string]bool{}
+	for seed := int64(0); seed < 40; seed++ {
+		c, err := NewCase(seed)
+		if err != nil {
+			t.Fatalf("NewCase(%d): %v", seed, err)
+		}
+		switch {
+		case containsShape(c.Name, "rect"):
+			shapes["rect"] = true
+		case containsShape(c.Name, "shifted"):
+			shapes["shifted"] = true
+		case containsShape(c.Name, "tri"):
+			shapes["tri"] = true
+		}
+	}
+	for _, s := range []string{"rect", "tri", "shifted"} {
+		if !shapes[s] {
+			t.Errorf("40 seeds never produced a %s nest", s)
+		}
+	}
+}
+
+func containsShape(name, shape string) bool {
+	return len(name) > 0 && indexOf(name, "-"+shape+"-") >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestDifferentialSweep is the harness's own smoke test: a handful of
+// seeds through every schedule and ladder tier. Fault injection is
+// exercised separately (the plan is process-global) in
+// TestDifferentialWithFaults.
+func TestDifferentialSweep(t *testing.T) {
+	st, err := RunSeeds([]int64{1, 2, 3}, 4, false)
+	if err != nil {
+		t.Fatalf("differential sweep: %v (after %d runs)", err, st.Runs)
+	}
+	wantRuns := 3 * len(Schedules()) * len(Tiers())
+	if st.Runs != wantRuns {
+		t.Fatalf("ran %d differential runs, want %d", st.Runs, wantRuns)
+	}
+}
+
+func TestDifferentialWithFaults(t *testing.T) {
+	st, err := RunSeeds([]int64{7}, 2, true)
+	if err != nil {
+		t.Fatalf("faulted sweep: %v", err)
+	}
+	// The fault plan pushes every float64 root far beyond correction
+	// range, so the float64-start runs must have escalated to a big
+	// tier (injection bypasses the big evaluators by design).
+	if st.Unrank.EscalationsPrec128+st.Unrank.EscalationsPrec256 == 0 {
+		t.Fatalf("fault injection never forced a precision escalation: %s", st.Unrank.String())
+	}
+}
+
+// TestForcedTiersProduceExpectedCounters checks that StartTier really
+// moves work onto the requested rung.
+func TestForcedTiersProduceExpectedCounters(t *testing.T) {
+	c, err := NewCase(11)
+	if err != nil {
+		t.Fatalf("NewCase: %v", err)
+	}
+	_ = c
+	for _, tier := range []unrank.Tier{unrank.TierPrec128, unrank.TierPrec256} {
+		st, err := runTier(c, tier)
+		if err != nil {
+			t.Fatalf("tier %v: %v", tier, err)
+		}
+		switch tier {
+		case unrank.TierPrec128:
+			if st.EscalationsPrec128 == 0 {
+				t.Errorf("StartTier=Prec128 recorded no prec128 escalations: %s", st.String())
+			}
+		case unrank.TierPrec256:
+			if st.EscalationsPrec256 == 0 {
+				t.Errorf("StartTier=Prec256 recorded no prec256 escalations: %s", st.String())
+			}
+		}
+	}
+}
+
+func runTier(c *Case, tier unrank.Tier) (unrank.Stats, error) {
+	res, err := core.Collapse(c.Nest, c.C, unrank.Options{StartTier: tier})
+	if err != nil {
+		return unrank.Stats{}, err
+	}
+	_, cs, err := runParallel(res, c.Params, 2, omp.Schedule{Kind: omp.Static})
+	return cs.Stats, err
+}

@@ -14,12 +14,19 @@ import (
 // Stats counts recovery events, exposed for the overhead experiments
 // (paper Fig. 10) and for diagnosing floating-point behaviour.
 type Stats struct {
-	RootEvals   int64 // closed-form radical evaluations
+	RootEvals   int64 // closed-form radical evaluations (float64 tier)
 	Corrections int64 // exact ±1 correction steps taken
-	Fallbacks   int64 // binary-search fallbacks (NaN/Inf or non-convergence)
-	Searches    int64 // binary-search recoveries (fallbacks + binary mode)
+	Fallbacks   int64 // float64-tier failures (NaN/Inf or non-convergence)
+	Searches    int64 // binary-search recoveries (ladder exhausted + binary mode)
 	Verifies    int64 // exact big.Rat re-rank checks (verify mode)
 	Escalations int64 // verify mismatches escalated to binary search
+
+	// Precision-ladder counters: recoveries completed by the big.Float
+	// escalation tiers (certified floor plus exact correction), and
+	// exact polynomial evaluations that left int64 territory.
+	EscalationsPrec128 int64 // recoveries completed at big.Float(128)
+	EscalationsPrec256 int64 // recoveries completed at big.Float(256)
+	BigIntPaths        int64 // exact evaluations taking the big.Int slow path
 }
 
 // Add accumulates o into s (used to aggregate per-thread stats).
@@ -30,6 +37,9 @@ func (s *Stats) Add(o Stats) {
 	s.Searches += o.Searches
 	s.Verifies += o.Verifies
 	s.Escalations += o.Escalations
+	s.EscalationsPrec128 += o.EscalationsPrec128
+	s.EscalationsPrec256 += o.EscalationsPrec256
+	s.BigIntPaths += o.BigIntPaths
 }
 
 // String renders the counters in a compact fixed-order form.
@@ -39,6 +49,12 @@ func (s Stats) String() string {
 	if s.Verifies > 0 || s.Escalations > 0 {
 		out += fmt.Sprintf(", verifies %d, escalations %d", s.Verifies, s.Escalations)
 	}
+	if s.EscalationsPrec128 > 0 || s.EscalationsPrec256 > 0 {
+		out += fmt.Sprintf(", prec128 %d, prec256 %d", s.EscalationsPrec128, s.EscalationsPrec256)
+	}
+	if s.BigIntPaths > 0 {
+		out += fmt.Sprintf(", bigint paths %d", s.BigIntPaths)
+	}
 	return out
 }
 
@@ -47,21 +63,28 @@ func (s Stats) String() string {
 // concurrent use — give each goroutine its own via Unranker.Bind (the
 // generated OpenMP code likewise privatizes the recovery state).
 type Bound struct {
-	u     *Unranker
-	inst  *nest.Instance
-	np    int
-	depth int
-	total int64
-	vals  []int64 // params followed by indices, reused (exact path)
+	u        *Unranker
+	inst     *nest.Instance
+	np       int
+	depth    int
+	total    int64
+	totalBig *big.Int
+	vals     []int64 // params followed by indices, reused (exact path)
 	// fvals[k] is the positional float argument vector of level k's
 	// compiled root: [params..., i_0..i_{k-1}, pc].
 	fvals [][]float64
+	// ivals[k] is the positional integer argument vector of level k's
+	// big.Float escalation evaluators (same layout as fvals[k], exact).
+	ivals [][]int64
 	stats Stats
 }
 
 // Bind fixes parameter values, precomputing the total iteration count.
-// A parameter binding whose iteration count exceeds int64 returns an
-// error wrapping faults.ErrOverflow.
+// The count is evaluated with checked arithmetic: when it leaves the
+// int64 fast path it is computed exactly over big.Int (available via
+// TotalBig), and a count that cannot serve as a collapsed pc range
+// (Total+1 must fit in int64) returns an error wrapping
+// faults.ErrOverflow instead of wrapping around.
 func (u *Unranker) Bind(params map[string]int64) (b *Bound, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -90,14 +113,37 @@ func (u *Unranker) Bind(params map[string]int64) (b *Bound, err error) {
 		cvals[i] = v
 	}
 	b.fvals = make([][]float64, len(u.levels))
+	b.ivals = make([][]int64, len(u.levels))
 	for k := range u.levels {
 		fv := make([]float64, b.np+k+1)
+		iv := make([]int64, b.np+k+1)
 		for i := range cvals {
 			fv[i] = float64(cvals[i])
+			iv[i] = cvals[i]
 		}
 		b.fvals[k] = fv
+		b.ivals[k] = iv
 	}
-	b.total = u.countC.EvalExact(cvals)
+	// The total count goes through the explicitly checked big path: no
+	// silent wraparound, and domains beyond int64 report ErrOverflow
+	// with the exact count attached rather than panicking.
+	if v, ok := u.countC.EvalInt64(cvals); ok {
+		b.total = v
+		b.totalBig = big.NewInt(v)
+	} else {
+		b.stats.BigIntPaths++
+		r := u.countC.EvalBig(cvals)
+		q := new(big.Int).Quo(r.Num(), r.Denom())
+		if r.Sign() < 0 && !r.IsInt() {
+			q.Sub(q, big.NewInt(1))
+		}
+		b.totalBig = q
+		if !q.IsInt64() || q.Int64() > math.MaxInt64-1 {
+			return nil, fmt.Errorf("unrank: bind %v: iteration count %s exceeds the int64 pc range: %w",
+				params, q, faults.ErrOverflow)
+		}
+		b.total = q.Int64()
+	}
 	if b.total < 0 {
 		return nil, fmt.Errorf("unrank: negative iteration count %d (irregular nest for %v)", b.total, params)
 	}
@@ -117,6 +163,13 @@ func (u *Unranker) MustBind(params map[string]int64) *Bound {
 // pc = 1 .. Total.
 func (b *Bound) Total() int64 { return b.total }
 
+// TotalBig returns the exact iteration count as a big.Int — equal to
+// Total() whenever the count fits int64, and the only faithful value for
+// domains beyond it (Bind refuses those with ErrOverflow, but tools can
+// still report the exact cardinality via the Unranker's counting
+// polynomial).
+func (b *Bound) TotalBig() *big.Int { return new(big.Int).Set(b.totalBig) }
+
 // Instance returns the bound nest instance (for bound evaluation and
 // lexicographic incrementation).
 func (b *Bound) Instance() *nest.Instance { return b.inst }
@@ -129,9 +182,15 @@ func (b *Bound) ResetStats() { b.stats = Stats{} }
 
 // rkEval exactly evaluates level k's substituted ranking polynomial at
 // candidate index value x, given the already-recovered prefix in b.vals.
+// Evaluations that overflow the int64 fast path transparently run over
+// big.Int and are counted in Stats.BigIntPaths.
 func (b *Bound) rkEval(k int, x int64) int64 {
 	b.vals[b.np+k] = x
-	return b.u.levels[k].rk.EvalExact(b.vals[:b.np+k+1])
+	v, usedBig := b.u.levels[k].rk.EvalExactTracked(b.vals[:b.np+k+1])
+	if usedBig {
+		b.stats.BigIntPaths++
+	}
+	return v
 }
 
 // searchLevel exactly recovers level k by binary search: the largest
@@ -175,7 +234,6 @@ func (b *Bound) Unrank(pc int64, idx []int64) (err error) {
 	if pc < 1 || pc > b.total {
 		return fmt.Errorf("unrank: pc = %d out of range 1..%d", pc, b.total)
 	}
-	pcf := float64(pc)
 	for k := 0; k < b.depth-1; k++ {
 		lv := &b.u.levels[k]
 		lo := b.inst.LowerAt(k, idx)
@@ -183,49 +241,28 @@ func (b *Bound) Unrank(pc int64, idx []int64) (err error) {
 		var ik int64
 		recovered := false
 		if lv.rootFn != nil {
-			fv := b.fvals[k]
-			fv[len(fv)-1] = pcf
-			x := faults.PerturbRoot(k, lv.rootFn(fv))
-			b.stats.RootEvals++
-			if !cmplx.IsNaN(x) && !cmplx.IsInf(x) &&
-				math.Abs(imag(x)) <= 1e-6*(1+math.Abs(real(x))) {
-				ik = int64(math.Floor(real(x) + 1e-9))
-				if ik < lo {
-					ik = lo
-				}
-				if ik > hi-1 {
-					ik = hi - 1
-				}
-				// Exact monotone correction (bounded): ensure
-				// r_k(ik) <= pc < r_k(ik+1).
-				steps := 0
-				ok := true
-				for b.rkEval(k, ik) > pc {
-					ik--
-					steps++
-					if ik < lo || steps > b.u.maxCorr {
-						ok = false
-						break
-					}
-				}
-				if ok {
-					for ik+1 <= hi-1 && b.rkEval(k, ik+1) <= pc {
-						ik++
-						steps++
-						if steps > b.u.maxCorr {
-							ok = false
-							break
-						}
-					}
-				}
-				if ok {
-					b.stats.Corrections += int64(steps)
-					recovered = true
-					ik = faults.PerturbLevel(k, ik)
+			// Precision ladder (§IV.C hardened): the float64 radical is
+			// tried first; a failure escalates to the certified big.Float
+			// tiers before conceding to exact binary search.
+			if b.u.startTier == TierFloat64 {
+				ik, recovered = b.tryFloat64(lv, k, pc, lo, hi)
+				if !recovered {
+					b.stats.Fallbacks++
 				}
 			}
-			if !recovered {
-				b.stats.Fallbacks++
+			for ti := 0; !recovered && ti < len(lv.rootBig); ti++ {
+				tier := TierPrec128 + Tier(ti)
+				if b.u.startTier > tier || lv.rootBig[ti] == nil {
+					continue
+				}
+				ik, recovered = b.tryBig(lv, k, ti, pc, lo, hi)
+				if recovered {
+					if tier == TierPrec128 {
+						b.stats.EscalationsPrec128++
+					} else {
+						b.stats.EscalationsPrec256++
+					}
+				}
 			}
 		}
 		if !recovered {
@@ -251,6 +288,84 @@ func (b *Bound) Unrank(pc int64, idx []int64) (err error) {
 	return nil
 }
 
+// tryFloat64 attempts level k's recovery on the float64 tier: evaluate
+// the compiled radical over complex128, floor the real part under the
+// assumed tolerances, then repair with the bounded exact correction.
+// ok is false when the evaluation is non-finite, materially complex, or
+// the correction budget is exhausted — the caller escalates.
+func (b *Bound) tryFloat64(lv *level, k int, pc, lo, hi int64) (int64, bool) {
+	fv := b.fvals[k]
+	fv[len(fv)-1] = float64(pc)
+	x := faults.PerturbRoot(k, lv.rootFn(fv))
+	b.stats.RootEvals++
+	if cmplx.IsNaN(x) || cmplx.IsInf(x) || !imagNegligible(x) {
+		return 0, false
+	}
+	ik, ok := b.correct(k, floorReal(x), pc, lo, hi)
+	if !ok {
+		return 0, false
+	}
+	return faults.PerturbLevel(k, ik), true
+}
+
+// tryBig attempts level k's recovery on big.Float escalation tier ti
+// (0 = 128-bit, 1 = 256-bit). The floor is taken only when the certified
+// error radius provably clears every integer boundary and the imaginary
+// component is consistent with a real root; the exact correction then
+// confirms it. Fault-injected root perturbations model float64 rounding
+// pathology and deliberately do not apply here — the certified tiers are
+// the trusted escape hatch the injection exists to exercise.
+func (b *Bound) tryBig(lv *level, k, ti int, pc, lo, hi int64) (int64, bool) {
+	iv := b.ivals[k]
+	iv[len(iv)-1] = pc
+	v := lv.rootBig[ti](iv)
+	if !v.ImagNegligible() {
+		return 0, false
+	}
+	fl, ok := v.FloorCertain()
+	if !ok {
+		// A root sitting exactly on an integer boundary can never
+		// certify (the interval straddles it at every precision); a
+		// near-certain floor is still within ±1, which the exact
+		// correction below repairs soundly.
+		fl, ok = v.FloorNear()
+	}
+	if !ok {
+		return 0, false
+	}
+	return b.correct(k, fl, pc, lo, hi)
+}
+
+// correct clamps a candidate index into [lo, hi) and applies the exact
+// monotone correction: walk ik by ±1 (at most maxCorr exact polynomial
+// evaluations) until r_k(ik) <= pc < r_k(ik+1). ok is false when the
+// budget is exhausted, in which case no correction steps are charged.
+func (b *Bound) correct(k int, ik, pc, lo, hi int64) (int64, bool) {
+	if ik < lo {
+		ik = lo
+	}
+	if ik > hi-1 {
+		ik = hi - 1
+	}
+	steps := 0
+	for b.rkEval(k, ik) > pc {
+		ik--
+		steps++
+		if ik < lo || steps > b.u.maxCorr {
+			return 0, false
+		}
+	}
+	for ik+1 <= hi-1 && b.rkEval(k, ik+1) <= pc {
+		ik++
+		steps++
+		if steps > b.u.maxCorr {
+			return 0, false
+		}
+	}
+	b.stats.Corrections += int64(steps)
+	return ik, true
+}
+
 // setLevel records the recovered value of level k in idx, the exact
 // evaluation vector, and the deeper levels' compiled float arguments.
 func (b *Bound) setLevel(k int, ik int64, idx []int64) {
@@ -258,6 +373,7 @@ func (b *Bound) setLevel(k int, ik int64, idx []int64) {
 	b.vals[b.np+k] = ik
 	for q := k + 1; q < len(b.fvals); q++ {
 		b.fvals[q][b.np+k] = float64(ik)
+		b.ivals[q][b.np+k] = ik
 	}
 }
 

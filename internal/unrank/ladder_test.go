@@ -1,0 +1,205 @@
+package unrank
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/nest"
+)
+
+// triNest is the upper-triangular nest i=0..N-1, j=i..N-1 whose level-0
+// recovery root is N+1/2 - sqrt((N+1/2)^2 - 2pc + ...): near pc = Total
+// the discriminant cancels catastrophically, so for huge N the float64
+// floor error exceeds any reasonable correction budget while the
+// 128-bit tier still certifies the floor exactly.
+func triNest(t *testing.T) *nest.Nest {
+	t.Helper()
+	n, err := nest.New([]string{"N"}, nest.L("i", "0", "N"), nest.L("j", "i", "N"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestLadderRecoversHugeTriangular is the headline regression for the
+// precision ladder: at N = 2^28 the float64 tier provably mis-recovers
+// ranks near the end of the domain (floor error beyond MaxCorrection),
+// and big.Float(128) must recover every tuple exactly — without ever
+// conceding to binary search. Table-driven over parameter sizes; also
+// run under -race by the concurrency gate (RACE_PKGS includes this
+// package).
+func TestLadderRecoversHugeTriangular(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int64
+		// window is how many ranks below Total to sweep.
+		window int64
+		// wantFloat64Fail requires the float64 tier to have failed at
+		// least once (proving the ladder, not the fast path, carried
+		// the recovery).
+		wantFloat64Fail bool
+	}{
+		{"N=2^10 float64 suffices", 1 << 10, 200, false},
+		{"N=2^28 correction-heavy float64", 1 << 28, 200, false},
+		{"N=2^30 ladder required", 1 << 30, 200, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u, err := New(triNest(t), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := u.Bind(map[string]int64{"N": tc.n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := b.Total()
+			if want := tc.n * (tc.n + 1) / 2; total != want {
+				t.Fatalf("Total = %d, want %d", total, want)
+			}
+			idx := make([]int64, 2)
+			for pc := total - tc.window; pc <= total; pc++ {
+				if err := b.Unrank(pc, idx); err != nil {
+					t.Fatalf("Unrank(%d): %v", pc, err)
+				}
+				// Exact round trip and domain membership.
+				if got := b.Rank(idx); got != pc {
+					t.Fatalf("Rank(Unrank(%d)) = %d (idx %v)", pc, got, idx)
+				}
+				if idx[0] < 0 || idx[0] >= tc.n || idx[1] < idx[0] || idx[1] >= tc.n {
+					t.Fatalf("Unrank(%d) = %v outside domain", pc, idx)
+				}
+			}
+			st := b.Stats()
+			t.Logf("stats: %s", st.String())
+			if st.Searches != 0 {
+				t.Errorf("ladder conceded to binary search %d times", st.Searches)
+			}
+			if tc.wantFloat64Fail {
+				if st.Fallbacks == 0 {
+					t.Errorf("float64 tier never failed; case does not exercise the ladder")
+				}
+				if st.EscalationsPrec128 == 0 {
+					t.Errorf("no prec128 escalations recorded: %s", st.String())
+				}
+			} else if st.Fallbacks != 0 {
+				t.Errorf("float64 tier failed %d times on a small domain", st.Fallbacks)
+			}
+		})
+	}
+}
+
+// TestLadderRescuesInjectedFaults forces the float64 tier wrong by
+// fault injection (every root perturbed far beyond the correction
+// budget) and requires the certified tiers to recover every rank of a
+// small domain exactly, with the counters proving which rung fired.
+func TestLadderRescuesInjectedFaults(t *testing.T) {
+	u, err := New(triNest(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := faults.Activate(&faults.Plan{
+		PerturbRoot: func(level int, x complex128) complex128 {
+			return x + complex(100.5, 0)
+		},
+	})
+	defer restore()
+	b, err := u.Bind(map[string]int64{"N": 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int64, 2)
+	for pc := int64(1); pc <= b.Total(); pc++ {
+		if err := b.Unrank(pc, idx); err != nil {
+			t.Fatalf("Unrank(%d): %v", pc, err)
+		}
+		if got := b.Rank(idx); got != pc {
+			t.Fatalf("Rank(Unrank(%d)) = %d (idx %v)", pc, got, idx)
+		}
+	}
+	st := b.Stats()
+	if st.Fallbacks == 0 || st.EscalationsPrec128 == 0 {
+		t.Errorf("injected faults did not exercise the ladder: %s", st.String())
+	}
+	if st.Searches != 0 {
+		t.Errorf("ladder conceded to binary search %d times under injection", st.Searches)
+	}
+}
+
+// TestStartTierForcesRung pins Options.StartTier semantics: each forced
+// rung completes recovery on that rung alone.
+func TestStartTierForcesRung(t *testing.T) {
+	for _, tc := range []struct {
+		tier Tier
+		chk  func(Stats) bool
+	}{
+		{TierFloat64, func(s Stats) bool { return s.RootEvals > 0 && s.Searches == 0 }},
+		{TierPrec128, func(s Stats) bool { return s.RootEvals == 0 && s.EscalationsPrec128 > 0 && s.Searches == 0 }},
+		{TierPrec256, func(s Stats) bool { return s.EscalationsPrec128 == 0 && s.EscalationsPrec256 > 0 && s.Searches == 0 }},
+		{TierExact, func(s Stats) bool { return s.RootEvals == 0 && s.EscalationsPrec128 == 0 && s.EscalationsPrec256 == 0 && s.Searches > 0 }},
+	} {
+		t.Run(tc.tier.String(), func(t *testing.T) {
+			u, err := New(triNest(t), Options{StartTier: tc.tier})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := u.Bind(map[string]int64{"N": 25})
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx := make([]int64, 2)
+			for pc := int64(1); pc <= b.Total(); pc++ {
+				if err := b.Unrank(pc, idx); err != nil {
+					t.Fatalf("Unrank(%d): %v", pc, err)
+				}
+				if got := b.Rank(idx); got != pc {
+					t.Fatalf("Rank(Unrank(%d)) = %d", pc, got)
+				}
+			}
+			if st := b.Stats(); !tc.chk(st) {
+				t.Errorf("tier %v counters off: %s", tc.tier, st.String())
+			}
+		})
+	}
+}
+
+// TestNearBoundaryRootSelectionStable pins the satellite fix for the
+// magic tolerances: the scale-aware constants must accept a root whose
+// float64 evaluation sits a hair below an integer (within FloorNudge)
+// or carries rounding-level imaginary dust scaled by the root's
+// magnitude — previously hard-coded 1e-6/1e-9 thresholds evaluated
+// against these exact situations.
+func TestNearBoundaryRootSelectionStable(t *testing.T) {
+	if !imagNegligible(complex(1e9, 1e-4)) {
+		t.Error("rounding-scale imaginary part at magnitude 1e9 must be negligible")
+	}
+	if imagNegligible(complex(1.0, 1e-4)) {
+		t.Error("1e-4 imaginary part at magnitude 1 must not be negligible")
+	}
+	if got := floorReal(complex(4.9999999996, 0)); got != 5 {
+		t.Errorf("floorReal(5-4e-10) = %d, want 5 (within FloorNudge)", got)
+	}
+	if got := floorReal(complex(4.9999, 0)); got != 4 {
+		t.Errorf("floorReal(4.9999) = %d, want 4", got)
+	}
+	// End-to-end: selection over a nest whose roots land exactly on
+	// integers at every sample must keep closed-form recovery (no
+	// fallback to binary search on any pc).
+	u, err := New(triNest(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := u.Bind(map[string]int64{"N": 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]int64, 2)
+	for pc := int64(1); pc <= b.Total(); pc++ {
+		if err := b.Unrank(pc, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := b.Stats(); st.Searches > 0 || st.Fallbacks > 0 {
+		t.Errorf("near-boundary roots flipped recovery off the fast path: %s", st.String())
+	}
+}

@@ -45,6 +45,87 @@ const (
 	ModeBinarySearch
 )
 
+// Tier identifies a rung of the adaptive-precision recovery ladder:
+//
+//	float64  →  big.Float(128)  →  big.Float(256)  →  exact binary search
+//
+// The float64 tier is the paper's §IV.C fast path. When its floor cannot
+// be repaired within MaxCorrection exact ±1 steps (or evaluates to
+// NaN/Inf), recovery escalates tier by tier: each big.Float tier
+// re-evaluates the same radical formula at higher precision with a
+// certified error radius and only trusts the floor when the radius
+// provably clears every integer boundary; the final rung is the exact
+// binary search over the monotone ranking polynomial, which needs no
+// floating point at all.
+type Tier int
+
+const (
+	// TierFloat64 is the complex128 fast path.
+	TierFloat64 Tier = iota
+	// TierPrec128 evaluates the radical at 128-bit big.Float precision.
+	TierPrec128
+	// TierPrec256 evaluates the radical at 256-bit big.Float precision.
+	TierPrec256
+	// TierExact is exact binary search (no closed form).
+	TierExact
+)
+
+// String names the tier for reports and stress-harness output.
+func (t Tier) String() string {
+	switch t {
+	case TierFloat64:
+		return "float64"
+	case TierPrec128:
+		return "prec128"
+	case TierPrec256:
+		return "prec256"
+	case TierExact:
+		return "exact"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// Ladder precisions (bits of big.Float mantissa) of the escalation tiers.
+const (
+	ladderPrec128 = 128
+	ladderPrec256 = 256
+)
+
+// Numerical tolerances of the float64 fast path. The float64 tier has no
+// computed error certificate, so these constants *assume* a radius: a
+// radical formula evaluated over complex128 is trusted to land within
+// FloorNudge of the exact root absolutely and within RootImagTolRel of
+// the real axis relative to its magnitude. The big.Float tiers replace
+// both assumptions with the certified radius computed by
+// roots.CompileBig; the exact correction step makes the assumption safe
+// on the float64 tier (a violated assumption costs an escalation, never
+// a wrong tuple).
+const (
+	// RootImagTolRel bounds the acceptable imaginary component of a
+	// closed-form root relative to its magnitude: |Im x| must be at most
+	// RootImagTolRel·(1+|Re x|). Scale-aware: a root near 1e9 may carry
+	// a proportionally larger imaginary rounding artifact than one near
+	// 1, yet both are "real" for recovery purposes.
+	RootImagTolRel = 1e-6
+	// FloorNudge is added before flooring the real part so a root
+	// computed marginally below an exact integer (x = k − ε from
+	// rounding) still floors to k. It must stay well below 1/2 so a
+	// genuinely fractional root is never pushed across a boundary.
+	FloorNudge = 1e-9
+)
+
+// imagNegligible reports whether x is consistent with a real root under
+// the float64 tier's assumed radius.
+func imagNegligible(x complex128) bool {
+	return math.Abs(imag(x)) <= RootImagTolRel*(1+math.Abs(real(x)))
+}
+
+// floorReal floors the real part under the float64 tier's assumed
+// radius.
+func floorReal(x complex128) int64 {
+	return int64(math.Floor(real(x) + FloorNudge))
+}
+
 // Options configure Unranker construction.
 type Options struct {
 	// Mode selects closed-form or binary-search recovery.
@@ -67,6 +148,13 @@ type Options struct {
 	// the cost of one exact polynomial evaluation per recovery (per
 	// chunk under the §V scheme, not per iteration).
 	Verify bool
+	// StartTier skips the lower rungs of the precision ladder: recovery
+	// begins at this tier instead of TierFloat64. The default (zero
+	// value) is the full ladder; the stress harness and fuzz targets use
+	// higher start tiers to exercise each rung in isolation. TierExact
+	// behaves like ModeBinarySearch at recovery time while still
+	// performing the symbolic solve.
+	StartTier Tier
 	// Telemetry, when non-nil, receives "compile"-category spans for the
 	// pipeline phases (ranking computation, per-level radical solving,
 	// root selection, root compilation). Nil disables instrumentation at
@@ -84,17 +172,23 @@ type level struct {
 	rk         *poly.Compiled
 	// rk evaluates r(i_0..i_{k-1}, x, lexmin tail) exactly over the
 	// variable order [params..., i_0..i_{k-1}, x].
+
+	// rootBig holds the escalation evaluators of the precision ladder:
+	// the same selected root compiled at 128- and 256-bit big.Float
+	// precision with certified error radii (nil in binary-search mode).
+	rootBig [2]roots.BigEvalFunc
 }
 
 // Unranker is the symbolic (parameter-independent) part of the inverse
 // ranking function for a nest.
 type Unranker struct {
-	nest    *nest.Nest
-	ranking *poly.Poly
-	count   *poly.Poly
-	mode    Mode
-	maxCorr int
-	verify  bool
+	nest      *nest.Nest
+	ranking   *poly.Poly
+	count     *poly.Poly
+	mode      Mode
+	maxCorr   int
+	verify    bool
+	startTier Tier
 
 	order    []string // params..., all indices...
 	rankComp *poly.Compiled
@@ -125,12 +219,13 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 		return nil, err
 	}
 	u := &Unranker{
-		nest:    n,
-		ranking: ranking,
-		count:   count,
-		mode:    opts.Mode,
-		maxCorr: opts.MaxCorrection,
-		verify:  opts.Verify,
+		nest:      n,
+		ranking:   ranking,
+		count:     count,
+		mode:      opts.Mode,
+		maxCorr:   opts.MaxCorrection,
+		verify:    opts.Verify,
+		startTier: opts.StartTier,
 	}
 	u.order = append(append([]string(nil), n.Params...), n.Indices()...)
 	spPoly := tel.StartSpan("compile", "poly.Compile", 0)
@@ -188,6 +283,9 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 		}
 		// Compile each selected root for the hot path: variables are the
 		// parameters, the already-recovered prefix, and pc (positional).
+		// The big.Float escalation tiers are compiled alongside — they
+		// share the symbolic tree, so the extra compile cost is two more
+		// tree walks, paid once per nest.
 		spComp := tel.StartSpan("compile", "roots.Compile", 0)
 		for k := range u.levels {
 			vars := append(append([]string(nil), u.order[:len(n.Params)+k]...), "pc")
@@ -196,6 +294,13 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 				return nil, err
 			}
 			u.levels[k].rootFn = fn
+			for ti, prec := range []uint{ladderPrec128, ladderPrec256} {
+				bfn, err := roots.CompileBig(u.levels[k].root, vars, prec)
+				if err != nil {
+					return nil, err
+				}
+				u.levels[k].rootBig[ti] = bfn
+			}
 		}
 		spComp.End()
 	}
@@ -305,8 +410,7 @@ func (u *Unranker) selectRoots(opts Options) error {
 				// exercises the in-between values too.
 				for ci, cand := range u.levels[k].candidates {
 					x := faults.PerturbRoot(k, cand.Eval(env))
-					if math.Abs(imag(x)) > 1e-6 ||
-						int64(math.Floor(real(x)+1e-9)) != truth {
+					if !imagNegligible(x) || floorReal(x) != truth {
 						mismatch[k][ci]++
 					}
 				}
