@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check cover bench figures ablation scaling fuzz stress clean
+.PHONY: all build test test-short race check cover bench bench-json figures ablation scaling fuzz stress clean
 
 all: build test
 
@@ -25,15 +25,19 @@ RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/kernels/ ./internal
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Full pre-merge gate: vet, the whole suite, the differential stress
-# harness, a short fuzz pass over every fuzz target, and the race
-# detector over the concurrent packages.
+# Full pre-merge gate: formatting, vet, the whole suite, the
+# differential stress harness, a smoke pass of the overhead benchmark
+# (small sizes, one rep — catches suite bitrot, not for numbers), a
+# short fuzz pass over every fuzz target, and the race detector over the
+# concurrent packages.
 check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
 	$(MAKE) stress
+	$(GO) run ./cmd/benchfig -fig overhead -quick -reps 1 -json .bench_smoke.json && rm -f .bench_smoke.json
 	$(MAKE) fuzz FUZZTIME=5s
 
 # Differential stress soak: seedable random nests through every
@@ -49,6 +53,12 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable engine overhead report (fixed protocol: bench sizes,
+# best of 3 reps, 1 thread): original nest vs per-iteration vs
+# range-batched vs recover-every, per kernel × schedule.
+bench-json:
+	$(GO) run ./cmd/benchfig -fig overhead -reps 3 -json BENCH_PR4.json
 
 # Regenerate the paper's figures (EXPERIMENTS.md documents the recorded runs).
 figures:

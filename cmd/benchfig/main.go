@@ -8,6 +8,9 @@
 //	benchfig -fig 10         Fig. 10 control overhead of 12 recoveries (measured)
 //	benchfig -fig imbalance  measured per-thread load distribution of the
 //	                         collapsed kernel under every schedule kind
+//	benchfig -fig overhead   per-kernel × schedule engine comparison
+//	                         (original vs per-iteration vs range-batched
+//	                         vs recover-every); -json writes BENCH_PR4.json
 //	benchfig -fig all        everything
 //
 // Flags: -threads (virtual thread count, default 12), -quick (small
@@ -45,12 +48,14 @@ type options struct {
 	src      string
 	srcN     int64
 	traceOut string
+	jsonOut  string
+	reps     int
 	verbose  bool
 }
 
 // knownFigs are the accepted -fig values; anything else is rejected up
 // front instead of silently printing nothing.
-var knownFigs = []string{"2", "8", "9", "10", "imbalance", "ablation", "scaling", "all"}
+var knownFigs = []string{"2", "8", "9", "10", "imbalance", "ablation", "scaling", "overhead", "all"}
 
 func main() {
 	var o options
@@ -65,6 +70,8 @@ func main() {
 	flag.StringVar(&o.src, "src", "", "annotated C file: run -fig imbalance on its nest instead of a named kernel")
 	flag.Int64Var(&o.srcN, "srcn", 200, "parameter value for every parameter of the -src nest")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the imbalance chunk timeline as Chrome trace-event JSON")
+	flag.StringVar(&o.jsonOut, "json", "", "write the -fig overhead report as JSON to this file")
+	flag.IntVar(&o.reps, "reps", 0, "best-of repetitions for -fig overhead (default 3, quick: 1)")
 	flag.BoolVar(&o.verbose, "v", false, "print calibration details")
 	flag.Parse()
 
@@ -178,6 +185,34 @@ func run(o options) error {
 		}
 		fmt.Print(experiments.RenderScaling(rows))
 		fmt.Println()
+	}
+	if o.fig == "overhead" {
+		opts := experiments.OverheadOptions{Quick: o.quick, Reps: o.reps}
+		if o.verbose {
+			opts.Verbose = func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+			}
+		}
+		rep, err := experiments.Overhead(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderOverhead(rep))
+		fmt.Println()
+		if o.jsonOut != "" {
+			f, err := os.Create(o.jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "overhead report written to %s\n", o.jsonOut)
+		}
 	}
 	return nil
 }

@@ -185,31 +185,115 @@ func CollapseAt(n *nest.Nest, from, c int, opts unrank.Options) (res *Result, er
 	}, nil
 }
 
+// RangeStats counts the range-batched engine's events over one or more
+// driver calls: how many flat innermost runs reached the body, how many
+// outer-prefix carries (each re-evaluating the changed bounds) were
+// needed between them, and the iterations covered. Exposed so the
+// overhead experiments and telemetry can show the engine's work instead
+// of asserting it.
+type RangeStats struct {
+	Batches    int64 // flat innermost runs handed to the body
+	Carries    int64 // outer-prefix carries between runs (bound re-evals)
+	Iterations int64 // collapsed iterations covered
+}
+
+// Add accumulates o into s (used to aggregate per-thread stats).
+func (s *RangeStats) Add(o RangeStats) {
+	s.Batches += o.Batches
+	s.Carries += o.Carries
+	s.Iterations += o.Iterations
+}
+
+// ForRanges executes the collapsed ranks [pcLo, pcHi] with the
+// range-batched §V scheme: the costly index recovery runs once, at pcLo,
+// and the body receives maximal flat innermost runs instead of single
+// iterations. Each call body(pc, prefix, lo, hi) covers collapsed ranks
+// pc .. pc+(hi-lo)-1, whose tuples share the outer prefix (levels
+// 0..d-2, slice reused across calls) and take every innermost value
+// lo <= i < hi. Bounds are re-evaluated only when an outer level
+// carries; runs are clipped at pcHi so pc accounting stays exact even
+// when a chunk boundary splits a run. st (optional) accumulates engine
+// counters.
+//
+// The bound b must come from r.Unranker.Bind and must not be shared
+// across goroutines (clone it per worker instead).
+func ForRanges(b *unrank.Bound, pcLo, pcHi int64, st *RangeStats,
+	body func(pc int64, prefix []int64, lo, hi int64)) error {
+	if pcLo > pcHi {
+		return nil
+	}
+	inst := b.Instance()
+	last := inst.Depth() - 1
+	idx := b.Scratch()
+	if err := b.Unrank(pcLo, idx); err != nil {
+		return err
+	}
+	pc := pcLo
+	for {
+		// Unrank (and NextRun below) leave idx on a valid tuple, so the
+		// current run is never empty: lo < hi and pc always advances.
+		lo := idx[last]
+		hi := inst.UpperAt(last, idx)
+		if rem := pcHi - pc + 1; hi-lo > rem {
+			hi = lo + rem
+		}
+		body(pc, idx[:last], lo, hi)
+		pc += hi - lo
+		if st != nil {
+			st.Batches++
+			st.Iterations += hi - lo
+		}
+		if pc > pcHi {
+			return nil
+		}
+		if !inst.NextRun(idx) {
+			return fmt.Errorf("core: iteration space exhausted at pc=%d before reaching %d: %w",
+				pc-1, pcHi, faults.ErrRecoveryDiverged)
+		}
+		if st != nil {
+			st.Carries++
+		}
+	}
+}
+
 // ForRange executes body for every pc in [pcLo, pcHi] using the §V
 // scheme: the costly index recovery runs once, at pcLo, and subsequent
-// tuples are produced by ordinary lexicographic incrementation, exactly
-// like the "first_iteration / Incrementation(Indices)" code the paper
-// generates. The bound b must come from r.Unranker.Bind and must not be
-// shared across goroutines.
+// tuples are produced by lexicographic incrementation, exactly like the
+// "first_iteration / Incrementation(Indices)" code the paper generates.
+// It is implemented on the range-batched engine: the innermost level
+// advances in a flat counted loop, and the per-level carry logic runs
+// only when an innermost run ends. The bound b must come from
+// r.Unranker.Bind and must not be shared across goroutines.
 //
 // body receives the collapsed rank pc and the recovered indices (the
-// slice is reused across calls).
+// slice is reused across calls and must not be mutated by body).
 func ForRange(b *unrank.Bound, pcLo, pcHi int64, body func(pc int64, idx []int64)) error {
 	if pcLo > pcHi {
 		return nil
 	}
-	idx := make([]int64, b.Instance().Depth())
+	inst := b.Instance()
+	last := inst.Depth() - 1
+	idx := b.Scratch()
 	if err := b.Unrank(pcLo, idx); err != nil {
 		return err
 	}
-	for pc := pcLo; ; pc++ {
-		body(pc, idx)
-		if pc == pcHi {
+	pc := pcLo
+	for {
+		hi := inst.UpperAt(last, idx)
+		if rem := pcHi - pc + 1; hi-idx[last] > rem {
+			hi = idx[last] + rem
+		}
+		for i := idx[last]; i < hi; i++ {
+			idx[last] = i
+			body(pc, idx)
+			pc++
+		}
+		if pc > pcHi {
 			return nil
 		}
-		if !b.Increment(idx) {
+		if !inst.NextRun(idx) {
 			return fmt.Errorf("core: iteration space exhausted at pc=%d before reaching %d: %w",
-				pc, pcHi, faults.ErrRecoveryDiverged)
+				pc-1, pcHi, faults.ErrRecoveryDiverged)
 		}
 	}
 }
@@ -225,7 +309,7 @@ func ForRangeEvery(b *unrank.Bound, pcLo, pcHi int64, body func(pc int64, idx []
 		return fmt.Errorf("core: pc range upper bound %d would overflow the loop counter: %w",
 			pcHi, faults.ErrOverflow)
 	}
-	idx := make([]int64, b.Instance().Depth())
+	idx := b.Scratch()
 	for pc := pcLo; pc <= pcHi; pc++ {
 		if err := b.Unrank(pc, idx); err != nil {
 			return err

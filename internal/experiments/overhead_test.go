@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/kernels"
+)
+
+// TestOverheadQuick runs the suite at test sizes with a single fast rep
+// and checks the report is complete and internally consistent, and that
+// the JSON document round-trips.
+func TestOverheadQuick(t *testing.T) {
+	rep, err := Overhead(OverheadOptions{
+		Quick:   true,
+		Reps:    1,
+		MinTime: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("Overhead: %v", err)
+	}
+	if len(rep.Rows) != len(kernels.All()) {
+		t.Fatalf("report has %d kernels, want %d", len(rep.Rows), len(kernels.All()))
+	}
+	for _, row := range rep.Rows {
+		if row.Iterations < 1 {
+			t.Errorf("%s: empty collapsed space in report", row.Kernel)
+		}
+		if row.OriginalNsPerIter <= 0 || row.RecoverEveryNsPerIter <= 0 {
+			t.Errorf("%s: non-positive baseline timings: %+v", row.Kernel, row)
+		}
+		if row.TotalBounds == 0 || row.SpecializedBounds > row.TotalBounds {
+			t.Errorf("%s: bad specializer coverage %d/%d",
+				row.Kernel, row.SpecializedBounds, row.TotalBounds)
+		}
+		if len(row.Schedules) != 3 {
+			t.Errorf("%s: %d schedules, want 3", row.Kernel, len(row.Schedules))
+		}
+		for _, s := range row.Schedules {
+			if s.PerIter.NsPerIter <= 0 || s.Ranges.NsPerIter <= 0 {
+				t.Errorf("%s/%s: non-positive engine timings: %+v", row.Kernel, s.Schedule, s)
+			}
+			if s.Batches < 1 || s.MeanRunLen < 1 {
+				t.Errorf("%s/%s: engine delivered no runs: %+v", row.Kernel, s.Schedule, s)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back OverheadReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if len(back.Rows) != len(rep.Rows) || back.Suite != "overhead" {
+		t.Fatalf("round-tripped report lost rows: %d vs %d", len(back.Rows), len(rep.Rows))
+	}
+	if RenderOverhead(rep) == "" {
+		t.Error("RenderOverhead returned empty output")
+	}
+}

@@ -164,26 +164,25 @@ func RunCollapsedParallel(k *Kernel, inst Instance, res *core.Result, p map[stri
 	if threads < 1 {
 		threads = 1
 	}
-	bounds := make([]*unrank.Bound, threads)
-	for t := range bounds {
-		b, err := res.Unranker.Bind(k.NestParams(p))
-		if err != nil {
-			return err
-		}
-		bounds[t] = b
+	b0, err := res.Unranker.Bind(k.NestParams(p))
+	if err != nil {
+		return err
 	}
-	total := bounds[0].Total()
+	bounds := make([]*unrank.Bound, threads)
+	bounds[0] = b0
+	for t := 1; t < threads; t++ {
+		bounds[t] = b0.Clone()
+	}
+	total := b0.Total()
 	if total == 0 {
 		return nil
 	}
 	var firstErr error
 	var mu sync.Mutex
-	idxs := make([][]int64, threads)
-	for t := range idxs {
-		idxs[t] = make([]int64, res.C)
-	}
 	omp.ParallelForChunks(threads, 1, total+1, sched, func(tid int, clo, chi int64) {
-		if err := bounds[tid].Unrank(clo, idxs[tid]); err != nil {
+		b := bounds[tid]
+		idx := b.Scratch()
+		if err := b.Unrank(clo, idx); err != nil {
 			mu.Lock()
 			if firstErr == nil {
 				firstErr = err
@@ -191,7 +190,7 @@ func RunCollapsedParallel(k *Kernel, inst Instance, res *core.Result, p map[stri
 			mu.Unlock()
 			return
 		}
-		rr.RunCollapsedRange(idxs[tid], chi-clo)
+		rr.RunCollapsedRange(idx, chi-clo)
 	})
 	return firstErr
 }
@@ -218,7 +217,7 @@ func RunCollapsedSerialChunks(k *Kernel, inst Instance, res *core.Result, p map[
 	rem := total % int64(chunks)
 	lo := int64(1)
 	rr, fast := inst.(RangeRunner)
-	idx := make([]int64, res.C)
+	idx := b.Scratch()
 	for c := 0; c < chunks; c++ {
 		size := base
 		if int64(c) < rem {

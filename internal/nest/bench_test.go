@@ -1,0 +1,74 @@
+package nest
+
+import "testing"
+
+// benchNests are the shapes the bound-shape specializer targets: every
+// bound of tri/tetra/skew classifies as constant, i+c or a·i+c; the
+// two-term nest keeps one generic bound (the i+j lower bound) so the
+// fallback path is measured too.
+func benchNests() []struct {
+	name   string
+	n      *Nest
+	params map[string]int64
+} {
+	return []struct {
+		name   string
+		n      *Nest
+		params map[string]int64
+	}{
+		{"tri-2d", MustNew([]string{"N"},
+			L("i", "0", "N-1"), L("j", "i+1", "N")), map[string]int64{"N": 500}},
+		{"tetra-3d", MustNew([]string{"N"},
+			L("i", "0", "N-1"), L("j", "0", "i+1"), L("k", "j", "i+1")), map[string]int64{"N": 90}},
+		{"skew-2d", MustNew([]string{"N"},
+			L("i", "0", "N"), L("j", "2*i", "2*i+40")), map[string]int64{"N": 500}},
+		{"two-term-3d", MustNew([]string{"N"},
+			L("i", "0", "N"), L("j", "0", "N"), L("k", "i+j", "2*N+2")), map[string]int64{"N": 40}},
+	}
+}
+
+var evalSink int64
+
+// benchBounds walks the full iteration space evaluating the fused
+// innermost (lo, hi) pair at every tuple — the evaluation pattern of the
+// range-batched engine's hot path.
+func benchBounds(b *testing.B, inst *Instance) {
+	idx := make([]int64, inst.Depth())
+	last := inst.Depth() - 1
+	b.ReportAllocs()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		inst.EnumerateScratch(idx, func(t []int64) bool {
+			lo, hi := inst.BoundsAt(last, t)
+			sink += hi - lo
+			return true
+		})
+	}
+	evalSink = sink
+}
+
+// BenchmarkBoundsSpecialized measures the shape-specialized affine
+// evaluators (direct struct dispatch, no term loop).
+func BenchmarkBoundsSpecialized(b *testing.B) {
+	for _, c := range benchNests() {
+		inst, err := c.n.Bind(c.params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name, func(b *testing.B) { benchBounds(b, inst) })
+	}
+}
+
+// BenchmarkBoundsGeneric measures the same walk with specialization
+// disabled (every bound forced onto the generic term loop) — the
+// baseline the specializer is judged against.
+func BenchmarkBoundsGeneric(b *testing.B) {
+	for _, c := range benchNests() {
+		inst, err := c.n.Bind(c.params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst.forceGenericBounds()
+		b.Run(c.name, func(b *testing.B) { benchBounds(b, inst) })
+	}
+}

@@ -178,10 +178,29 @@ func (n *Nest) String() string {
 // operations — the same cost class as the inline increments of the
 // paper's generated C code (§V), which matters because incrementation
 // runs once per collapsed iteration.
+//
+// Bounds are shape-classified at compile time: the Fig. 5 shapes used by
+// every kernel in internal/kernels (and the triangular/shifted stress
+// generator) only ever produce bounds of the forms c, i_q + c and
+// a·i_q + c, which evaluate without the generic term loop. Anything else
+// falls back to the loop.
 type affineFn struct {
+	kind  affKind
 	c0    int64
+	coeff int64 // affSingle: the coefficient a of a·i_q + c
+	level int   // affUnit/affSingle: the tuple slot q of i_q
 	terms []affTerm
 }
+
+// affKind classifies a compiled bound by shape.
+type affKind uint8
+
+const (
+	affConst   affKind = iota // c
+	affUnit                   // i_q + c (coefficient 1, by far the common case)
+	affSingle                 // a·i_q + c
+	affGeneric                // anything else: generic term loop
+)
 
 type affTerm struct {
 	level int // index into the iteration tuple
@@ -189,6 +208,14 @@ type affTerm struct {
 }
 
 func (f *affineFn) eval(idx []int64) int64 {
+	switch f.kind {
+	case affConst:
+		return f.c0
+	case affUnit:
+		return idx[f.level] + f.c0
+	case affSingle:
+		return f.coeff*idx[f.level] + f.c0
+	}
 	v := f.c0
 	for _, t := range f.terms {
 		v += t.coeff * idx[t.level]
@@ -196,7 +223,25 @@ func (f *affineFn) eval(idx []int64) int64 {
 	return v
 }
 
-// compileAffine folds params into the constant term of an affine bound.
+// specialize assigns the shape class after the terms are collected.
+func (f *affineFn) specialize() {
+	switch {
+	case len(f.terms) == 0:
+		f.kind = affConst
+	case len(f.terms) == 1 && f.terms[0].coeff == 1:
+		f.kind = affUnit
+		f.level = f.terms[0].level
+	case len(f.terms) == 1:
+		f.kind = affSingle
+		f.level = f.terms[0].level
+		f.coeff = f.terms[0].coeff
+	default:
+		f.kind = affGeneric
+	}
+}
+
+// compileAffine folds params into the constant term of an affine bound
+// and shape-specializes the evaluator.
 func compileAffine(p *poly.Poly, params map[string]int64, levelOf map[string]int) (*affineFn, error) {
 	f := &affineFn{}
 	for _, t := range p.Terms() {
@@ -224,6 +269,7 @@ func compileAffine(p *poly.Poly, params map[string]int64, levelOf map[string]int
 			return nil, fmt.Errorf("nest: non-affine bound %s", p)
 		}
 	}
+	f.specialize()
 	return f, nil
 }
 
@@ -290,7 +336,8 @@ func (n *Nest) MustBind(params map[string]int64) *Instance {
 // Nest returns the underlying nest.
 func (inst *Instance) Nest() *Nest { return inst.nest }
 
-// Params returns the bound parameter values.
+// Params returns a copy of the bound parameter values. Hot callers that
+// only need a lookup should use ParamValue, which does not allocate.
 func (inst *Instance) Params() map[string]int64 {
 	out := make(map[string]int64, len(inst.params))
 	for k, v := range inst.params {
@@ -298,6 +345,16 @@ func (inst *Instance) Params() map[string]int64 {
 	}
 	return out
 }
+
+// ParamValue returns the bound value of one parameter without copying
+// the whole map (the read-only accessor for hot callers).
+func (inst *Instance) ParamValue(name string) (int64, bool) {
+	v, ok := inst.params[name]
+	return v, ok
+}
+
+// NumParams returns the number of bound parameters.
+func (inst *Instance) NumParams() int { return inst.np }
 
 // Depth returns the nest depth.
 func (inst *Instance) Depth() int { return len(inst.lower) }
@@ -312,6 +369,42 @@ func (inst *Instance) LowerAt(k int, idx []int64) int64 {
 // outer indices idx[0..k).
 func (inst *Instance) UpperAt(k int, idx []int64) int64 {
 	return inst.upper[k].eval(idx)
+}
+
+// BoundsAt evaluates the fused (lower, upper) bound pair of level k
+// given the outer indices idx[0..k) — one call instead of two on the
+// range-batched hot path, where both bounds are always needed together.
+func (inst *Instance) BoundsAt(k int, idx []int64) (lo, hi int64) {
+	return inst.lower[k].eval(idx), inst.upper[k].eval(idx)
+}
+
+// SpecializedBounds reports how many of the instance's 2·depth compiled
+// bounds evaluate through a shape-specialized fast path (constant,
+// i_q + c, or a·i_q + c) rather than the generic term loop. Exposed for
+// tests and the overhead benchmarks.
+func (inst *Instance) SpecializedBounds() (specialized, total int) {
+	for _, fns := range [2][]*affineFn{inst.lower, inst.upper} {
+		for _, f := range fns {
+			total++
+			if f.kind != affGeneric {
+				specialized++
+			}
+		}
+	}
+	return specialized, total
+}
+
+// forceGenericBounds downgrades every compiled bound to the generic
+// term-loop evaluator. Benchmark-only: it quantifies what the shape
+// specializer buys.
+func (inst *Instance) forceGenericBounds() {
+	// specialize() classifies without discarding the term list, so the
+	// generic evaluator remains exact for every shape.
+	for _, fns := range [2][]*affineFn{inst.lower, inst.upper} {
+		for _, f := range fns {
+			f.kind = affGeneric
+		}
+	}
 }
 
 // First writes the lexicographically first iteration tuple into idx and
@@ -356,11 +449,34 @@ func (inst *Instance) Increment(idx []int64) bool {
 	return false
 }
 
+// NextRun carries idx past the current innermost run: it advances the
+// outer prefix idx[0..d-2] to the lexicographically next prefix whose
+// innermost loop is non-empty and sets idx[d-1] to that run's lower
+// bound, reporting false when no such prefix remains. This is the only
+// incrementation the range-batched §V engine performs — everything
+// between carries is a flat counted loop over the innermost level, whose
+// bounds cannot change while the prefix is fixed. Depth-1 nests are a
+// single run, so NextRun is always false for them.
+func (inst *Instance) NextRun(idx []int64) bool {
+	for k := inst.Depth() - 2; k >= 0; k-- {
+		if inst.advance(idx, k) {
+			return true
+		}
+	}
+	return false
+}
+
 // Enumerate calls f for every iteration tuple in lexicographic order.
 // Enumeration stops early if f returns false. The slice passed to f is
 // reused across calls.
 func (inst *Instance) Enumerate(f func(idx []int64) bool) {
-	idx := make([]int64, inst.Depth())
+	inst.EnumerateScratch(make([]int64, inst.Depth()), f)
+}
+
+// EnumerateScratch is Enumerate with a caller-provided tuple buffer
+// (length Depth), so repeated enumerations — per chunk, per measurement
+// rep — reuse one allocation. The same slice is passed to f each call.
+func (inst *Instance) EnumerateScratch(idx []int64, f func(idx []int64) bool) {
 	if !inst.First(idx) {
 		return
 	}

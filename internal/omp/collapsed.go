@@ -59,18 +59,32 @@ func pcEnd(total int64) (int64, error) {
 	return total + 1, nil
 }
 
+// bindTeam privatizes recovery state for a team: the collapse result is
+// bound once (paying bound compilation and the count-polynomial
+// evaluation a single time), then each additional worker receives a
+// Clone sharing the immutable compiled core with only its own mutable
+// scratch.
+func bindTeam(r *core.Result, params map[string]int64, threads int) ([]*unrank.Bound, error) {
+	b0, err := r.Unranker.Bind(params)
+	if err != nil {
+		return nil, err
+	}
+	bounds := make([]*unrank.Bound, threads)
+	bounds[0] = b0
+	for t := 1; t < threads; t++ {
+		bounds[t] = b0.Clone()
+	}
+	return bounds, nil
+}
+
 func collapsedRun(ctx context.Context, r *core.Result, params map[string]int64, threads int,
 	sched Schedule, body func(tid int, idx []int64), every bool) error {
 	if threads < 1 {
 		threads = 1
 	}
-	bounds := make([]*unrank.Bound, threads)
-	for t := range bounds {
-		b, err := r.Unranker.Bind(params)
-		if err != nil {
-			return err
-		}
-		bounds[t] = b
+	bounds, err := bindTeam(r, params, threads)
+	if err != nil {
+		return err
 	}
 	total := bounds[0].Total()
 	if total == 0 {
@@ -90,6 +104,78 @@ func collapsedRun(ctx context.Context, r *core.Result, params map[string]int64, 
 			body(tid, idx)
 		})
 	})
+}
+
+// CollapsedForRanges executes the collapsed space with the range-batched
+// §V engine: each chunk performs one costly recovery, then the body
+// receives maximal flat innermost runs instead of single iterations.
+// body(tid, pc, prefix, lo, hi) covers collapsed ranks
+// pc .. pc+(hi-lo)-1, whose tuples share the outer prefix (levels
+// 0..C-2; slice reused per worker, do not retain) and take every
+// innermost value lo <= i < hi — so the caller's innermost loop is a
+// plain counted `for i := lo; i < hi; i++`, with bounds re-evaluated
+// only on outer-level carries. Runs never cross chunk boundaries, so pc
+// accounting (and therefore scheduling) is exactly that of CollapsedFor.
+func CollapsedForRanges(r *core.Result, params map[string]int64, threads int, sched Schedule,
+	body func(tid int, pc int64, prefix []int64, lo, hi int64)) error {
+	_, err := collapsedRangesRun(nil, r, params, threads, sched, nil, body)
+	return err
+}
+
+// CollapsedForRangesCtx is CollapsedForRanges with cooperative
+// cancellation checked at chunk boundaries (never inside a run).
+func CollapsedForRangesCtx(ctx context.Context, r *core.Result, params map[string]int64,
+	threads int, sched Schedule, body func(tid int, pc int64, prefix []int64, lo, hi int64)) error {
+	_, err := collapsedRangesRun(ctx, r, params, threads, sched, nil, body)
+	return err
+}
+
+// CollapsedForRangesStats is CollapsedForRanges returning the engine's
+// aggregated counters (runs, carries, iterations) and publishing them on
+// tel (which may be nil): "omp.range_batches", "omp.range_carries" and
+// "omp.iterations". The counters make the engine's economy observable:
+// batches ≈ carries + threads·chunks, and iterations/batches is the mean
+// flat-run length the body enjoyed.
+func CollapsedForRangesStats(r *core.Result, params map[string]int64, threads int, sched Schedule,
+	tel *telemetry.Registry, body func(tid int, pc int64, prefix []int64, lo, hi int64)) (core.RangeStats, error) {
+	return collapsedRangesRun(nil, r, params, threads, sched, tel, body)
+}
+
+func collapsedRangesRun(ctx context.Context, r *core.Result, params map[string]int64, threads int,
+	sched Schedule, tel *telemetry.Registry,
+	body func(tid int, pc int64, prefix []int64, lo, hi int64)) (core.RangeStats, error) {
+	var agg core.RangeStats
+	if threads < 1 {
+		threads = 1
+	}
+	bounds, err := bindTeam(r, params, threads)
+	if err != nil {
+		return agg, err
+	}
+	total := bounds[0].Total()
+	if total == 0 {
+		return agg, nil
+	}
+	end, err := pcEnd(total)
+	if err != nil {
+		return agg, err
+	}
+	stats := make([]core.RangeStats, threads)
+	runErr := ParallelForChunksCtx(ctx, threads, 1, end, sched, func(tid int, clo, chi int64) error {
+		return core.ForRanges(bounds[tid], clo, chi-1, &stats[tid],
+			func(pc int64, prefix []int64, lo, hi int64) {
+				body(tid, pc, prefix, lo, hi)
+			})
+	})
+	for t := range stats {
+		agg.Add(stats[t])
+	}
+	if tel != nil {
+		tel.Counter("omp.range_batches").Add(agg.Batches)
+		tel.Counter("omp.range_carries").Add(agg.Carries)
+		tel.Counter("omp.iterations").Add(agg.Iterations)
+	}
+	return agg, runErr
 }
 
 // ThreadStats is the per-thread runtime record of an instrumented
@@ -173,13 +259,9 @@ func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[st
 	if threads < 1 {
 		threads = 1
 	}
-	bounds := make([]*unrank.Bound, threads)
-	for t := range bounds {
-		b, err := r.Unranker.Bind(params)
-		if err != nil {
-			return CollapsedStats{}, err
-		}
-		bounds[t] = b
+	bounds, err := bindTeam(r, params, threads)
+	if err != nil {
+		return CollapsedStats{}, err
 	}
 	total := bounds[0].Total()
 	cs := CollapsedStats{Threads: threads, Total: total, PerThread: make([]ThreadStats, threads)}
@@ -196,14 +278,10 @@ func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[st
 	tr := tel.Trace()
 	hist := tel.Histogram("omp.chunk_seconds", nil)
 	evName := sched.Kind.String()
-	idxs := make([][]int64, threads)
-	for t := range idxs {
-		idxs[t] = make([]int64, r.C)
-	}
 	runErr := ParallelForChunksCtx(ctx, threads, 1, end, sched, func(tid int, clo, chi int64) error {
 		st := &cs.PerThread[tid]
 		b := bounds[tid]
-		idx := idxs[tid]
+		idx := b.Scratch()
 		var startOff time.Duration
 		if tr != nil {
 			startOff = tr.Now()
@@ -299,13 +377,9 @@ func CollapsedForSIMD(r *core.Result, params map[string]int64, threads, vlength 
 	if threads < 1 {
 		threads = 1
 	}
-	bounds := make([]*unrank.Bound, threads)
-	for t := range bounds {
-		b, err := r.Unranker.Bind(params)
-		if err != nil {
-			return err
-		}
-		bounds[t] = b
+	bounds, err := bindTeam(r, params, threads)
+	if err != nil {
+		return err
 	}
 	total := bounds[0].Total()
 	if total == 0 {
@@ -357,13 +431,9 @@ func CollapsedForWarp(r *core.Result, params map[string]int64, W int,
 	if W < 1 {
 		W = 1
 	}
-	bounds := make([]*unrank.Bound, W)
-	for t := range bounds {
-		b, err := r.Unranker.Bind(params)
-		if err != nil {
-			return err
-		}
-		bounds[t] = b
+	bounds, err := bindTeam(r, params, W)
+	if err != nil {
+		return err
 	}
 	total := bounds[0].Total()
 	if total > math.MaxInt64-int64(W) {

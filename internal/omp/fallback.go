@@ -84,4 +84,6 @@ func UncollapsedFor(ctx context.Context, n *nest.Nest, params map[string]int64,
 
 // nestBound wraps a compiled polynomial bound (indirection keeps the
 // poly dependency local to this file).
-type nestBound struct{ c interface{ EvalExact([]int64) int64 } }
+type nestBound struct {
+	c interface{ EvalExact([]int64) int64 }
+}

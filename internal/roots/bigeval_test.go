@@ -59,7 +59,6 @@ func TestCompileBigMatchesComplex128(t *testing.T) {
 	}
 }
 
-
 func TestCertifiedRadiusBoundsTrueError(t *testing.T) {
 	// Expressions with catastrophic cancellation: sqrt(N^2+N) - N loses
 	// about half the working precision; the radius must still dominate
@@ -166,8 +165,8 @@ func TestFloorCertain(t *testing.T) {
 		{mk(5.0001, 0.001), 0, false}, // 5.0001-0.001 dips below 5
 		{mk(5.0001, 0.5), 0, false},   // straddles 5
 		{mk(5.999, 0.01), 0, false},   // straddles 6
-		{mk(-2.5, 0.25), -3, true},   // floor of negative non-integer
-		{mk(-2.01, 0.25), 0, false},  // straddles -2
+		{mk(-2.5, 0.25), -3, true},    // floor of negative non-integer
+		{mk(-2.01, 0.25), 0, false},   // straddles -2
 		{mk(7, math.Inf(1)), 0, false},
 		{mk(7, math.NaN()), 0, false},
 	}

@@ -35,12 +35,22 @@ func FuzzStressNest(f *testing.F) {
 			if err != nil {
 				t.Fatalf("%s: collapse at %v: %v", c.Name, tier, err)
 			}
-			got, cs, err := runParallel(res, c.Params, 2, omp.Schedule{Kind: omp.Dynamic, Chunk: 3})
+			sched := omp.Schedule{Kind: omp.Dynamic, Chunk: 3}
+			got, cs, err := runParallel(res, c.Params, 2, sched)
 			if err != nil {
 				t.Fatalf("%s at %v: %v", c.Name, tier, err)
 			}
 			if err := diffVisitSets(truth, got); err != nil {
 				t.Fatalf("%s at %v: %v (stats: %s)", c.Name, tier, err, cs.Stats.String())
+			}
+			// The range-batched engine must visit the identical set; the
+			// chunk size deliberately splits innermost runs.
+			got, rs, err := runParallelRanges(res, c.Params, 2, sched)
+			if err != nil {
+				t.Fatalf("%s at %v (ranges): %v", c.Name, tier, err)
+			}
+			if err := diffVisitSets(truth, got); err != nil {
+				t.Fatalf("%s at %v (ranges): %v (engine: %+v)", c.Name, tier, err, rs)
 			}
 		}
 	})

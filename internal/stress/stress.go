@@ -208,6 +208,19 @@ func RunCase(c *Case, threads int, withFaults bool) (RunStats, error) {
 				}
 				st.Runs++
 				st.Unrank.Add(cs.Stats)
+
+				got, rs, err := runParallelRanges(res, c.Params, threads, sched)
+				if err != nil {
+					return fmt.Errorf("%s: %v/%v (ranges): %w", c.Name, sched.Kind, tier, err)
+				}
+				if err := diffVisitSets(truth, got); err != nil {
+					return fmt.Errorf("%s: %v/%v (ranges): %w", c.Name, sched.Kind, tier, err)
+				}
+				if rs.Iterations != c.Total {
+					return fmt.Errorf("%s: %v/%v (ranges): engine covered %d iterations, want %d",
+						c.Name, sched.Kind, tier, rs.Iterations, c.Total)
+				}
+				st.Runs++
 			}
 		}
 		return nil
@@ -276,6 +289,29 @@ func runParallel(res *core.Result, params map[string]int64, threads int,
 	}
 	sort.Slice(got, func(a, b int) bool { return lexLess(got[a], got[b]) })
 	return got, cs, nil
+}
+
+// runParallelRanges executes the collapsed nest through the
+// range-batched engine (omp.CollapsedForRanges), expanding each flat
+// innermost run back into tuples, and returns the sorted visit set plus
+// the engine counters.
+func runParallelRanges(res *core.Result, params map[string]int64, threads int,
+	sched omp.Schedule) ([][]int64, core.RangeStats, error) {
+	var mu sync.Mutex
+	var got [][]int64
+	rs, err := omp.CollapsedForRangesStats(res, params, threads, sched, nil,
+		func(tid int, pc int64, prefix []int64, lo, hi int64) {
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				got = append(got, append(append([]int64(nil), prefix...), i))
+			}
+			mu.Unlock()
+		})
+	if err != nil {
+		return nil, rs, err
+	}
+	sort.Slice(got, func(a, b int) bool { return lexLess(got[a], got[b]) })
+	return got, rs, nil
 }
 
 func lexLess(a, b []int64) bool {

@@ -76,7 +76,10 @@ type Bound struct {
 	// ivals[k] is the positional integer argument vector of level k's
 	// big.Float escalation evaluators (same layout as fvals[k], exact).
 	ivals [][]int64
-	stats Stats
+	// scratch is the reusable iteration-tuple buffer handed out by
+	// Scratch — per-Bound, so the §V drivers allocate nothing per chunk.
+	scratch []int64
+	stats   Stats
 }
 
 // Bind fixes parameter values, precomputing the total iteration count.
@@ -150,6 +153,33 @@ func (u *Unranker) Bind(params map[string]int64) (b *Bound, err error) {
 	return b, nil
 }
 
+// Clone returns an independent Bound over the same binding, sharing the
+// immutable compiled core — the bound nest instance (read-only after
+// Bind), the ranking/root evaluators and the precomputed totals — and
+// duplicating only the small per-recovery scratch vectors. This is how
+// the parallel runtime privatizes recovery state per worker without
+// paying Bind's bound compilation and count evaluation once per thread:
+// one Bind, then one Clone per team member. Statistics start at zero on
+// the clone.
+func (b *Bound) Clone() *Bound {
+	nb := &Bound{
+		u:        b.u,
+		inst:     b.inst,
+		np:       b.np,
+		depth:    b.depth,
+		total:    b.total,
+		totalBig: b.totalBig,
+		vals:     append([]int64(nil), b.vals...),
+		fvals:    make([][]float64, len(b.fvals)),
+		ivals:    make([][]int64, len(b.ivals)),
+	}
+	for k := range b.fvals {
+		nb.fvals[k] = append([]float64(nil), b.fvals[k]...)
+		nb.ivals[k] = append([]int64(nil), b.ivals[k]...)
+	}
+	return nb
+}
+
 // MustBind is Bind but panics on error.
 func (u *Unranker) MustBind(params map[string]int64) *Bound {
 	b, err := u.Bind(params)
@@ -173,6 +203,20 @@ func (b *Bound) TotalBig() *big.Int { return new(big.Int).Set(b.totalBig) }
 // Instance returns the bound nest instance (for bound evaluation and
 // lexicographic incrementation).
 func (b *Bound) Instance() *nest.Instance { return b.inst }
+
+// Depth returns the bound nest's depth.
+func (b *Bound) Depth() int { return b.depth }
+
+// Scratch returns the Bound's reusable iteration-tuple buffer (length
+// Depth), allocating it on first use. Like every Bound operation it is
+// single-goroutine: the §V range drivers use it so steady-state chunk
+// execution performs zero allocations.
+func (b *Bound) Scratch() []int64 {
+	if b.scratch == nil {
+		b.scratch = make([]int64, b.depth)
+	}
+	return b.scratch
+}
 
 // Stats returns accumulated recovery statistics.
 func (b *Bound) Stats() Stats { return b.stats }

@@ -1,0 +1,78 @@
+package unrank
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/nest"
+)
+
+// TestBoundClone checks a cloned Bound recovers exactly like a fresh
+// Bind while sharing the immutable compiled core, keeps its statistics
+// private, and costs far less than Bind (no bound compilation, no count
+// evaluation — guarded here by allocation count, the stable proxy).
+func TestBoundClone(t *testing.T) {
+	n := nest.MustNew([]string{"N"},
+		nest.L("i", "0", "N-1"), nest.L("j", "0", "i+1"), nest.L("k", "j", "i+1"))
+	u, err := New(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int64{"N": 25}
+	orig, err := u.Bind(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := orig.Clone()
+	if clone.Total() != orig.Total() {
+		t.Fatalf("clone total %d != original %d", clone.Total(), orig.Total())
+	}
+	if clone.Instance() != orig.Instance() {
+		t.Error("clone must share the immutable bound instance")
+	}
+	want := make([]int64, orig.Depth())
+	got := make([]int64, clone.Depth())
+	for pc := int64(1); pc <= orig.Total(); pc++ {
+		if err := orig.Unrank(pc, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := clone.Unrank(pc, got); err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(want) != fmt.Sprint(got) {
+			t.Fatalf("pc %d: clone recovered %v, original %v", pc, got, want)
+		}
+	}
+	if orig.Stats().RootEvals == 0 {
+		t.Error("original recorded no root evals")
+	}
+	fresh := orig.Clone()
+	if s := fresh.Stats(); s.RootEvals != 0 || s.Corrections != 0 {
+		t.Errorf("clone inherited statistics %+v, want zero", s)
+	}
+	// Interleaved use must not cross-contaminate scratch state.
+	a, b := orig.Clone(), orig.Clone()
+	ia, ib := a.Scratch(), b.Scratch()
+	if err := a.Unrank(1, ia); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Unrank(orig.Total(), ib); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Unrank(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(ia) {
+		t.Errorf("interleaved clones disagree: %v vs %v", got, ia)
+	}
+
+	bindAllocs := testing.AllocsPerRun(20, func() {
+		if _, err := u.Bind(params); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cloneAllocs := testing.AllocsPerRun(20, func() { orig.Clone() })
+	if cloneAllocs >= bindAllocs {
+		t.Errorf("Clone allocates %v, Bind %v — clone must be the cheap path", cloneAllocs, bindAllocs)
+	}
+}

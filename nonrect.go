@@ -284,6 +284,37 @@ func CollapsedForStats(res *Result, params map[string]int64, threads int, sched 
 	return omp.CollapsedForTelemetry(res, params, threads, sched, cfg.tel, body)
 }
 
+// RangeStats is the range-batched engine's event record: flat innermost
+// runs handed to the body, outer-prefix carries between them (the only
+// points where bounds are re-evaluated), and iterations covered.
+type RangeStats = core.RangeStats
+
+// CollapsedForRanges executes the collapsed space with the range-batched
+// §V engine — the fastest execution path. Each chunk performs one costly
+// recovery; the body then receives maximal flat innermost runs:
+// body(tid, pc, prefix, lo, hi) covers collapsed ranks pc..pc+(hi-lo)-1
+// whose tuples share the outer prefix (levels 0..C-2, slice reused per
+// worker) and take every innermost value lo <= i < hi. The caller's
+// innermost loop is therefore a plain counted loop with no per-iteration
+// runtime calls. WithTelemetry publishes the engine counters
+// ("omp.range_batches", "omp.range_carries", "omp.iterations").
+func CollapsedForRanges(res *Result, params map[string]int64, threads int, sched Schedule,
+	body func(tid int, pc int64, prefix []int64, lo, hi int64), opts ...Option) error {
+	cfg := buildConfig(opts)
+	if cfg.tel == nil {
+		return omp.CollapsedForRanges(res, params, threads, sched, body)
+	}
+	_, err := omp.CollapsedForRangesStats(res, params, threads, sched, cfg.tel, body)
+	return err
+}
+
+// CollapsedForRangesCtx is CollapsedForRanges with cooperative
+// cancellation checked at chunk boundaries (never inside a run).
+func CollapsedForRangesCtx(ctx context.Context, res *Result, params map[string]int64,
+	threads int, sched Schedule, body func(tid int, pc int64, prefix []int64, lo, hi int64)) error {
+	return omp.CollapsedForRangesCtx(ctx, res, params, threads, sched, body)
+}
+
 // CollapsedForSIMD executes the collapsed space with the §VI.A batch
 // scheme: body receives up to vlength consecutive index tuples.
 func CollapsedForSIMD(res *Result, params map[string]int64, threads, vlength int,
