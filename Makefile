@@ -19,8 +19,10 @@ test-short:
 # Race-detector packages: everything concurrent (telemetry counters, the
 # omp runtime, kernels, the public API) plus the fault-tolerance layers
 # (fault injection registry, verified recovery) whose tests exercise
-# panic capture, cancellation and escalation under load.
-RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/kernels/ ./internal/faults/ ./internal/unrank/ ./internal/stress/ .
+# panic capture, cancellation and escalation under load, and the core
+# package whose cache-contention test hammers the sharded CollapseCache
+# from concurrent goroutines.
+RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/kernels/ ./internal/faults/ ./internal/unrank/ ./internal/stress/ ./internal/core/ .
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -56,9 +58,12 @@ bench:
 
 # Machine-readable engine overhead report (fixed protocol: bench sizes,
 # best of 3 reps, 1 thread): original nest vs per-iteration vs
-# range-batched vs recover-every, per kernel × schedule.
+# range-batched vs recover-every, per kernel × schedule. The compile
+# suite records the compile-path throughput (cold serial vs parallel
+# fan-out vs cached) per kernel.
 bench-json:
 	$(GO) run ./cmd/benchfig -fig overhead -reps 3 -json BENCH_PR4.json
+	$(GO) run ./cmd/benchfig -fig compile -reps 3 -json BENCH_PR5.json
 
 # Regenerate the paper's figures (EXPERIMENTS.md documents the recorded runs).
 figures:
@@ -71,8 +76,9 @@ scaling:
 	$(GO) run ./cmd/benchfig -fig scaling
 
 # Short fuzzing sessions over every fuzz target: the two parsers, the
-# poly compiler, the whole-pipeline rank/unrank round trip, and the
-# generated-nest precision-ladder differential.
+# poly compiler, the whole-pipeline rank/unrank round trip, the
+# generated-nest precision-ladder differential, and the cache signature's
+# alpha-renaming invariance.
 FUZZTIME ?= 10s
 
 fuzz:
@@ -81,6 +87,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/cparse/
 	$(GO) test -fuzz=FuzzRankUnrank -fuzztime=$(FUZZTIME) .
 	$(GO) test -fuzz=FuzzStressNest -fuzztime=$(FUZZTIME) ./internal/stress/
+	$(GO) test -fuzz=FuzzNestSignature -fuzztime=$(FUZZTIME) ./internal/core/
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,9 @@
 //	benchfig -fig overhead   per-kernel × schedule engine comparison
 //	                         (original vs per-iteration vs range-batched
 //	                         vs recover-every); -json writes BENCH_PR4.json
+//	benchfig -fig compile    compile-path throughput: cold serial vs
+//	                         parallel fan-out vs cached Collapse per
+//	                         kernel; -json writes BENCH_PR5.json
 //	benchfig -fig all        everything
 //
 // Flags: -threads (virtual thread count, default 12), -quick (small
@@ -20,7 +23,8 @@
 // (run -fig imbalance on the nest of an annotated C file instead of a
 // named kernel; parse errors are reported file:line:col), -trace-out
 // (write the imbalance runs' chunk timeline as Chrome trace-event
-// JSON), -v (calibration details).
+// JSON), -v (calibration details), -cpuprofile / -memprofile (write
+// pprof profiles of the run).
 package main
 
 import (
@@ -32,30 +36,33 @@ import (
 
 	"repro/internal/cparse"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/telemetry"
 )
 
 // options bundles the command-line configuration of one run.
 type options struct {
-	fig      string
-	threads  int
-	quick    bool
-	real     bool
-	chunks   int
-	fig2N    int64
-	fig2T    int
-	kernel   string
-	src      string
-	srcN     int64
-	traceOut string
-	jsonOut  string
-	reps     int
-	verbose  bool
+	fig        string
+	threads    int
+	quick      bool
+	real       bool
+	chunks     int
+	fig2N      int64
+	fig2T      int
+	kernel     string
+	src        string
+	srcN       int64
+	traceOut   string
+	jsonOut    string
+	reps       int
+	verbose    bool
+	cpuProfile string
+	memProfile string
 }
 
 // knownFigs are the accepted -fig values; anything else is rejected up
 // front instead of silently printing nothing.
-var knownFigs = []string{"2", "8", "9", "10", "imbalance", "ablation", "scaling", "overhead", "all"}
+var knownFigs = []string{"2", "8", "9", "10", "imbalance", "ablation", "scaling", "overhead", "compile", "all"}
 
 func main() {
 	var o options
@@ -73,9 +80,20 @@ func main() {
 	flag.StringVar(&o.jsonOut, "json", "", "write the -fig overhead report as JSON to this file")
 	flag.IntVar(&o.reps, "reps", 0, "best-of repetitions for -fig overhead (default 3, quick: 1)")
 	flag.BoolVar(&o.verbose, "v", false, "print calibration details")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	stop, err := profiling.Start(o.cpuProfile, o.memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+	err = run(o)
+	if perr := stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchfig:", err)
 		os.Exit(1)
 	}
@@ -185,6 +203,34 @@ func run(o options) error {
 		}
 		fmt.Print(experiments.RenderScaling(rows))
 		fmt.Println()
+	}
+	if o.fig == "compile" {
+		opts := experiments.CompileOptions{Quick: o.quick, Reps: o.reps}
+		if o.verbose {
+			opts.Verbose = func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+			}
+		}
+		rep, err := experiments.Compile(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderCompile(rep))
+		fmt.Println()
+		if o.jsonOut != "" {
+			f, err := os.Create(o.jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "compile report written to %s\n", o.jsonOut)
+		}
 	}
 	if o.fig == "overhead" {
 		opts := experiments.OverheadOptions{Quick: o.quick, Reps: o.reps}

@@ -27,13 +27,17 @@
 //	           print compile-pipeline phase times, per-thread iteration
 //	           counts, recovery/correction counters (including the
 //	           precision-ladder escalations prec128/prec256 and exact
-//	           big-integer evaluation paths) and a load-imbalance summary
+//	           big-integer evaluation paths), a load-imbalance summary,
+//	           and the collapse-cache record (cold compile vs warm hit
+//	           times, hits/misses counters)
 //	-n N       parameter value for the -stats run (default 300)
 //	-threads P team size for the -stats run (default GOMAXPROCS)
 //	-trace-out FILE
 //	           write the chunk timeline and compile spans as Chrome
 //	           trace-event JSON (open in about:tracing or
 //	           https://ui.perfetto.dev)
+//	-cpuprofile FILE / -memprofile FILE
+//	           write pprof CPU/heap profiles of the run
 package main
 
 import (
@@ -44,12 +48,14 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/cparse"
 	"repro/internal/faults"
 	"repro/internal/omp"
+	"repro/internal/profiling"
 	"repro/internal/roots"
 	"repro/internal/telemetry"
 	"repro/internal/unrank"
@@ -57,19 +63,21 @@ import (
 
 // options bundles the command-line configuration of one run.
 type options struct {
-	scheme   string
-	chunk    int
-	vlength  int
-	warp     int
-	emitGo   bool
-	report   bool
-	check    int64
-	stats    bool
-	verify   bool
-	statsN   int64
-	threads  int
-	traceOut string
-	args     []string
+	scheme     string
+	chunk      int
+	vlength    int
+	warp       int
+	emitGo     bool
+	report     bool
+	check      int64
+	stats      bool
+	verify     bool
+	statsN     int64
+	threads    int
+	traceOut   string
+	cpuProfile string
+	memProfile string
+	args       []string
 }
 
 func main() {
@@ -86,10 +94,21 @@ func main() {
 	flag.Int64Var(&o.statsN, "n", 300, "parameter value for the -stats run")
 	flag.IntVar(&o.threads, "threads", omp.DefaultThreads(), "team size for the -stats run")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write Chrome trace-event JSON to this file")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 	o.args = flag.Args()
 
-	if err := run(o); err != nil {
+	stop, perr := profiling.Start(o.cpuProfile, o.memProfile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "collapsetool:", perr)
+		os.Exit(1)
+	}
+	err := run(o)
+	if serr := stop(); err == nil {
+		err = serr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "collapsetool:", err)
 		if pe := faults.AsPanic(err); pe != nil {
 			// An internal invariant tripped; the captured stack is the
@@ -130,7 +149,24 @@ func run(o options) error {
 	if o.stats || o.traceOut != "" {
 		tel = telemetry.New()
 	}
-	res, err := core.Collapse(prog.Nest, prog.CollapseCount, unrank.Options{Telemetry: tel, Verify: o.verify})
+	// The -stats run demonstrates the collapse cache: the first Collapse
+	// is a cold compile that populates it, a second structurally
+	// identical request hits, and both timings plus the hit/miss counters
+	// land in the telemetry report.
+	var cache *core.CollapseCache
+	var coldCompile, warmCompile time.Duration
+	if o.stats {
+		cache = core.NewCollapseCache(8)
+	}
+	uopts := unrank.Options{Telemetry: tel, Verify: o.verify}
+	start := time.Now()
+	res, err := core.CollapseCached(cache, prog.Nest, prog.CollapseCount, uopts)
+	coldCompile = time.Since(start)
+	if err == nil && cache != nil {
+		start = time.Now()
+		_, err = core.CollapseCached(cache, prog.Nest, prog.CollapseCount, uopts)
+		warmCompile = time.Since(start)
+	}
 	if err != nil {
 		if o.stats && faults.Collapsible(err) {
 			// The technique is inapplicable to this nest; run it anyway
@@ -209,6 +245,13 @@ func run(o options) error {
 		if err := runStats(res, prog, o.statsN, o.threads, tel); err != nil {
 			return err
 		}
+		speedup := 0.0
+		if warmCompile > 0 {
+			speedup = float64(coldCompile) / float64(warmCompile)
+		}
+		fmt.Printf("\ncollapse cache: cold compile %s, warm hit %s (%.1fx); %s\n",
+			coldCompile.Round(time.Microsecond), warmCompile.Round(time.Microsecond),
+			speedup, cache.Stats())
 	}
 	if o.traceOut != "" {
 		f, err := os.Create(o.traceOut)

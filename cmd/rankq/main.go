@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/ehrhart"
 	"repro/internal/faults"
 	"repro/internal/nest"
@@ -30,6 +31,22 @@ import (
 	"repro/internal/roots"
 	"repro/internal/unrank"
 )
+
+// collapseCache memoizes the symbolic build across the queries of one
+// invocation (e.g. a script piping many nests through one process via
+// `roots` followed by rank/unrank queries): structurally identical nests
+// compile once.
+var collapseCache = core.NewCollapseCache(16)
+
+// build compiles (or cache-hits) the unranking machinery for the whole
+// nest.
+func build(n *nest.Nest) (*unrank.Unranker, error) {
+	res, err := core.CollapseCached(collapseCache, n, n.Depth(), unrank.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Unranker, nil
+}
 
 type paramFlags map[string]int64
 
@@ -131,7 +148,7 @@ func run(nestSpec string, params paramFlags, args []string) error {
 		fmt.Printf("count = %s\n", ehrhart.Count(n))
 		return nil
 	case "roots":
-		u, err := unrank.New(n, unrank.Options{})
+		u, err := build(n)
 		if err != nil {
 			return err
 		}
@@ -142,7 +159,7 @@ func run(nestSpec string, params paramFlags, args []string) error {
 		return nil
 	}
 
-	u, err := unrank.New(n, unrank.Options{})
+	u, err := build(n)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/nest"
+	"repro/internal/unrank"
+)
+
+// cacheShards is the number of independently locked shards of a
+// CollapseCache. Shard selection hashes the signature, so concurrent
+// Collapse calls on distinct nests contend only 1/cacheShards of the
+// time; identical nests serialize on one shard lock for the few map
+// operations of a hit.
+const cacheShards = 16
+
+// CollapseCache memoizes the expensive symbolic phase of Collapse — the
+// ranking construction, radical solving, root selection and evaluator
+// compilation — keyed by NestSignature, i.e. by the structure of the
+// collapsed band modulo variable spelling. A hit adapts the cached
+// Unranker to the caller's names with a shallow rename (compiled
+// evaluators are positional and shared), so collapsing the same nest
+// shape repeatedly — sweeps over parameter values, per-rank tools,
+// long-running services — pays the compile cost once.
+//
+// The cache is safe for concurrent use and bounded: each of its shards
+// keeps an LRU list and evicts its least recently used entry when over
+// capacity.
+type CollapseCache struct {
+	capPerShard int
+	shards      [cacheShards]cacheShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	lru list.List // front = most recent; values are *cacheEntry
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	sig string
+	u   *unrank.Unranker
+}
+
+// NewCollapseCache returns a cache holding at most capacity compiled
+// collapse artifacts (rounded up to the shard grain). capacity <= 0
+// selects a default of 64.
+func NewCollapseCache(capacity int) *CollapseCache {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	per := (capacity + cacheShards - 1) / cacheShards
+	c := &CollapseCache{capPerShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits      int64 // lookups served by a cached artifact
+	Misses    int64 // lookups that fell through to a full compile
+	Evictions int64 // entries dropped by the per-shard LRU bound
+	Entries   int   // artifacts currently resident
+}
+
+// String renders the counters in a compact fixed-order form.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits %d, misses %d, evictions %d, entries %d",
+		s.Hits, s.Misses, s.Evictions, s.Entries)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *CollapseCache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Entries += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+func (c *CollapseCache) shard(sig string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(sig))
+	return &c.shards[h.Sum32()%cacheShards]
+}
+
+// get returns the cached Unranker for sig, promoting the entry to most
+// recently used.
+func (c *CollapseCache) get(sig string) (*unrank.Unranker, bool) {
+	sh := c.shard(sig)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.m[sig]
+	if !ok {
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).u, true
+}
+
+// put stores u under sig, evicting the shard's least recently used entry
+// when over capacity. evicted reports how many entries were dropped.
+func (c *CollapseCache) put(sig string, u *unrank.Unranker) (evicted int) {
+	sh := c.shard(sig)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[sig]; ok {
+		// Concurrent miss on the same signature: keep the resident entry
+		// (callers already hold independent Unrankers; the artifacts are
+		// interchangeable).
+		sh.lru.MoveToFront(el)
+		return 0
+	}
+	sh.m[sig] = sh.lru.PushFront(&cacheEntry{sig: sig, u: u})
+	for sh.lru.Len() > c.capPerShard {
+		back := sh.lru.Back()
+		sh.lru.Remove(back)
+		delete(sh.m, back.Value.(*cacheEntry).sig)
+		evicted++
+	}
+	c.evictions.Add(int64(evicted))
+	return evicted
+}
+
+// CollapseCached is Collapse routed through cache: a structural hit skips
+// the whole symbolic pipeline and adapts the cached artifact to the
+// caller's variable names; a miss compiles normally and populates the
+// cache. A nil cache, or a request NestSignature declines to canonicalize
+// (custom SampleParams), degrades to a plain Collapse. Telemetry, when
+// configured in opts, receives cache.hits / cache.misses /
+// cache.evictions counters.
+func CollapseCached(cache *CollapseCache, n *nest.Nest, c int, opts unrank.Options) (res *Result, err error) {
+	if cache == nil {
+		return Collapse(n, c, opts)
+	}
+	defer guard(&res, &err)
+	sig, ok := NestSignature(n, c, opts)
+	if !ok {
+		return Collapse(n, c, opts)
+	}
+	tel := opts.Telemetry
+	if u, hit := cache.get(sig); hit {
+		cache.hits.Add(1)
+		tel.Counter("cache.hits").Add(1)
+		sp := tel.StartSpan("compile", "core.CollapseCached.hit", 0)
+		sub := &nest.Nest{
+			Params: append([]string(nil), n.Params...),
+			Loops:  append([]nest.Loop(nil), n.Loops[:c]...),
+		}
+		ru := u.Renamed(sub)
+		sp.End()
+		return &Result{
+			Nest:     n,
+			C:        c,
+			SubNest:  sub,
+			Ranking:  ru.Ranking(),
+			Total:    ru.Count(),
+			Unranker: ru,
+		}, nil
+	}
+	cache.misses.Add(1)
+	tel.Counter("cache.misses").Add(1)
+	res, err = Collapse(n, c, opts)
+	if err == nil {
+		if ev := cache.put(sig, res.Unranker); ev > 0 {
+			tel.Counter("cache.evictions").Add(int64(ev))
+		}
+	}
+	return res, err
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/nest"
+	"repro/internal/poly"
+	"repro/internal/unrank"
+)
+
+// FuzzNestSignature checks the canonical signature's defining property
+// on arbitrary bound expressions: α-renaming every parameter and
+// iterator never changes the signature (nor cacheability), and signature
+// computation never panics — a collision here would make the collapse
+// cache serve one nest's artifact for a structurally different nest.
+func FuzzNestSignature(f *testing.F) {
+	f.Add("0", "N-1", "i+1", "N", uint8(2))
+	f.Add("0", "N", "0", "i+1", uint8(2))
+	f.Add("i", "2*N", "i-1", "N+i", uint8(1))
+	f.Add("0", "N^2", "3*i", "N*i", uint8(2))
+	f.Fuzz(func(t *testing.T, lo1, hi1, lo2, hi2 string, cc uint8) {
+		bounds := make([]*poly.Poly, 0, 4)
+		for _, s := range []string{lo1, hi1, lo2, hi2} {
+			p, err := poly.Parse(s)
+			if err != nil {
+				return
+			}
+			bounds = append(bounds, p)
+		}
+		n1 := &nest.Nest{
+			Params: []string{"N"},
+			Loops: []nest.Loop{
+				{Index: "i", Lower: bounds[0], Upper: bounds[1]},
+				{Index: "j", Lower: bounds[2], Upper: bounds[3]},
+			},
+		}
+		if err := n1.Validate(); err != nil {
+			return
+		}
+		ren := map[string]string{"N": "Q", "i": "u", "j": "v"}
+		n2 := &nest.Nest{
+			Params: []string{"Q"},
+			Loops: []nest.Loop{
+				{Index: "u", Lower: bounds[0].Rename(ren), Upper: bounds[1].Rename(ren)},
+				{Index: "v", Lower: bounds[2].Rename(ren), Upper: bounds[3].Rename(ren)},
+			},
+		}
+		c := int(cc)%2 + 1
+		s1, ok1 := NestSignature(n1, c, unrank.Options{})
+		s2, ok2 := NestSignature(n2, c, unrank.Options{})
+		if ok1 != ok2 {
+			t.Fatalf("cacheability differs under renaming: %v vs %v", ok1, ok2)
+		}
+		if s1 != s2 {
+			t.Fatalf("signature not α-invariant (c=%d):\n  %s\n  %s", c, s1, s2)
+		}
+	})
+}

@@ -20,6 +20,7 @@ package ehrhart
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/nest"
@@ -27,20 +28,48 @@ import (
 	"repro/internal/poly"
 )
 
+// faulhaberVar is the canonical upper-limit variable of the memoized
+// Faulhaber polynomials F_m. The NUL byte keeps it out of every namespace
+// a nest can produce (identifiers are validated to be plain names).
+const faulhaberVar = "\x00faulhaber"
+
+var (
+	faulhaberMu    sync.Mutex
+	faulhaberCache []*poly.Poly // F_m(faulhaberVar), index m
+)
+
+// faulhaber returns the memoized closed form F_m of Σ_{x=1}^{X} x^m as a
+// polynomial in the canonical variable X = faulhaberVar. The returned
+// polynomial is shared and must not be mutated (Poly operations are
+// persistent, so ordinary use is safe).
+func faulhaber(m int) *poly.Poly {
+	faulhaberMu.Lock()
+	defer faulhaberMu.Unlock()
+	for len(faulhaberCache) <= m {
+		k := len(faulhaberCache)
+		X := poly.Var(faulhaberVar)
+		f := poly.Zero()
+		for j := 0; j <= k; j++ {
+			c := new(big.Rat).SetInt(numeric.Binomial(k+1, j))
+			c.Mul(c, numeric.BernoulliPlus(j))
+			c.Mul(c, big.NewRat(1, int64(k+1)))
+			f = f.Add(X.PowInt(k + 1 - j).Scale(c))
+		}
+		faulhaberCache = append(faulhaberCache, f)
+	}
+	return faulhaberCache[m]
+}
+
 // SumPower returns the closed form of Σ_{x=1}^{n} x^m with the polynomial
-// n substituted for the upper limit. m must be non-negative.
+// n substituted for the upper limit. m must be non-negative. The
+// canonical F_m is computed once per process and memoized alongside the
+// Bernoulli/binomial caches it draws on; each call pays only the
+// substitution of n.
 func SumPower(m int, n *poly.Poly) *poly.Poly {
 	if m < 0 {
 		panic("ehrhart: negative power")
 	}
-	result := poly.Zero()
-	for j := 0; j <= m; j++ {
-		c := new(big.Rat).SetInt(numeric.Binomial(m+1, j))
-		c.Mul(c, numeric.BernoulliPlus(j))
-		c.Mul(c, big.NewRat(1, int64(m+1)))
-		result = result.Add(n.PowInt(m + 1 - j).Scale(c))
-	}
-	return result
+	return faulhaber(m).Subst(faulhaberVar, n)
 }
 
 // Sum returns the closed form of Σ_{v=lo}^{hi} p, where v is the

@@ -6,7 +6,6 @@
 package numeric
 
 import (
-	"fmt"
 	"math/big"
 	"sync"
 )
@@ -39,7 +38,12 @@ func RatInt64(r *big.Rat) (v int64, ok bool) {
 	return n.Int64(), true
 }
 
-var binomialCache sync.Map // key string "n,k" -> *big.Int
+// binomialKey is the comparable cache key of C(n, k); a struct key hashes
+// without the fmt.Sprintf allocation the old "n,k" string key paid per
+// lookup.
+type binomialKey struct{ n, k int }
+
+var binomialCache sync.Map // binomialKey -> *big.Int (cached values are never mutated)
 
 // Binomial returns the binomial coefficient C(n, k) as a big.Int.
 // It returns zero for k < 0 or k > n.
@@ -47,13 +51,13 @@ func Binomial(n, k int) *big.Int {
 	if k < 0 || k > n {
 		return big.NewInt(0)
 	}
-	key := fmt.Sprintf("%d,%d", n, k)
+	key := binomialKey{n, k}
 	if v, ok := binomialCache.Load(key); ok {
 		return new(big.Int).Set(v.(*big.Int))
 	}
 	v := new(big.Int).Binomial(int64(n), int64(k))
-	binomialCache.Store(key, new(big.Int).Set(v))
-	return v
+	binomialCache.Store(key, v)
+	return new(big.Int).Set(v)
 }
 
 var (

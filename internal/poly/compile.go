@@ -3,7 +3,6 @@ package poly
 import (
 	"fmt"
 	"math/big"
-	"sort"
 
 	"repro/internal/faults"
 	"repro/internal/numeric"
@@ -56,14 +55,8 @@ func (p *Poly) Compile(vars []string) (*Compiled, error) {
 	}
 	denRat := new(big.Rat).SetInt(c.den)
 
-	keys := make([]string, 0, len(p.terms))
-	for k := range p.terms {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-
 	c.coeffsOK = true
-	for _, k := range keys {
+	for _, k := range p.sortedKeys() {
 		t := p.terms[k]
 		num := new(big.Rat).Mul(t.coeff, denRat)
 		if !num.IsInt() {
@@ -78,10 +71,11 @@ func (p *Poly) Compile(vars []string) (*Compiled, error) {
 			c.coeffsOK = false
 		}
 		pw := make([]int, len(vars))
-		for v, e := range t.exps {
-			pw[pos[v]] = e
-			if e > c.maxPow[pos[v]] {
-				c.maxPow[pos[v]] = e
+		for _, ve := range t.exps {
+			vi := pos[varNameOf(ve.id)]
+			pw[vi] = int(ve.exp)
+			if int(ve.exp) > c.maxPow[vi] {
+				c.maxPow[vi] = int(ve.exp)
 			}
 		}
 		c.pows = append(c.pows, pw)

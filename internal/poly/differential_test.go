@@ -1,0 +1,134 @@
+package poly
+
+import (
+	"math/big"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// pairGen produces the same random polynomial in both representations —
+// the packed interned engine under test and the preserved string-keyed
+// legacy engine — by replaying one stream of addTerm operations.
+type pairGen struct {
+	rng  *rand.Rand
+	vars []string
+}
+
+func (g *pairGen) poly(maxTerms, maxDeg int) (*Poly, *legacyPoly) {
+	p, lp := Zero(), legacyZero()
+	nt := 1 + g.rng.Intn(maxTerms)
+	for t := 0; t < nt; t++ {
+		num := int64(g.rng.Intn(41) - 20)
+		den := int64(1 + g.rng.Intn(6))
+		c := big.NewRat(num, den)
+		exps := map[string]int{}
+		var ves []varExp
+		for _, v := range g.vars {
+			if e := g.rng.Intn(maxDeg + 1); e > 0 {
+				exps[v] = e
+				ves = append(ves, varExp{id: varID(v), exp: int32(e)})
+			}
+		}
+		sort.Slice(ves, func(a, b int) bool { return ves[a].id < ves[b].id })
+		np := Zero()
+		np.addTerm(c, ves)
+		p = p.Add(np)
+		lp.addTerm(c, exps)
+	}
+	return p, lp
+}
+
+// requireEqual demands the two engines agree both symbolically (the
+// deterministic rendering is character-identical by construction) and
+// numerically at random rational points.
+func requireEqual(t *testing.T, g *pairGen, p *Poly, lp *legacyPoly, what string) {
+	t.Helper()
+	if ps, ls := p.String(), lp.str(); ps != ls {
+		t.Fatalf("%s: representations diverge:\n  packed: %s\n  legacy: %s", what, ps, ls)
+	}
+	env := map[string]*big.Rat{}
+	for _, v := range g.vars {
+		env[v] = big.NewRat(int64(g.rng.Intn(21)-10), int64(1+g.rng.Intn(4)))
+	}
+	// "pc" shows up via substitution targets below.
+	env["pc"] = big.NewRat(int64(g.rng.Intn(50)), 1)
+	pv, perr := p.EvalRat(env)
+	lv, lerr := lp.evalRat(env)
+	if (perr == nil) != (lerr == nil) {
+		t.Fatalf("%s: eval error divergence: packed %v, legacy %v", what, perr, lerr)
+	}
+	if perr == nil && pv.Cmp(lv) != 0 {
+		t.Fatalf("%s: eval divergence at %v: packed %s, legacy %s", what, env, pv, lv)
+	}
+}
+
+// TestDifferentialAgainstLegacy drives the packed interned representation
+// and the preserved string-keyed implementation through the same
+// randomized sequences of ring operations — add, sub, mul, substitution —
+// and requires exact agreement after every step. This is the oracle
+// guarding the PR-5 representation swap.
+func TestDifferentialAgainstLegacy(t *testing.T) {
+	g := &pairGen{rng: rand.New(rand.NewSource(5)), vars: []string{"N", "M", "i", "j"}}
+	for round := 0; round < 200; round++ {
+		a, la := g.poly(5, 3)
+		b, lb := g.poly(5, 3)
+		requireEqual(t, g, a, la, "gen a")
+		requireEqual(t, g, b, lb, "gen b")
+		requireEqual(t, g, a.Add(b), la.add(lb), "add")
+		requireEqual(t, g, a.Sub(b), la.sub(lb), "sub")
+		requireEqual(t, g, a.Mul(b), la.mul(lb), "mul")
+		// Substitute a random variable of a by b (degree kept small so the
+		// closed form stays cheap), in both engines.
+		v := g.vars[g.rng.Intn(len(g.vars))]
+		requireEqual(t, g, a.Subst(v, b), la.subst(v, lb), "subst "+v)
+		// And by a constant, the common lexmin-tail case.
+		c, lc := Int(int64(g.rng.Intn(9))), legacyConst(big.NewRat(int64(g.rng.Intn(9)), 1))
+		_ = lc
+		k := int64(g.rng.Intn(9))
+		requireEqual(t, g, a.Subst(v, Int(k)),
+			la.subst(v, legacyConst(big.NewRat(k, 1))), "subst const")
+		_ = c
+	}
+}
+
+// TestDifferentialChained mimics the ehrhart summation shape: repeated
+// multiply-accumulate with substitutions, the path the interned
+// representation optimizes hardest.
+func TestDifferentialChained(t *testing.T) {
+	g := &pairGen{rng: rand.New(rand.NewSource(11)), vars: []string{"N", "i", "j"}}
+	p, lp := One(), legacyConst(big.NewRat(1, 1))
+	for step := 0; step < 30; step++ {
+		q, lq := g.poly(3, 2)
+		p = p.Mul(q).Add(p)
+		lp = lp.mul(lq).add(lp)
+		if step%5 == 4 {
+			v := g.vars[g.rng.Intn(len(g.vars))]
+			s, ls := g.poly(2, 1)
+			p = p.Subst(v, s)
+			lp = lp.subst(v, ls)
+		}
+		requireEqual(t, g, p, lp, "chain")
+		if p.TotalDegree() > 24 {
+			p, lp = One(), legacyConst(big.NewRat(1, 1))
+		}
+	}
+}
+
+// BenchmarkPolyMul compares the packed interned multiply against the
+// preserved legacy string-keyed multiply on an ehrhart-sized workload.
+func BenchmarkPolyMul(b *testing.B) {
+	g := &pairGen{rng: rand.New(rand.NewSource(7)), vars: []string{"N", "M", "i", "j"}}
+	p, lp := g.poly(8, 3)
+	q, lq := g.poly(8, 3)
+	b.Run("packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = p.Mul(q)
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = lp.mul(lq)
+		}
+	})
+}

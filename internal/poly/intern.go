@@ -1,0 +1,78 @@
+package poly
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// Variable interning. Variable names are global to the process and few
+// (nest parameters, iterators, pc, a handful of substitution
+// temporaries), so every name is interned once into a small dense ID
+// space. Terms then carry []varExp pairs of int32 IDs instead of
+// map[string]int exponent maps, and monomial identity becomes a packed
+// byte-string key built with binary encoding rather than fmt.Sprintf —
+// the difference between one small allocation and a formatted sort per
+// monomial on the Faulhaber/ranking construction path.
+var (
+	internMu    sync.RWMutex
+	internNames []string // id -> name
+	internIDs   = map[string]int32{}
+)
+
+// varID interns name, returning its dense ID.
+func varID(name string) int32 {
+	internMu.RLock()
+	id, ok := internIDs[name]
+	internMu.RUnlock()
+	if ok {
+		return id
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if id, ok := internIDs[name]; ok {
+		return id
+	}
+	id = int32(len(internNames))
+	internNames = append(internNames, name)
+	internIDs[name] = id
+	return id
+}
+
+// varIDIfKnown looks a name up without interning it (for read-only
+// queries like DegreeIn over names that may never have been seen).
+func varIDIfKnown(name string) (int32, bool) {
+	internMu.RLock()
+	id, ok := internIDs[name]
+	internMu.RUnlock()
+	return id, ok
+}
+
+// varNameOf returns the interned spelling of id.
+func varNameOf(id int32) string {
+	internMu.RLock()
+	name := internNames[id]
+	internMu.RUnlock()
+	return name
+}
+
+// varExp is one variable factor of a monomial: interned variable ID and
+// its exponent (> 0). Slices of varExp are kept sorted by ID and treated
+// as immutable once stored in a term.
+type varExp struct {
+	id  int32
+	exp int32
+}
+
+// packKey encodes a sorted exponent vector as a comparable string: 8
+// big-endian bytes per factor. The empty monomial packs to "".
+func packKey(exps []varExp) string {
+	if len(exps) == 0 {
+		return ""
+	}
+	buf := make([]byte, 8*len(exps))
+	for i, ve := range exps {
+		binary.BigEndian.PutUint32(buf[8*i:], uint32(ve.id))
+		binary.BigEndian.PutUint32(buf[8*i+4:], uint32(ve.exp))
+	}
+	return string(buf)
+}

@@ -1,0 +1,265 @@
+package poly
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// This file preserves, verbatim in behaviour, the original string-keyed
+// map representation of the polynomial ring (fmt.Sprintf monomial keys,
+// map[string]int exponent maps, no coefficient fast paths). It is the
+// differential-testing oracle for the packed interned representation in
+// poly.go: the randomized oracle tests drive both engines through the
+// same operation sequences and demand identical results. It is
+// deliberately not reachable from the exported API.
+
+// legacyTerm is a single monomial: coeff * prod(var^exp).
+type legacyTerm struct {
+	coeff *big.Rat
+	exps  map[string]int // var name -> exponent (> 0)
+}
+
+func legacyMonoKey(exps map[string]int) string {
+	if len(exps) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(exps))
+	for v := range exps {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, v := range names {
+		if i > 0 {
+			b.WriteByte('*')
+		}
+		fmt.Fprintf(&b, "%s^%d", v, exps[v])
+	}
+	return b.String()
+}
+
+func (t *legacyTerm) totalDegree() int {
+	d := 0
+	for _, p := range t.exps {
+		d += p
+	}
+	return d
+}
+
+// legacyPoly is the old Poly: terms keyed by the formatted monomial
+// string.
+type legacyPoly struct {
+	terms map[string]*legacyTerm
+}
+
+func legacyZero() *legacyPoly { return &legacyPoly{terms: map[string]*legacyTerm{}} }
+
+func legacyConst(r *big.Rat) *legacyPoly {
+	p := legacyZero()
+	if r.Sign() != 0 {
+		p.terms[""] = &legacyTerm{coeff: new(big.Rat).Set(r), exps: map[string]int{}}
+	}
+	return p
+}
+
+func legacyVarPow(name string, k int) *legacyPoly {
+	if k == 0 {
+		return legacyConst(big.NewRat(1, 1))
+	}
+	t := &legacyTerm{coeff: big.NewRat(1, 1), exps: map[string]int{name: k}}
+	return &legacyPoly{terms: map[string]*legacyTerm{legacyMonoKey(t.exps): t}}
+}
+
+func (p *legacyPoly) clone() *legacyPoly {
+	q := legacyZero()
+	for k, t := range p.terms {
+		e := make(map[string]int, len(t.exps))
+		for v, pw := range t.exps {
+			e[v] = pw
+		}
+		q.terms[k] = &legacyTerm{coeff: new(big.Rat).Set(t.coeff), exps: e}
+	}
+	return q
+}
+
+func (p *legacyPoly) addTerm(coeff *big.Rat, exps map[string]int) {
+	if coeff.Sign() == 0 {
+		return
+	}
+	k := legacyMonoKey(exps)
+	if ex, ok := p.terms[k]; ok {
+		ex.coeff.Add(ex.coeff, coeff)
+		if ex.coeff.Sign() == 0 {
+			delete(p.terms, k)
+		}
+		return
+	}
+	e := make(map[string]int, len(exps))
+	for v, pw := range exps {
+		e[v] = pw
+	}
+	p.terms[k] = &legacyTerm{coeff: new(big.Rat).Set(coeff), exps: e}
+}
+
+func (p *legacyPoly) add(q *legacyPoly) *legacyPoly {
+	r := p.clone()
+	for _, t := range q.terms {
+		r.addTerm(t.coeff, t.exps)
+	}
+	return r
+}
+
+func (p *legacyPoly) sub(q *legacyPoly) *legacyPoly {
+	r := p.clone()
+	neg := new(big.Rat)
+	for _, t := range q.terms {
+		neg.Neg(t.coeff)
+		r.addTerm(neg, t.exps)
+	}
+	return r
+}
+
+func (p *legacyPoly) mul(q *legacyPoly) *legacyPoly {
+	r := legacyZero()
+	c := new(big.Rat)
+	for _, tp := range p.terms {
+		for _, tq := range q.terms {
+			c.Mul(tp.coeff, tq.coeff)
+			exps := make(map[string]int, len(tp.exps)+len(tq.exps))
+			for v, pw := range tp.exps {
+				exps[v] = pw
+			}
+			for v, pw := range tq.exps {
+				exps[v] += pw
+			}
+			r.addTerm(c, exps)
+		}
+	}
+	return r
+}
+
+func (p *legacyPoly) subst(v string, sub *legacyPoly) *legacyPoly {
+	r := legacyZero()
+	pows := map[int]*legacyPoly{0: legacyConst(big.NewRat(1, 1)), 1: sub}
+	var powOf func(int) *legacyPoly
+	powOf = func(k int) *legacyPoly {
+		if q, ok := pows[k]; ok {
+			return q
+		}
+		q := powOf(k - 1).mul(sub)
+		pows[k] = q
+		return q
+	}
+	for _, t := range p.terms {
+		rest := make(map[string]int, len(t.exps))
+		deg := 0
+		for name, pw := range t.exps {
+			if name == v {
+				deg = pw
+			} else {
+				rest[name] = pw
+			}
+		}
+		partial := legacyZero()
+		partial.addTerm(t.coeff, rest)
+		if deg > 0 {
+			partial = partial.mul(powOf(deg))
+		}
+		r = r.add(partial)
+	}
+	return r
+}
+
+func (p *legacyPoly) evalRat(env map[string]*big.Rat) (*big.Rat, error) {
+	sum := new(big.Rat)
+	tp := new(big.Rat)
+	for _, t := range p.terms {
+		tp.Set(t.coeff)
+		for v, pw := range t.exps {
+			val, ok := env[v]
+			if !ok {
+				return nil, fmt.Errorf("poly: variable %q not bound", v)
+			}
+			for i := 0; i < pw; i++ {
+				tp.Mul(tp, val)
+			}
+		}
+		sum.Add(sum, tp)
+	}
+	return sum, nil
+}
+
+// str renders the legacy polynomial with the historical deterministic
+// order (descending total degree, then lexicographic monomial key) —
+// character-identical to Poly.String for equal polynomials.
+func (p *legacyPoly) str() string {
+	if len(p.terms) == 0 {
+		return "0"
+	}
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		da, db := p.terms[keys[a]].totalDegree(), p.terms[keys[b]].totalDegree()
+		if da != db {
+			return da > db
+		}
+		return keys[a] < keys[b]
+	})
+	var b strings.Builder
+	for i, k := range keys {
+		t := p.terms[k]
+		c := t.coeff
+		neg := c.Sign() < 0
+		abs := new(big.Rat).Abs(c)
+		if i == 0 {
+			if neg {
+				b.WriteByte('-')
+			}
+		} else {
+			if neg {
+				b.WriteString(" - ")
+			} else {
+				b.WriteString(" + ")
+			}
+		}
+		mono := legacyMonoString(t.exps)
+		one := abs.Cmp(big.NewRat(1, 1)) == 0
+		switch {
+		case mono == "":
+			b.WriteString(ratString(abs))
+		case one:
+			b.WriteString(mono)
+		default:
+			b.WriteString(ratString(abs))
+			b.WriteByte('*')
+			b.WriteString(mono)
+		}
+	}
+	return b.String()
+}
+
+func legacyMonoString(exps map[string]int) string {
+	if len(exps) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(exps))
+	for v := range exps {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, v := range names {
+		if i > 0 {
+			b.WriteByte('*')
+		}
+		b.WriteString(v)
+		if e := exps[v]; e > 1 {
+			fmt.Fprintf(&b, "^%d", e)
+		}
+	}
+	return b.String()
+}

@@ -6,8 +6,18 @@
 // solvers), and a small expression parser used by tests and the CLI
 // tools.
 //
-// Variables are identified by name. A Poly is immutable from the caller's
-// point of view: all operations return fresh values.
+// Variables are identified by name at the API surface; internally every
+// name is interned to a dense int32 ID and monomials are sorted
+// exponent vectors with packed byte-string keys (see intern.go), so the
+// ring operations on the compile path never format strings or allocate
+// per-monomial maps. Coefficient arithmetic takes an overflow-checked
+// int64 fast path when both operands are small integers, which they are
+// for almost every intermediate of Faulhaber summation. The previous
+// string-keyed map representation is preserved verbatim in legacy.go as
+// the differential-testing oracle.
+//
+// A Poly is immutable from the caller's point of view: all operations
+// return fresh values.
 package poly
 
 import (
@@ -15,23 +25,38 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync"
+
+	"repro/internal/numeric"
 )
 
-// term is a single monomial: coeff * prod(var^exp).
+// term is a single monomial: coeff * prod(var^exp). The exps slice is
+// sorted by variable ID and never mutated once the term is stored in a
+// Poly (clones share it).
 type term struct {
 	coeff *big.Rat
-	exps  map[string]int // var name -> exponent (> 0)
+	exps  []varExp
 }
 
-func (t *term) key() string { return monoKey(t.exps) }
+func (t *term) totalDegree() int {
+	d := 0
+	for _, ve := range t.exps {
+		d += int(ve.exp)
+	}
+	return d
+}
 
-func monoKey(exps map[string]int) string {
-	if len(exps) == 0 {
+// nameKey renders the monomial in the legacy "x^1*y^2" format (factors
+// sorted by variable name). It is used only for deterministic ordering
+// in String/Terms/Compile, where the historical name-lexicographic order
+// is part of the observable output.
+func (t *term) nameKey() string {
+	if len(t.exps) == 0 {
 		return ""
 	}
-	names := make([]string, 0, len(exps))
-	for v := range exps {
-		names = append(names, v)
+	names := make([]string, len(t.exps))
+	for i, ve := range t.exps {
+		names[i] = varNameOf(ve.id)
 	}
 	sort.Strings(names)
 	var b strings.Builder
@@ -39,32 +64,65 @@ func monoKey(exps map[string]int) string {
 		if i > 0 {
 			b.WriteByte('*')
 		}
-		fmt.Fprintf(&b, "%s^%d", v, exps[v])
+		id, _ := varIDIfKnown(v)
+		fmt.Fprintf(&b, "%s^%d", v, t.expOf(id))
 	}
 	return b.String()
 }
 
-func (t *term) clone() *term {
-	e := make(map[string]int, len(t.exps))
-	for v, p := range t.exps {
-		e[v] = p
+// expOf returns the exponent of variable id in t (0 if absent).
+func (t *term) expOf(id int32) int32 {
+	for _, ve := range t.exps {
+		if ve.id == id {
+			return ve.exp
+		}
 	}
-	return &term{coeff: new(big.Rat).Set(t.coeff), exps: e}
+	return 0
 }
 
-func (t *term) totalDegree() int {
-	d := 0
-	for _, p := range t.exps {
-		d += p
+// ratPool recycles big.Rat temporaries of the ring operations: the
+// multiply/accumulate inner loops need one scratch rational per call, not
+// per monomial pair.
+var ratPool = sync.Pool{New: func() interface{} { return new(big.Rat) }}
+
+func getRat() *big.Rat  { return ratPool.Get().(*big.Rat) }
+func putRat(r *big.Rat) { ratPool.Put(r) }
+
+// mulRatInto sets dst = a*b, taking an overflow-checked int64 fast path
+// when both operands are small integers (the overwhelmingly common case
+// for Faulhaber/binomial intermediates).
+func mulRatInto(dst, a, b *big.Rat) {
+	if a.IsInt() && b.IsInt() {
+		an, bn := a.Num(), b.Num()
+		if an.IsInt64() && bn.IsInt64() {
+			if p, ok := numeric.MulInt64(an.Int64(), bn.Int64()); ok {
+				dst.SetInt64(p)
+				return
+			}
+		}
 	}
-	return d
+	dst.Mul(a, b)
+}
+
+// addRatInto sets dst = a+b with the same integer fast path.
+func addRatInto(dst, a, b *big.Rat) {
+	if a.IsInt() && b.IsInt() {
+		an, bn := a.Num(), b.Num()
+		if an.IsInt64() && bn.IsInt64() {
+			if s, ok := numeric.AddInt64(an.Int64(), bn.Int64()); ok {
+				dst.SetInt64(s)
+				return
+			}
+		}
+	}
+	dst.Add(a, b)
 }
 
 // Poly is a multivariate polynomial with exact rational coefficients.
 // The zero value is not usable; construct values with Zero, One, Const,
 // Int, Var, VarPow or Parse.
 type Poly struct {
-	terms map[string]*term
+	terms map[string]*term // packed monomial key -> term
 }
 
 // Zero returns the zero polynomial.
@@ -83,7 +141,7 @@ func Rat(num, den int64) *Poly { return Const(big.NewRat(num, den)) }
 func Const(r *big.Rat) *Poly {
 	p := Zero()
 	if r.Sign() != 0 {
-		p.terms[""] = &term{coeff: new(big.Rat).Set(r), exps: map[string]int{}}
+		p.terms[""] = &term{coeff: new(big.Rat).Set(r)}
 	}
 	return p
 }
@@ -102,44 +160,55 @@ func VarPow(name string, k int) *Poly {
 	if k == 0 {
 		return One()
 	}
-	t := &term{coeff: big.NewRat(1, 1), exps: map[string]int{name: k}}
-	return &Poly{terms: map[string]*term{t.key(): t}}
+	exps := []varExp{{id: varID(name), exp: int32(k)}}
+	t := &term{coeff: big.NewRat(1, 1), exps: exps}
+	return &Poly{terms: map[string]*term{packKey(exps): t}}
 }
 
+// clone copies p. Exponent vectors are immutable once stored, so they
+// are shared; only the coefficients are duplicated.
 func (p *Poly) clone() *Poly {
 	q := Zero()
 	for k, t := range p.terms {
-		q.terms[k] = t.clone()
+		q.terms[k] = &term{coeff: new(big.Rat).Set(t.coeff), exps: t.exps}
 	}
 	return q
 }
 
 // addTerm adds coeff*mono into p in place, dropping the monomial if the
-// resulting coefficient is zero.
-func (p *Poly) addTerm(coeff *big.Rat, exps map[string]int) {
+// resulting coefficient is zero. The exps slice is copied.
+func (p *Poly) addTerm(coeff *big.Rat, exps []varExp) {
+	p.addTermKeyed(coeff, exps, packKey(exps), false)
+}
+
+// addTermOwned is addTerm for callers handing over ownership of exps
+// (freshly built, never reused), skipping the defensive copy.
+func (p *Poly) addTermOwned(coeff *big.Rat, exps []varExp) {
+	p.addTermKeyed(coeff, exps, packKey(exps), true)
+}
+
+func (p *Poly) addTermKeyed(coeff *big.Rat, exps []varExp, key string, owned bool) {
 	if coeff.Sign() == 0 {
 		return
 	}
-	k := monoKey(exps)
-	if ex, ok := p.terms[k]; ok {
-		ex.coeff.Add(ex.coeff, coeff)
+	if ex, ok := p.terms[key]; ok {
+		addRatInto(ex.coeff, ex.coeff, coeff)
 		if ex.coeff.Sign() == 0 {
-			delete(p.terms, k)
+			delete(p.terms, key)
 		}
 		return
 	}
-	e := make(map[string]int, len(exps))
-	for v, pw := range exps {
-		e[v] = pw
+	if !owned {
+		exps = append([]varExp(nil), exps...)
 	}
-	p.terms[k] = &term{coeff: new(big.Rat).Set(coeff), exps: e}
+	p.terms[key] = &term{coeff: new(big.Rat).Set(coeff), exps: exps}
 }
 
 // Add returns p + q.
 func (p *Poly) Add(q *Poly) *Poly {
 	r := p.clone()
-	for _, t := range q.terms {
-		r.addTerm(t.coeff, t.exps)
+	for k, t := range q.terms {
+		r.addTermKeyed(t.coeff, t.exps, k, false)
 	}
 	return r
 }
@@ -147,11 +216,12 @@ func (p *Poly) Add(q *Poly) *Poly {
 // Sub returns p - q.
 func (p *Poly) Sub(q *Poly) *Poly {
 	r := p.clone()
-	neg := new(big.Rat)
-	for _, t := range q.terms {
+	neg := getRat()
+	for k, t := range q.terms {
 		neg.Neg(t.coeff)
-		r.addTerm(neg, t.exps)
+		r.addTermKeyed(neg, t.exps, k, false)
 	}
+	putRat(neg)
 	return r
 }
 
@@ -164,34 +234,52 @@ func (p *Poly) Scale(r *big.Rat) *Poly {
 	if r.Sign() == 0 {
 		return q
 	}
-	c := new(big.Rat)
-	for _, t := range p.terms {
-		c.Mul(t.coeff, r)
-		q.addTerm(c, t.exps)
+	c := getRat()
+	for k, t := range p.terms {
+		mulRatInto(c, t.coeff, r)
+		q.addTermKeyed(c, t.exps, k, false)
 	}
+	putRat(c)
 	return q
 }
 
 // ScaleInt returns n * p.
 func (p *Poly) ScaleInt(n int64) *Poly { return p.Scale(new(big.Rat).SetInt64(n)) }
 
+// mulExps merges two sorted exponent vectors (a sorted-merge, no maps).
+func mulExps(a, b []varExp) []varExp {
+	out := make([]varExp, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].id < b[j].id:
+			out = append(out, a[i])
+			i++
+		case a[i].id > b[j].id:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, varExp{id: a[i].id, exp: a[i].exp + b[j].exp})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
 // Mul returns p * q.
 func (p *Poly) Mul(q *Poly) *Poly {
 	r := Zero()
-	c := new(big.Rat)
+	c := getRat()
 	for _, tp := range p.terms {
 		for _, tq := range q.terms {
-			c.Mul(tp.coeff, tq.coeff)
-			exps := make(map[string]int, len(tp.exps)+len(tq.exps))
-			for v, pw := range tp.exps {
-				exps[v] = pw
-			}
-			for v, pw := range tq.exps {
-				exps[v] += pw
-			}
-			r.addTerm(c, exps)
+			mulRatInto(c, tp.coeff, tq.coeff)
+			r.addTermOwned(c, mulExps(tp.exps, tq.exps))
 		}
 	}
+	putRat(c)
 	return r
 }
 
@@ -217,11 +305,15 @@ func (p *Poly) PowInt(k int) *Poly {
 // Subst returns the polynomial obtained by substituting polynomial sub
 // for every occurrence of variable v in p.
 func (p *Poly) Subst(v string, sub *Poly) *Poly {
+	vid, known := varIDIfKnown(v)
+	if !known {
+		return p.clone()
+	}
 	r := Zero()
 	// Cache powers of sub, since several terms often share exponents.
-	pows := map[int]*Poly{0: One(), 1: sub}
-	var powOf func(int) *Poly
-	powOf = func(k int) *Poly {
+	pows := map[int32]*Poly{0: One(), 1: sub}
+	var powOf func(int32) *Poly
+	powOf = func(k int32) *Poly {
 		if q, ok := pows[k]; ok {
 			return q
 		}
@@ -230,21 +322,23 @@ func (p *Poly) Subst(v string, sub *Poly) *Poly {
 		return q
 	}
 	for _, t := range p.terms {
-		rest := make(map[string]int, len(t.exps))
-		deg := 0
-		for name, pw := range t.exps {
-			if name == v {
-				deg = pw
+		var deg int32
+		rest := make([]varExp, 0, len(t.exps))
+		for _, ve := range t.exps {
+			if ve.id == vid {
+				deg = ve.exp
 			} else {
-				rest[name] = pw
+				rest = append(rest, ve)
 			}
 		}
-		partial := &Poly{terms: map[string]*term{}}
-		partial.addTerm(t.coeff, rest)
+		partial := Zero()
+		partial.addTermOwned(t.coeff, rest)
 		if deg > 0 {
 			partial = partial.Mul(powOf(deg))
 		}
-		r = r.Add(partial)
+		for k, pt := range partial.terms {
+			r.addTermKeyed(pt.coeff, pt.exps, k, true)
+		}
 	}
 	return r
 }
@@ -272,6 +366,57 @@ func (p *Poly) SubstAll(subs map[string]*Poly) *Poly {
 	return tmp
 }
 
+// Rename returns p with variables renamed according to m (names absent
+// from m are kept). The renaming is applied simultaneously; renaming two
+// distinct variables to the same name merges their monomials.
+func (p *Poly) Rename(m map[string]string) *Poly {
+	if len(m) == 0 {
+		return p.clone()
+	}
+	idMap := make(map[int32]int32, len(m))
+	for from, to := range m {
+		if from == to {
+			continue
+		}
+		if fid, ok := varIDIfKnown(from); ok {
+			idMap[fid] = varID(to)
+		}
+	}
+	r := Zero()
+	for k, t := range p.terms {
+		changed := false
+		for _, ve := range t.exps {
+			if _, ok := idMap[ve.id]; ok {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			r.addTermKeyed(t.coeff, t.exps, k, false)
+			continue
+		}
+		exps := make([]varExp, len(t.exps))
+		for i, ve := range t.exps {
+			if nid, ok := idMap[ve.id]; ok {
+				ve.id = nid
+			}
+			exps[i] = ve
+		}
+		sort.Slice(exps, func(a, b int) bool { return exps[a].id < exps[b].id })
+		// Merge duplicates produced by a non-injective rename.
+		out := exps[:0]
+		for _, ve := range exps {
+			if n := len(out); n > 0 && out[n-1].id == ve.id {
+				out[n-1].exp += ve.exp
+			} else {
+				out = append(out, ve)
+			}
+		}
+		r.addTermOwned(t.coeff, out)
+	}
+	return r
+}
+
 // EvalRat evaluates p at the given rational assignment. Every variable of
 // p must be present in env.
 func (p *Poly) EvalRat(env map[string]*big.Rat) (*big.Rat, error) {
@@ -279,12 +424,12 @@ func (p *Poly) EvalRat(env map[string]*big.Rat) (*big.Rat, error) {
 	tp := new(big.Rat)
 	for _, t := range p.terms {
 		tp.Set(t.coeff)
-		for v, pw := range t.exps {
-			val, ok := env[v]
+		for _, ve := range t.exps {
+			val, ok := env[varNameOf(ve.id)]
 			if !ok {
-				return nil, fmt.Errorf("poly: variable %q not bound", v)
+				return nil, fmt.Errorf("poly: variable %q not bound", varNameOf(ve.id))
 			}
-			for i := 0; i < pw; i++ {
+			for i := int32(0); i < ve.exp; i++ {
 				tp.Mul(tp, val)
 			}
 		}
@@ -309,12 +454,12 @@ func (p *Poly) EvalFloat(env map[string]float64) (float64, error) {
 	sum := 0.0
 	for _, t := range p.terms {
 		tp, _ := t.coeff.Float64()
-		for v, pw := range t.exps {
-			val, ok := env[v]
+		for _, ve := range t.exps {
+			val, ok := env[varNameOf(ve.id)]
 			if !ok {
-				return 0, fmt.Errorf("poly: variable %q not bound", v)
+				return 0, fmt.Errorf("poly: variable %q not bound", varNameOf(ve.id))
 			}
-			for i := 0; i < pw; i++ {
+			for i := int32(0); i < ve.exp; i++ {
 				tp *= val
 			}
 		}
@@ -363,15 +508,15 @@ func (p *Poly) Equal(q *Poly) bool {
 
 // Vars returns the sorted list of variables occurring in p.
 func (p *Poly) Vars() []string {
-	set := map[string]bool{}
+	set := map[int32]bool{}
 	for _, t := range p.terms {
-		for v := range t.exps {
-			set[v] = true
+		for _, ve := range t.exps {
+			set[ve.id] = true
 		}
 	}
 	names := make([]string, 0, len(set))
-	for v := range set {
-		names = append(names, v)
+	for id := range set {
+		names = append(names, varNameOf(id))
 	}
 	sort.Strings(names)
 	return names
@@ -383,27 +528,31 @@ func (p *Poly) HasVar(v string) bool { return p.DegreeIn(v) > 0 }
 // DegreeIn returns the degree of p in variable v (0 if absent; 0 for the
 // zero polynomial).
 func (p *Poly) DegreeIn(v string) int {
-	d := 0
+	vid, known := varIDIfKnown(v)
+	if !known {
+		return 0
+	}
+	d := int32(0)
 	for _, t := range p.terms {
-		if pw := t.exps[v]; pw > d {
-			d = pw
+		if e := t.expOf(vid); e > d {
+			d = e
 		}
 	}
-	return d
+	return int(d)
 }
 
 // MaxVarDegree returns the largest exponent any single variable reaches
 // in any monomial of p. This implements the paper's §IV.B degree check.
 func (p *Poly) MaxVarDegree() int {
-	d := 0
+	d := int32(0)
 	for _, t := range p.terms {
-		for _, pw := range t.exps {
-			if pw > d {
-				d = pw
+		for _, ve := range t.exps {
+			if ve.exp > d {
+				d = ve.exp
 			}
 		}
 	}
-	return d
+	return int(d)
 }
 
 // TotalDegree returns the total degree of p (0 for constants and zero).
@@ -427,15 +576,18 @@ func (p *Poly) UnivariateIn(v string) []*Poly {
 	for i := range coeffs {
 		coeffs[i] = Zero()
 	}
+	vid, known := varIDIfKnown(v)
 	for _, t := range p.terms {
-		pw := t.exps[v]
-		rest := make(map[string]int, len(t.exps))
-		for name, e := range t.exps {
-			if name != v {
-				rest[name] = e
+		var pw int32
+		rest := make([]varExp, 0, len(t.exps))
+		for _, ve := range t.exps {
+			if known && ve.id == vid {
+				pw = ve.exp
+			} else {
+				rest = append(rest, ve)
 			}
 		}
-		coeffs[pw].addTerm(t.coeff, rest)
+		coeffs[pw].addTermOwned(t.coeff, rest)
 	}
 	return coeffs
 }
@@ -443,24 +595,33 @@ func (p *Poly) UnivariateIn(v string) []*Poly {
 // Derivative returns dp/dv.
 func (p *Poly) Derivative(v string) *Poly {
 	r := Zero()
-	c := new(big.Rat)
+	vid, known := varIDIfKnown(v)
+	if !known {
+		return r
+	}
+	c := getRat()
+	mul := getRat()
 	for _, t := range p.terms {
-		pw := t.exps[v]
+		pw := t.expOf(vid)
 		if pw == 0 {
 			continue
 		}
-		c.Mul(t.coeff, new(big.Rat).SetInt64(int64(pw)))
-		exps := make(map[string]int, len(t.exps))
-		for name, e := range t.exps {
-			exps[name] = e
+		mul.SetInt64(int64(pw))
+		mulRatInto(c, t.coeff, mul)
+		exps := make([]varExp, 0, len(t.exps))
+		for _, ve := range t.exps {
+			if ve.id == vid {
+				if ve.exp > 1 {
+					exps = append(exps, varExp{id: ve.id, exp: ve.exp - 1})
+				}
+			} else {
+				exps = append(exps, ve)
+			}
 		}
-		if pw == 1 {
-			delete(exps, v)
-		} else {
-			exps[v] = pw - 1
-		}
-		r.addTerm(c, exps)
+		r.addTermOwned(c, exps)
 	}
+	putRat(c)
+	putRat(mul)
 	return r
 }
 
@@ -480,13 +641,14 @@ func (p *Poly) CommonDenominator() *big.Int {
 // CoeffOf returns the coefficient of the monomial described by exps
 // (variable -> exponent; exponents of 0 may be omitted).
 func (p *Poly) CoeffOf(exps map[string]int) *big.Rat {
-	norm := make(map[string]int, len(exps))
+	norm := make([]varExp, 0, len(exps))
 	for v, e := range exps {
 		if e > 0 {
-			norm[v] = e
+			norm = append(norm, varExp{id: varID(v), exp: int32(e)})
 		}
 	}
-	if t, ok := p.terms[monoKey(norm)]; ok {
+	sort.Slice(norm, func(a, b int) bool { return norm[a].id < norm[b].id })
+	if t, ok := p.terms[packKey(norm)]; ok {
 		return new(big.Rat).Set(t.coeff)
 	}
 	return new(big.Rat)
@@ -512,30 +674,31 @@ func (p *Poly) Terms() []Term {
 	for _, k := range keys {
 		t := p.terms[k]
 		term := Term{Coeff: new(big.Rat).Set(t.coeff)}
-		names := make([]string, 0, len(t.exps))
-		for v := range t.exps {
-			names = append(names, v)
+		for _, ve := range t.exps {
+			term.Vars = append(term.Vars, TermVar{Name: varNameOf(ve.id), Pow: int(ve.exp)})
 		}
-		sort.Strings(names)
-		for _, v := range names {
-			term.Vars = append(term.Vars, TermVar{Name: v, Pow: t.exps[v]})
-		}
+		sort.Slice(term.Vars, func(a, b int) bool { return term.Vars[a].Name < term.Vars[b].Name })
 		out = append(out, term)
 	}
 	return out
 }
 
+// sortedKeys orders the packed term keys by descending total degree,
+// then by the legacy name-lexicographic monomial rendering — the
+// historical deterministic order of String and Terms.
 func (p *Poly) sortedKeys() []string {
 	keys := make([]string, 0, len(p.terms))
-	for k := range p.terms {
+	nameKeys := make(map[string]string, len(p.terms))
+	for k, t := range p.terms {
 		keys = append(keys, k)
+		nameKeys[k] = t.nameKey()
 	}
 	sort.Slice(keys, func(a, b int) bool {
 		da, db := p.terms[keys[a]].totalDegree(), p.terms[keys[b]].totalDegree()
 		if da != db {
 			return da > db
 		}
-		return keys[a] < keys[b]
+		return nameKeys[keys[a]] < nameKeys[keys[b]]
 	})
 	return keys
 }
@@ -564,7 +727,7 @@ func (p *Poly) String() string {
 				b.WriteString(" + ")
 			}
 		}
-		mono := monoString(t.exps)
+		mono := monoString(t)
 		one := abs.Cmp(big.NewRat(1, 1)) == 0
 		switch {
 		case mono == "":
@@ -580,13 +743,13 @@ func (p *Poly) String() string {
 	return b.String()
 }
 
-func monoString(exps map[string]int) string {
-	if len(exps) == 0 {
+func monoString(t *term) string {
+	if len(t.exps) == 0 {
 		return ""
 	}
-	names := make([]string, 0, len(exps))
-	for v := range exps {
-		names = append(names, v)
+	names := make([]string, len(t.exps))
+	for i, ve := range t.exps {
+		names[i] = varNameOf(ve.id)
 	}
 	sort.Strings(names)
 	var b strings.Builder
@@ -595,7 +758,8 @@ func monoString(exps map[string]int) string {
 			b.WriteByte('*')
 		}
 		b.WriteString(v)
-		if e := exps[v]; e > 1 {
+		id, _ := varIDIfKnown(v)
+		if e := t.expOf(id); e > 1 {
 			fmt.Fprintf(&b, "^%d", e)
 		}
 	}

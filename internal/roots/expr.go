@@ -372,3 +372,30 @@ func (e Pow) emit(b *strings.Builder, d dialect) {
 		fmt.Fprintf(b, ", %d.0/%d.0)", e.Num, e.Den)
 	}
 }
+
+// Rename returns e with every polynomial leaf's variables renamed through
+// m (names absent from m are kept). Compiled evaluators are positional,
+// so renaming is purely a symbolic-face concern: the collapse cache uses
+// it to re-spell a structurally cached root expression in the caller's
+// variable names without touching the shared compiled closures.
+func Rename(e Expr, m map[string]string) Expr {
+	switch v := e.(type) {
+	case Num:
+		return v
+	case PolyExpr:
+		return PolyExpr{P: v.P.Rename(m)}
+	case Add:
+		return Add{A: Rename(v.A, m), B: Rename(v.B, m)}
+	case Sub:
+		return Sub{A: Rename(v.A, m), B: Rename(v.B, m)}
+	case Mul:
+		return Mul{A: Rename(v.A, m), B: Rename(v.B, m)}
+	case Div:
+		return Div{A: Rename(v.A, m), B: Rename(v.B, m)}
+	case Neg:
+		return Neg{A: Rename(v.A, m)}
+	case Pow:
+		return Pow{Base: Rename(v.Base, m), Num: v.Num, Den: v.Den}
+	}
+	return e
+}

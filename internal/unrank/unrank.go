@@ -23,6 +23,9 @@ package unrank
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ehrhart"
 	"repro/internal/faults"
@@ -155,6 +158,13 @@ type Options struct {
 	// behaves like ModeBinarySearch at recovery time while still
 	// performing the symbolic solve.
 	StartTier Tier
+	// CompileWorkers bounds the goroutines used for the per-level
+	// compile fan-out (ranking restriction, radical solving, root
+	// selection and root compilation are independent across levels and
+	// samples). 0 means GOMAXPROCS; 1 forces the serial pipeline (used
+	// by the compile-throughput benchmarks to measure the fan-out's
+	// contribution).
+	CompileWorkers int
 	// Telemetry, when non-nil, receives "compile"-category spans for the
 	// pipeline phases (ranking computation, per-level radical solving,
 	// root selection, root compilation). Nil disables instrumentation at
@@ -165,10 +175,11 @@ type Options struct {
 // level holds the recovery machinery for one non-final loop level.
 type level struct {
 	varName    string
-	root       roots.Expr     // selected convenient root; nil in binary-search mode
-	rootFn     roots.EvalFunc // compiled root over [params..., i_0..i_{k-1}, pc]
-	rootIdx    int            // branch index of the selected root
-	candidates []roots.Expr   // all symbolic candidates
+	root       roots.Expr       // selected convenient root; nil in binary-search mode
+	rootFn     roots.EvalFunc   // compiled root over [params..., i_0..i_{k-1}, pc]
+	rootIdx    int              // branch index of the selected root
+	candidates []roots.Expr     // all symbolic candidates
+	candFns    []roots.EvalFunc // candidates compiled positionally (selection-time)
 	rk         *poly.Compiled
 	// rk evaluates r(i_0..i_{k-1}, x, lexmin tail) exactly over the
 	// variable order [params..., i_0..i_{k-1}, x].
@@ -241,12 +252,22 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 	spPoly.End()
 
 	d := n.Depth()
-	for k := 0; k < d-1; k++ {
-		lv := level{varName: n.Loops[k].Index}
+	workers := opts.CompileWorkers
+	u.levels = make([]level, d-1)
+	// Per-level fan-out (§IV per-level independence): the level-k ranking
+	// restriction, its exact compilation and the radical solve depend only
+	// on the shared ranking polynomial, never on other levels, so they run
+	// on an errgroup-style worker pool with panics classified through
+	// internal/faults.
+	spLevels := tel.StartSpan("compile", "unrank.levels", 0)
+	err = fanOut(workers, d-1, func(k int) error {
+		lv := &u.levels[k]
+		lv.varName = n.Loops[k].Index
 		rk := ranking.SubstAll(n.LexMinTail(k))
+		var err error
 		lv.rk, err = rk.Compile(u.order[:len(n.Params)+k+1])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if opts.Mode == ModeClosedForm {
 			eq := rk.Sub(poly.Var("pc"))
@@ -257,11 +278,28 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 				telemetry.Arg{Name: "candidates", Value: int64(len(lv.candidates))},
 			)
 			if err != nil {
-				return nil, fmt.Errorf("unrank: level %d (%s): %w", k, lv.varName, err)
+				return fmt.Errorf("unrank: level %d (%s): %w", k, lv.varName, err)
 			}
 			tel.Counter("compile.root_candidates").Add(int64(len(lv.candidates)))
+			// Compile every candidate positionally up front: root
+			// selection evaluates candidates thousands of times per
+			// sample, and the compiled closures avoid the symbolic
+			// tree walk plus a big.Rat→float64 conversion per constant
+			// per evaluation (the dominant cost of the old compile
+			// path).
+			vars := append(append([]string(nil), u.order[:len(n.Params)+k]...), "pc")
+			lv.candFns = make([]roots.EvalFunc, len(lv.candidates))
+			for ci, cand := range lv.candidates {
+				if lv.candFns[ci], err = roots.Compile(cand, vars); err != nil {
+					return err
+				}
+			}
 		}
-		u.levels = append(u.levels, lv)
+		return nil
+	})
+	spLevels.End(telemetry.Arg{Name: "levels", Value: int64(d - 1)})
+	if err != nil {
+		return nil, err
 	}
 	// Last level: r(prefix, lexmin of the last index).
 	last := ranking
@@ -281,30 +319,130 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Compile each selected root for the hot path: variables are the
-		// parameters, the already-recovered prefix, and pc (positional).
-		// The big.Float escalation tiers are compiled alongside — they
+		// The selected root's float64 evaluator was already compiled for
+		// selection; only the big.Float escalation tiers remain. They
 		// share the symbolic tree, so the extra compile cost is two more
-		// tree walks, paid once per nest.
+		// tree walks per level, paid once per nest — and the levels are
+		// independent, so they go through the same fan-out.
 		spComp := tel.StartSpan("compile", "roots.Compile", 0)
-		for k := range u.levels {
+		err = fanOut(workers, len(u.levels), func(k int) error {
+			lv := &u.levels[k]
+			lv.rootFn = lv.candFns[lv.rootIdx]
 			vars := append(append([]string(nil), u.order[:len(n.Params)+k]...), "pc")
-			fn, err := roots.Compile(u.levels[k].root, vars)
-			if err != nil {
-				return nil, err
-			}
-			u.levels[k].rootFn = fn
 			for ti, prec := range []uint{ladderPrec128, ladderPrec256} {
-				bfn, err := roots.CompileBig(u.levels[k].root, vars, prec)
+				bfn, err := roots.CompileBig(lv.root, vars, prec)
 				if err != nil {
-					return nil, err
+					return err
 				}
-				u.levels[k].rootBig[ti] = bfn
+				lv.rootBig[ti] = bfn
 			}
-		}
+			lv.candFns = nil // selection-time artifacts; keep the compiled set out of the cache footprint
+			return nil
+		})
 		spComp.End()
+		if err != nil {
+			return nil, err
+		}
 	}
 	return u, nil
+}
+
+// fanOut runs fn(0..n-1) on up to `workers` goroutines (0 means
+// GOMAXPROCS), waiting for all of them. The first error wins; a panic in
+// fn is captured as a *faults.PanicError instead of crashing the
+// process, mirroring the omp runtime's worker guard.
+func fanOut(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		first   error
+	)
+	setErr := func(err error) {
+		if err != nil {
+			errOnce.Do(func() { first = err })
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					setErr(faults.Recovered(r))
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					setErr(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// Renamed returns a copy of u rewritten to the variable names of n,
+// which must be structurally identical to u's nest up to a renaming of
+// parameters and iterators (same depth, same bounds modulo the
+// positional renaming — exactly what an equal core.NestSignature
+// certifies). All compiled artifacts are positional and therefore shared
+// with u; only the symbolic faces — nest, ranking and counting
+// polynomials, root expressions, variable order — are re-spelled. This
+// is how a collapse-cache hit adapts to the caller's spelling for a few
+// map operations instead of a full symbolic rebuild.
+func (u *Unranker) Renamed(n *nest.Nest) *Unranker {
+	m := make(map[string]string, len(u.nest.Params)+len(u.nest.Loops))
+	for i, p := range u.nest.Params {
+		m[p] = n.Params[i]
+	}
+	for i, l := range u.nest.Loops {
+		m[l.Index] = n.Loops[i].Index
+	}
+	nu := *u
+	nu.nest = n
+	nu.ranking = u.ranking.Rename(m)
+	nu.count = u.count.Rename(m)
+	nu.order = append(append([]string(nil), n.Params...), n.Indices()...)
+	nu.levels = append([]level(nil), u.levels...)
+	for k := range nu.levels {
+		lv := &nu.levels[k]
+		lv.varName = n.Loops[k].Index
+		if lv.root != nil {
+			lv.root = roots.Rename(lv.root, m)
+		}
+		if len(lv.candidates) > 0 {
+			cs := make([]roots.Expr, len(lv.candidates))
+			for ci, c := range lv.candidates {
+				cs[ci] = roots.Rename(c, m)
+			}
+			lv.candidates = cs
+		}
+	}
+	return &nu
 }
 
 // MustNew is New but panics on error.
@@ -375,19 +513,36 @@ func (u *Unranker) selectRoots(opts Options) error {
 	if samples == nil {
 		samples = u.defaultSamples()
 	}
+	np := len(u.nest.Params)
 	mismatch := make([][]int64, len(u.levels))
 	tested := make([]int64, len(u.levels))
 	for k := range u.levels {
 		mismatch[k] = make([]int64, len(u.levels[k].candidates))
 	}
-	for _, sp := range samples {
+	// Samples validate independently: each enumerates its own bound
+	// instance with private scratch vectors and tallies, merged under a
+	// mutex once the sample is exhausted. Candidates are evaluated through
+	// the positional closures compiled in New — the per-iteration cost is
+	// a handful of float64 slots plus one closure call per candidate,
+	// where the symbolic Expr.Eval walk used to dominate the whole compile
+	// path.
+	var mu sync.Mutex
+	err := fanOut(opts.CompileWorkers, len(samples), func(si int) error {
+		sp := samples[si]
 		inst, err := u.nest.Bind(sp)
 		if err != nil {
 			return fmt.Errorf("unrank: sample binding: %w", err)
 		}
-		baseEnv := map[string]float64{}
-		for p, v := range sp {
-			baseEnv[p] = float64(v)
+		locMis := make([][]int64, len(u.levels))
+		locTested := make([]int64, len(u.levels))
+		scratch := make([][]float64, len(u.levels))
+		for k := range u.levels {
+			locMis[k] = make([]int64, len(u.levels[k].candidates))
+			// Level-k candidates evaluate over [params..., i_0..i_{k-1}, pc].
+			scratch[k] = make([]float64, np+k+1)
+			for pi, p := range u.nest.Params {
+				scratch[k][pi] = float64(sp[p])
+			}
 		}
 		var pc int64
 		count := int64(0)
@@ -397,27 +552,38 @@ func (u *Unranker) selectRoots(opts Options) error {
 			if count > opts.MaxEnum {
 				return false
 			}
-			env := baseEnv
-			env["pc"] = float64(pc)
 			for k := range u.levels {
-				// ground-truth prefix
+				vals := scratch[k]
 				for q := 0; q < k; q++ {
-					env[u.nest.Loops[q].Index] = float64(idx[q])
+					vals[np+q] = float64(idx[q]) // ground-truth prefix
 				}
+				vals[np+k] = float64(pc)
 				truth := idx[k]
 				// Only the first iteration of each (prefix, i_k) group has
 				// a distinct recovery obligation, but testing every pc
 				// exercises the in-between values too.
-				for ci, cand := range u.levels[k].candidates {
-					x := faults.PerturbRoot(k, cand.Eval(env))
+				for ci, fn := range u.levels[k].candFns {
+					x := faults.PerturbRoot(k, fn(vals))
 					if !imagNegligible(x) || floorReal(x) != truth {
-						mismatch[k][ci]++
+						locMis[k][ci]++
 					}
 				}
-				tested[k]++
+				locTested[k]++
 			}
 			return true
 		})
+		mu.Lock()
+		for k := range u.levels {
+			tested[k] += locTested[k]
+			for ci, m := range locMis[k] {
+				mismatch[k][ci] += m
+			}
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	for k := range u.levels {
 		if tested[k] == 0 {

@@ -125,6 +125,7 @@ type Option func(*config)
 type config struct {
 	tel    *telemetry.Registry
 	verify bool
+	cache  *core.CollapseCache
 }
 
 func buildConfig(opts []Option) config {
@@ -151,6 +152,31 @@ func WithTelemetry(t *Telemetry) Option {
 // recovery. Pass it to Collapse/CollapseAt/CollapsedForAuto.
 func WithVerify() Option {
 	return func(c *config) { c.verify = true }
+}
+
+// CollapseCache memoizes compiled collapse artifacts across Collapse
+// calls, keyed by the structure of the collapsed band modulo variable
+// naming (see core.NestSignature). It is bounded (sharded LRU) and safe
+// for concurrent use; construct one with NewCollapseCache and attach it
+// per call with WithCache.
+type CollapseCache = core.CollapseCache
+
+// CacheStats is a snapshot of a CollapseCache's effectiveness counters.
+type CacheStats = core.CacheStats
+
+// NewCollapseCache returns a cache holding at most capacity compiled
+// collapse artifacts; capacity <= 0 selects a small default.
+func NewCollapseCache(capacity int) *CollapseCache { return core.NewCollapseCache(capacity) }
+
+// WithCache routes Collapse (and the collapse phase of CollapsedForAuto)
+// through cache: a structural hit — same nest shape and options modulo
+// parameter/iterator spelling — skips the symbolic pipeline entirely and
+// adapts the cached artifact to the caller's names. Repeated collapses
+// of the same nest shape become cheap lookups; cache.hits /
+// cache.misses / cache.evictions counters appear in telemetry when
+// WithTelemetry is also given.
+func WithCache(cache *CollapseCache) Option {
+	return func(c *config) { c.cache = cache }
 }
 
 // Nest is a perfect affine loop nest (paper Fig. 5 model).
@@ -194,7 +220,7 @@ func MustNewNest(params []string, loops ...Loop) *Nest { return nest.MustNew(par
 // WithTelemetry records per-phase compile spans.
 func Collapse(n *Nest, c int, opts ...Option) (*Result, error) {
 	cfg := buildConfig(opts)
-	return core.Collapse(n, c, unrank.Options{Telemetry: cfg.tel, Verify: cfg.verify})
+	return core.CollapseCached(cfg.cache, n, c, unrank.Options{Telemetry: cfg.tel, Verify: cfg.verify})
 }
 
 // CollapseBinarySearch is Collapse with the closed-form recovery
@@ -257,7 +283,7 @@ func CollapsedForAuto(ctx context.Context, n *Nest, c int, params map[string]int
 	if c < 1 || c > len(n.Loops) {
 		return false, fmt.Errorf("nonrect: collapse depth %d out of range [1,%d]", c, len(n.Loops))
 	}
-	res, cerr := core.Collapse(n, c, unrank.Options{Telemetry: cfg.tel, Verify: cfg.verify})
+	res, cerr := core.CollapseCached(cfg.cache, n, c, unrank.Options{Telemetry: cfg.tel, Verify: cfg.verify})
 	if cerr == nil {
 		return true, CollapsedForCtx(ctx, res, params, threads, sched, body, opts...)
 	}
