@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check cover bench bench-json figures ablation scaling fuzz stress clean
+.PHONY: all build test test-short race check cover bench bench-json benchgate benchgate-baseline figures ablation scaling fuzz stress clean
 
 all: build test
 
@@ -19,19 +19,20 @@ test-short:
 # Race-detector packages: everything concurrent (telemetry counters, the
 # omp runtime, kernels, the public API) plus the fault-tolerance layers
 # (fault injection registry, verified recovery) whose tests exercise
-# panic capture, cancellation and escalation under load, and the core
+# panic capture, cancellation and escalation under load, the core
 # package whose cache-contention test hammers the sharded CollapseCache
-# from concurrent goroutines.
-RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/kernels/ ./internal/faults/ ./internal/unrank/ ./internal/stress/ ./internal/core/ .
+# from concurrent goroutines, and the observability plane whose tests
+# scrape /metrics and /snapshot while a collapsed run mutates the
+# registry.
+RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/obs/ ./internal/kernels/ ./internal/faults/ ./internal/unrank/ ./internal/stress/ ./internal/core/ .
 
 race:
 	$(GO) test -race $(RACE_PKGS)
 
 # Full pre-merge gate: formatting, vet, the whole suite, the
-# differential stress harness, a smoke pass of the overhead benchmark
-# (small sizes, one rep — catches suite bitrot, not for numbers), a
-# short fuzz pass over every fuzz target, and the race detector over the
-# concurrent packages.
+# differential stress harness, the bench-regression gate (which also
+# smoke-runs the overhead suite), a short fuzz pass over every fuzz
+# target, and the race detector over the concurrent packages.
 check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) build ./...
@@ -39,8 +40,29 @@ check:
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
 	$(MAKE) stress
-	$(GO) run ./cmd/benchfig -fig overhead -quick -reps 1 -json .bench_smoke.json && rm -f .bench_smoke.json
+	$(MAKE) benchgate
 	$(MAKE) fuzz FUZZTIME=5s
+
+# Bench-regression gate: one quick overhead run diffed against the
+# committed BENCH_GATE.json baseline with cmd/benchdiff, exiting
+# non-zero on regression. Only the machine-independent speedup ratios
+# are gated (absolute ns/iter depend on the host the baseline was taken
+# on) with a generous threshold sized for quick-mode noise; the full
+# direction-aware per-metric diff is available manually, e.g.
+#   go run ./cmd/benchdiff -old BENCH_PR4.json -new BENCH_NEW.json
+# Refresh the baseline with `make benchgate-baseline` after intentional
+# engine changes.
+GATE_BASELINE = BENCH_GATE.json
+GATE_FLAGS = -metrics speedup -threshold 75
+
+benchgate:
+	@if [ ! -f $(GATE_BASELINE) ]; then echo "no $(GATE_BASELINE); run 'make benchgate-baseline' first"; exit 1; fi
+	$(GO) run ./cmd/benchfig -fig overhead -quick -reps 1 -json .bench_gate_new.json >/dev/null
+	$(GO) run ./cmd/benchdiff -old $(GATE_BASELINE) -new .bench_gate_new.json $(GATE_FLAGS)
+	@rm -f .bench_gate_new.json
+
+benchgate-baseline:
+	$(GO) run ./cmd/benchfig -fig overhead -quick -reps 1 -json $(GATE_BASELINE)
 
 # Differential stress soak: seedable random nests through every
 # schedule and every precision-ladder tier, with fault injection,

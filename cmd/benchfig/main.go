@@ -24,18 +24,24 @@
 // named kernel; parse errors are reported file:line:col), -trace-out
 // (write the imbalance runs' chunk timeline as Chrome trace-event
 // JSON), -v (calibration details), -cpuprofile / -memprofile (write
-// pprof profiles of the run).
+// pprof profiles of the run), -serve (start the live observability
+// plane — /metrics, /snapshot, /trace, /debug/pprof — on an address
+// for the duration of the run; -hold keeps it up after the run ends,
+// negative until interrupted).
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/cparse"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/telemetry"
 )
@@ -56,8 +62,14 @@ type options struct {
 	jsonOut    string
 	reps       int
 	verbose    bool
+	serve      string
+	hold       time.Duration
 	cpuProfile string
 	memProfile string
+
+	// serveReady, when set (tests), receives the plane's bound address
+	// once it is listening.
+	serveReady func(net.Addr)
 }
 
 // knownFigs are the accepted -fig values; anything else is rejected up
@@ -80,6 +92,8 @@ func main() {
 	flag.StringVar(&o.jsonOut, "json", "", "write the -fig overhead report as JSON to this file")
 	flag.IntVar(&o.reps, "reps", 0, "best-of repetitions for -fig overhead (default 3, quick: 1)")
 	flag.BoolVar(&o.verbose, "v", false, "print calibration details")
+	flag.StringVar(&o.serve, "serve", "", "serve the observability plane on this address (/metrics, /snapshot, /trace, /debug/pprof) during the run")
+	flag.DurationVar(&o.hold, "hold", 0, "with -serve, keep the plane up this long after the run (negative: until interrupted)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -109,6 +123,33 @@ func run(o options) error {
 	}
 	if !known {
 		return fmt.Errorf("unknown figure %q (valid: %v)", o.fig, knownFigs)
+	}
+	// The plane's registry; figures that accept telemetry (imbalance)
+	// feed it, and process gauges/pprof are live either way.
+	var servTel *telemetry.Registry
+	if o.serve != "" {
+		servTel = telemetry.New()
+		servTel.EnableFlight(4096, o.traceOut != "")
+		plane := obs.NewPlane(servTel)
+		addr, err := plane.Serve(o.serve)
+		if err != nil {
+			return fmt.Errorf("-serve %s: %w", o.serve, err)
+		}
+		fmt.Fprintf(os.Stderr, "benchfig: observability plane on http://%s (/metrics /snapshot /trace /debug/pprof)\n", addr)
+		if o.serveReady != nil {
+			o.serveReady(addr)
+		}
+		defer func() {
+			if o.hold < 0 {
+				fmt.Fprintln(os.Stderr, "benchfig: run finished; holding plane open until interrupted")
+				select {}
+			}
+			if o.hold > 0 {
+				fmt.Fprintf(os.Stderr, "benchfig: run finished; holding plane open %s\n", o.hold)
+				time.Sleep(o.hold)
+			}
+			plane.Close()
+		}()
 	}
 	do := func(f string) bool { return o.fig == "all" || o.fig == f }
 	if do("2") {
@@ -142,8 +183,8 @@ func run(o options) error {
 		fmt.Println()
 	}
 	if do("imbalance") {
-		var tel *telemetry.Registry
-		if o.traceOut != "" {
+		tel := servTel
+		if tel == nil && o.traceOut != "" {
 			tel = telemetry.New()
 		}
 		opts := experiments.ImbalanceOptions{

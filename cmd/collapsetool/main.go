@@ -36,6 +36,15 @@
 //	           write the chunk timeline and compile spans as Chrome
 //	           trace-event JSON (open in about:tracing or
 //	           https://ui.perfetto.dev)
+//	-serve ADDR
+//	           start the live observability plane on ADDR (e.g. :9090 or
+//	           127.0.0.1:0) for the duration of the run: GET /metrics
+//	           (OpenMetrics), /snapshot (JSON rates), /trace (flight
+//	           recorder), /debug/pprof. Forces telemetry on and enables
+//	           the flight recorder
+//	-hold DUR  with -serve, keep the plane up DUR after the run ends
+//	           (negative: until interrupted), so the final counters can
+//	           be scraped
 //	-cpuprofile FILE / -memprofile FILE
 //	           write pprof CPU/heap profiles of the run
 package main
@@ -45,6 +54,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -54,6 +64,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cparse"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/omp"
 	"repro/internal/profiling"
 	"repro/internal/roots"
@@ -75,9 +86,15 @@ type options struct {
 	statsN     int64
 	threads    int
 	traceOut   string
+	serve      string
+	hold       time.Duration
 	cpuProfile string
 	memProfile string
 	args       []string
+
+	// serveReady, when set (tests), receives the plane's bound address
+	// once it is listening.
+	serveReady func(net.Addr)
 }
 
 func main() {
@@ -94,6 +111,8 @@ func main() {
 	flag.Int64Var(&o.statsN, "n", 300, "parameter value for the -stats run")
 	flag.IntVar(&o.threads, "threads", omp.DefaultThreads(), "team size for the -stats run")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write Chrome trace-event JSON to this file")
+	flag.StringVar(&o.serve, "serve", "", "serve the observability plane on this address (/metrics, /snapshot, /trace, /debug/pprof) during the run")
+	flag.DurationVar(&o.hold, "hold", 0, "with -serve, keep the plane up this long after the run (negative: until interrupted)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -146,8 +165,36 @@ func run(o options) error {
 		return err
 	}
 	var tel *telemetry.Registry
-	if o.stats || o.traceOut != "" {
+	if o.stats || o.traceOut != "" || o.serve != "" {
 		tel = telemetry.New()
+	}
+	if o.serve != "" {
+		// Server mode keeps the trace bounded: the flight recorder ring
+		// retains the last 4096 spans, and the unbounded trace stays on
+		// only when something downstream (-trace-out, -stats report)
+		// consumes it.
+		retain := o.traceOut != "" || o.stats
+		tel.EnableFlight(4096, retain)
+		plane := obs.NewPlane(tel)
+		addr, err := plane.Serve(o.serve)
+		if err != nil {
+			return fmt.Errorf("-serve %s: %w", o.serve, err)
+		}
+		fmt.Fprintf(os.Stderr, "collapsetool: observability plane on http://%s (/metrics /snapshot /trace /debug/pprof)\n", addr)
+		if o.serveReady != nil {
+			o.serveReady(addr)
+		}
+		defer func() {
+			if o.hold < 0 {
+				fmt.Fprintln(os.Stderr, "collapsetool: run finished; holding plane open until interrupted")
+				select {}
+			}
+			if o.hold > 0 {
+				fmt.Fprintf(os.Stderr, "collapsetool: run finished; holding plane open %s\n", o.hold)
+				time.Sleep(o.hold)
+			}
+			plane.Close()
+		}()
 	}
 	// The -stats run demonstrates the collapse cache: the first Collapse
 	// is a cold compile that populates it, a second structurally

@@ -1,0 +1,332 @@
+// Package benchcmp compares two BENCH_*.json benchmark documents
+// (the overhead and compile suites of internal/experiments) and flags
+// per-kernel regressions beyond a threshold. It is the engine behind
+// cmd/benchdiff and the `make benchgate` regression gate.
+//
+// Comparisons are direction-aware: ns-per-iteration and microsecond
+// costs regress when they go UP, speedup ratios regress when they go
+// DOWN. Kernels whose problem parameters differ between the two runs
+// are skipped with a note instead of producing apples-to-oranges
+// deltas. Both schema v1 documents (no meta block) and schema v2
+// documents (with one) load.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// Metric is one named measurement of one kernel.
+type Metric struct {
+	Name  string
+	Value float64
+	// HigherIsBetter flips the regression direction (speedups vs costs).
+	HigherIsBetter bool
+}
+
+// Kernel is one kernel's measurements in one run.
+type Kernel struct {
+	Name    string
+	Params  map[string]int64
+	Metrics []Metric
+}
+
+// Run is a loaded benchmark document, normalized across suites.
+type Run struct {
+	Suite         string
+	SchemaVersion int
+	Meta          experiments.BenchMeta
+	Kernels       []Kernel
+}
+
+// Kernel returns the named kernel, or nil.
+func (r *Run) Kernel(name string) *Kernel {
+	for i := range r.Kernels {
+		if r.Kernels[i].Name == name {
+			return &r.Kernels[i]
+		}
+	}
+	return nil
+}
+
+// metric returns the named metric, or nil.
+func (k *Kernel) metric(name string) *Metric {
+	for i := range k.Metrics {
+		if k.Metrics[i].Name == name {
+			return &k.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Load reads and decodes one benchmark document from path.
+func Load(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	run, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return run, nil
+}
+
+// Decode decodes one benchmark document, sniffing the suite field.
+func Decode(r io.Reader) (*Run, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var head struct {
+		Suite string                `json:"suite"`
+		Meta  experiments.BenchMeta `json:"meta"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return nil, fmt.Errorf("not a benchmark document: %w", err)
+	}
+	run := &Run{Suite: head.Suite, Meta: head.Meta, SchemaVersion: head.Meta.SchemaVersion}
+	if run.SchemaVersion == 0 {
+		run.SchemaVersion = 1 // pre-meta documents
+	}
+	switch head.Suite {
+	case "overhead":
+		var rep experiments.OverheadReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, err
+		}
+		if run.SchemaVersion == 1 {
+			// Backfill what v1 carried at the top level.
+			run.Meta.GoVersion = rep.GoVersion
+			run.Meta.GOMAXPROCS = rep.GOMAXPROCS
+		}
+		for _, row := range rep.Rows {
+			run.Kernels = append(run.Kernels, overheadKernel(row))
+		}
+	case "compile":
+		var rep experiments.CompileReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, err
+		}
+		if run.SchemaVersion == 1 {
+			run.Meta.GoVersion = rep.GoVersion
+			run.Meta.GOMAXPROCS = rep.GOMAXPROCS
+		}
+		for _, row := range rep.Rows {
+			run.Kernels = append(run.Kernels, compileKernel(row))
+		}
+	case "":
+		return nil, fmt.Errorf("document has no suite field")
+	default:
+		return nil, fmt.Errorf("unknown suite %q", head.Suite)
+	}
+	return run, nil
+}
+
+// overheadKernel flattens one overhead row into named metrics.
+func overheadKernel(row experiments.OverheadRow) Kernel {
+	k := Kernel{Name: row.Kernel, Params: row.Params}
+	add := func(name string, v float64, higher bool) {
+		k.Metrics = append(k.Metrics, Metric{Name: name, Value: v, HigherIsBetter: higher})
+	}
+	add("original_ns_per_iter", row.OriginalNsPerIter, false)
+	add("recover_every_ns_per_iter", row.RecoverEveryNsPerIter, false)
+	for _, s := range row.Schedules {
+		add("per_iter_ns["+s.Schedule+"]", s.PerIter.NsPerIter, false)
+		add("ranges_ns["+s.Schedule+"]", s.Ranges.NsPerIter, false)
+		add("speedup_ranges["+s.Schedule+"]", s.SpeedupRanges, true)
+	}
+	return k
+}
+
+// compileKernel flattens one compile row into named metrics. Compile
+// rows have no params map; depth and collapse count stand in as the
+// comparability key.
+func compileKernel(row experiments.CompileRow) Kernel {
+	k := Kernel{
+		Name:   row.Kernel,
+		Params: map[string]int64{"depth": int64(row.Depth), "collapse": int64(row.C)},
+	}
+	add := func(name string, v float64, higher bool) {
+		k.Metrics = append(k.Metrics, Metric{Name: name, Value: v, HigherIsBetter: higher})
+	}
+	add("cold_serial_us", row.ColdSerialUs, false)
+	add("cold_parallel_us", row.ColdParallelUs, false)
+	add("cached_us", row.CachedUs, false)
+	add("speedup_parallel_vs_serial", row.SpeedupParallel, true)
+	add("speedup_cached_vs_cold", row.SpeedupCached, true)
+	return k
+}
+
+// Options configure a comparison.
+type Options struct {
+	// ThresholdPct is the default allowed worsening, percent (20 = a
+	// metric may be up to 20% worse before it counts as a regression).
+	ThresholdPct float64
+	// KernelThresholdPct overrides the threshold per kernel name.
+	KernelThresholdPct map[string]float64
+	// MetricFilter, when non-empty, restricts the comparison to metric
+	// names containing any of these substrings (e.g. only "speedup"
+	// metrics for a machine-independent gate).
+	MetricFilter []string
+}
+
+// Delta is one metric's old-vs-new comparison. WorsePct is the signed
+// worsening in percent — positive means the new run is worse in the
+// metric's bad direction, regardless of which direction that is.
+type Delta struct {
+	Kernel         string
+	Metric         string
+	Old, New       float64
+	WorsePct       float64
+	ThresholdPct   float64
+	HigherIsBetter bool
+	Regression     bool
+}
+
+// Report is the outcome of one comparison.
+type Report struct {
+	Suite   string
+	Deltas  []Delta
+	Skipped []string // kernels or metrics not compared, with reasons
+}
+
+// Regressions returns only the deltas beyond threshold.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs two runs of the same suite.
+func Compare(oldRun, newRun *Run, opts Options) (*Report, error) {
+	if oldRun.Suite != newRun.Suite {
+		return nil, fmt.Errorf("suite mismatch: %q vs %q", oldRun.Suite, newRun.Suite)
+	}
+	if opts.ThresholdPct <= 0 {
+		opts.ThresholdPct = 20
+	}
+	rep := &Report{Suite: oldRun.Suite}
+	for _, ok := range oldRun.Kernels {
+		nk := newRun.Kernel(ok.Name)
+		if nk == nil {
+			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: absent from new run", ok.Name))
+			continue
+		}
+		if !sameParams(ok.Params, nk.Params) {
+			rep.Skipped = append(rep.Skipped,
+				fmt.Sprintf("%s: params differ (%s vs %s) — not comparable",
+					ok.Name, renderParams(ok.Params), renderParams(nk.Params)))
+			continue
+		}
+		threshold := opts.ThresholdPct
+		if t, has := opts.KernelThresholdPct[ok.Name]; has {
+			threshold = t
+		}
+		for _, om := range ok.Metrics {
+			if !metricSelected(om.Name, opts.MetricFilter) {
+				continue
+			}
+			nm := nk.metric(om.Name)
+			if nm == nil {
+				rep.Skipped = append(rep.Skipped,
+					fmt.Sprintf("%s/%s: absent from new run", ok.Name, om.Name))
+				continue
+			}
+			if om.Value <= 0 {
+				rep.Skipped = append(rep.Skipped,
+					fmt.Sprintf("%s/%s: old value %g not comparable", ok.Name, om.Name, om.Value))
+				continue
+			}
+			d := Delta{
+				Kernel: ok.Name, Metric: om.Name,
+				Old: om.Value, New: nm.Value,
+				ThresholdPct:   threshold,
+				HigherIsBetter: om.HigherIsBetter,
+			}
+			if om.HigherIsBetter {
+				d.WorsePct = (om.Value - nm.Value) / om.Value * 100
+			} else {
+				d.WorsePct = (nm.Value - om.Value) / om.Value * 100
+			}
+			d.Regression = d.WorsePct > threshold
+			rep.Deltas = append(rep.Deltas, d)
+		}
+	}
+	for _, nk := range newRun.Kernels {
+		if oldRun.Kernel(nk.Name) == nil {
+			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: new kernel, no baseline", nk.Name))
+		}
+	}
+	return rep, nil
+}
+
+func metricSelected(name string, filters []string) bool {
+	if len(filters) == 0 {
+		return true
+	}
+	for _, f := range filters {
+		if strings.Contains(name, f) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameParams(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func renderParams(p map[string]int64) string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, p[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Render writes the report as an aligned table: every compared metric
+// with its worsening percentage, regressions flagged, skips listed.
+func Render(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "benchdiff: suite %s, %d comparisons, %d regressions\n",
+		rep.Suite, len(rep.Deltas), len(rep.Regressions()))
+	if len(rep.Deltas) > 0 {
+		fmt.Fprintf(w, "%-18s %-28s %12s %12s %9s %s\n",
+			"kernel", "metric", "old", "new", "worse%", "")
+		for _, d := range rep.Deltas {
+			flag := ""
+			if d.Regression {
+				flag = fmt.Sprintf("REGRESSION (>%g%%)", d.ThresholdPct)
+			}
+			fmt.Fprintf(w, "%-18s %-28s %12.4g %12.4g %+8.1f%% %s\n",
+				d.Kernel, d.Metric, d.Old, d.New, d.WorsePct, flag)
+		}
+	}
+	for _, s := range rep.Skipped {
+		fmt.Fprintf(w, "skipped: %s\n", s)
+	}
+}

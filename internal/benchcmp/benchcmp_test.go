@@ -1,0 +1,308 @@
+package benchcmp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// syntheticOverhead builds an overhead report whose ns metrics are
+// scaled by nsScale (>1 = slower) for the named kernels only.
+func syntheticOverhead(nsScale float64, scaled ...string) *experiments.OverheadReport {
+	isScaled := func(k string) float64 {
+		for _, s := range scaled {
+			if s == k {
+				return nsScale
+			}
+		}
+		return 1
+	}
+	rep := &experiments.OverheadReport{Suite: "overhead", Meta: experiments.NewBenchMeta()}
+	for _, k := range []string{"correlation", "syrk"} {
+		f := isScaled(k)
+		rep.Rows = append(rep.Rows, experiments.OverheadRow{
+			Kernel:                k,
+			Params:                map[string]int64{"N": 100},
+			OriginalNsPerIter:     1.5 * f,
+			RecoverEveryNsPerIter: 80 * f,
+			Schedules: []experiments.OverheadSched{{
+				Schedule:      "static",
+				PerIter:       experiments.OverheadEngine{NsPerIter: 12 * f},
+				Ranges:        experiments.OverheadEngine{NsPerIter: 3 * f},
+				SpeedupRanges: 4 / f,
+			}},
+		})
+	}
+	return rep
+}
+
+func decode(t *testing.T, rep *experiments.OverheadReport) *Run {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	run, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestIdenticalRunsNoRegression(t *testing.T) {
+	old := decode(t, syntheticOverhead(1))
+	cur := decode(t, syntheticOverhead(1))
+	rep, err := Compare(old, cur, Options{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("identical runs produced regressions: %v", regs)
+	}
+	if len(rep.Deltas) == 0 {
+		t.Error("identical runs produced no comparisons at all")
+	}
+	if len(rep.Skipped) != 0 {
+		t.Errorf("identical runs skipped: %v", rep.Skipped)
+	}
+}
+
+func TestInjectedRegressionFlagged(t *testing.T) {
+	old := decode(t, syntheticOverhead(1))
+	cur := decode(t, syntheticOverhead(1.25, "syrk")) // 25% slower syrk
+	rep, err := Compare(old, cur, Options{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := rep.Regressions()
+	if len(regs) == 0 {
+		t.Fatal("25% regression with 20% threshold not flagged")
+	}
+	for _, d := range regs {
+		if d.Kernel != "syrk" {
+			t.Errorf("regression attributed to %s/%s, only syrk was degraded", d.Kernel, d.Metric)
+		}
+		if d.WorsePct <= 20 {
+			t.Errorf("%s/%s WorsePct = %.1f, want > 20", d.Kernel, d.Metric, d.WorsePct)
+		}
+	}
+	// The degraded speedup (4 -> 3.2, 20% down) sits exactly at the
+	// threshold, so the flagged metrics are the ns ones (25% up).
+	for _, d := range rep.Deltas {
+		if d.Kernel == "correlation" && d.Regression {
+			t.Errorf("untouched kernel flagged: %+v", d)
+		}
+	}
+}
+
+func TestBelowThresholdPasses(t *testing.T) {
+	old := decode(t, syntheticOverhead(1))
+	cur := decode(t, syntheticOverhead(1.10, "syrk")) // 10% slower
+	rep, err := Compare(old, cur, Options{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("10%% worsening flagged at 20%% threshold: %v", regs)
+	}
+}
+
+func TestSpeedupDirection(t *testing.T) {
+	// Speedups regress when they go DOWN; improvements must not flag.
+	oldRep := syntheticOverhead(1)
+	curRep := syntheticOverhead(1)
+	curRep.Rows[0].Schedules[0].SpeedupRanges = 2 // was 4: halved
+	curRep.Rows[1].Schedules[0].SpeedupRanges = 9 // was 4: better
+	rep, err := Compare(decode(t, oldRep), decode(t, curRep), Options{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flagged []string
+	for _, d := range rep.Regressions() {
+		flagged = append(flagged, d.Kernel+"/"+d.Metric)
+	}
+	if len(flagged) != 1 || !strings.Contains(flagged[0], "correlation/speedup_ranges") {
+		t.Errorf("flagged = %v, want exactly correlation's halved speedup", flagged)
+	}
+}
+
+func TestParamsMismatchSkipped(t *testing.T) {
+	oldRep := syntheticOverhead(1)
+	curRep := syntheticOverhead(3, "syrk") // would be a huge regression...
+	curRep.Rows[1].Params = map[string]int64{"N": 500}
+	rep, err := Compare(decode(t, oldRep), decode(t, curRep), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("param-mismatched kernel compared anyway: %v", regs)
+	}
+	found := false
+	for _, s := range rep.Skipped {
+		if strings.Contains(s, "syrk") && strings.Contains(s, "params differ") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no params-differ skip note; skipped = %v", rep.Skipped)
+	}
+}
+
+func TestKernelThresholdOverride(t *testing.T) {
+	old := decode(t, syntheticOverhead(1))
+	cur := decode(t, syntheticOverhead(1.25, "syrk"))
+	rep, err := Compare(old, cur, Options{
+		ThresholdPct:       20,
+		KernelThresholdPct: map[string]float64{"syrk": 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("override to 50%% still flagged: %v", regs)
+	}
+}
+
+func TestMetricFilter(t *testing.T) {
+	old := decode(t, syntheticOverhead(1))
+	cur := decode(t, syntheticOverhead(1.25, "syrk"))
+	rep, err := Compare(old, cur, Options{ThresholdPct: 20, MetricFilter: []string{"speedup"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Deltas {
+		if !strings.Contains(d.Metric, "speedup") {
+			t.Errorf("filter leaked metric %s", d.Metric)
+		}
+	}
+	if len(rep.Deltas) == 0 {
+		t.Error("filter matched nothing")
+	}
+}
+
+// TestSchemaV1Document: a pre-meta (v1) document loads, reports
+// schema version 1, and backfills meta from the legacy top-level
+// fields — and a v1 baseline compares cleanly against a v2 candidate.
+func TestSchemaV1Document(t *testing.T) {
+	v1 := `{
+		"suite": "overhead",
+		"go_version": "go1.21.0",
+		"gomaxprocs": 8,
+		"threads": 1,
+		"quick": false,
+		"reps": 3,
+		"kernels": [{
+			"kernel": "correlation",
+			"params": {"N": 100},
+			"iterations": 4950,
+			"original_ns_per_iter": 1.5,
+			"recover_every_ns_per_iter": 80,
+			"ranges_overhead_vs_original_pct": 5,
+			"schedules": [{
+				"schedule": "static",
+				"per_iteration": {"ns_per_iter": 12},
+				"range_batched": {"ns_per_iter": 3},
+				"speedup_ranges_vs_per_iter": 4
+			}]
+		}]
+	}`
+	run, err := Decode(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.SchemaVersion != 1 {
+		t.Errorf("SchemaVersion = %d, want 1", run.SchemaVersion)
+	}
+	if run.Meta.GoVersion != "go1.21.0" || run.Meta.GOMAXPROCS != 8 {
+		t.Errorf("v1 meta backfill = %+v", run.Meta)
+	}
+	v2 := decode(t, syntheticOverhead(1))
+	if v2.SchemaVersion != experiments.BenchSchemaVersion {
+		t.Errorf("v2 SchemaVersion = %d, want %d", v2.SchemaVersion, experiments.BenchSchemaVersion)
+	}
+	rep, err := Compare(run, v2, Options{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Errorf("v1-vs-v2 of equal numbers regressed: %v", regs)
+	}
+	// syrk exists only in the v2 run: noted, not compared.
+	found := false
+	for _, s := range rep.Skipped {
+		if strings.Contains(s, "syrk") && strings.Contains(s, "no baseline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("new kernel not noted; skipped = %v", rep.Skipped)
+	}
+}
+
+func TestCompileSuite(t *testing.T) {
+	rep := &experiments.CompileReport{
+		Suite: "compile",
+		Meta:  experiments.NewBenchMeta(),
+		Rows: []experiments.CompileRow{{
+			Kernel: "correlation", Depth: 3, C: 2,
+			ColdSerialUs: 100, ColdParallelUs: 40, CachedUs: 5,
+			SpeedupParallel: 2.5, SpeedupCached: 8,
+		}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	run, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := run.Kernel("correlation")
+	if k == nil {
+		t.Fatal("compile kernel missing")
+	}
+	m := k.metric("speedup_cached_vs_cold")
+	if m == nil || m.Value != 8 || !m.HigherIsBetter {
+		t.Errorf("speedup_cached_vs_cold = %+v", m)
+	}
+	if m := k.metric("cached_us"); m == nil || m.HigherIsBetter {
+		t.Errorf("cached_us direction wrong: %+v", m)
+	}
+}
+
+func TestSuiteMismatch(t *testing.T) {
+	o := decode(t, syntheticOverhead(1))
+	c := &Run{Suite: "compile"}
+	if _, err := Compare(o, c, Options{}); err == nil {
+		t.Error("suite mismatch not rejected")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"no":"suite"}`)); err == nil {
+		t.Error("suiteless document accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{"suite":"mystery"}`)); err == nil {
+		t.Error("unknown suite accepted")
+	}
+	if _, err := Decode(strings.NewReader(`not json`)); err == nil {
+		t.Error("non-JSON accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	old := decode(t, syntheticOverhead(1))
+	cur := decode(t, syntheticOverhead(1.5, "syrk"))
+	rep, err := Compare(old, cur, Options{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	Render(&buf, rep)
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "syrk") {
+		t.Errorf("render missing regression flag:\n%s", out)
+	}
+}

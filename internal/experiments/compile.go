@@ -45,9 +45,11 @@ type CompileRow struct {
 }
 
 // CompileReport is the machine-readable document written to
-// BENCH_PR5.json.
+// BENCH_PR5.json. GoVersion/GOMAXPROCS predate the Meta block and stay
+// for schema-v1 readers; Meta is authoritative from schema v2 on.
 type CompileReport struct {
 	Suite      string       `json:"suite"` // "compile"
+	Meta       BenchMeta    `json:"meta"`
 	GoVersion  string       `json:"go_version"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	Quick      bool         `json:"quick"`
@@ -93,6 +95,7 @@ func Compile(opts CompileOptions) (*CompileReport, error) {
 	opts.fill()
 	rep := &CompileReport{
 		Suite:      "compile",
+		Meta:       NewBenchMeta(),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      opts.Quick,

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// BenchSchemaVersion is the current version of the BENCH_*.json
+// document schema. Version 1 (implicit — documents with no meta block)
+// carried go_version/gomaxprocs at the top level of each report;
+// version 2 adds the Meta block below. Readers (internal/benchcmp)
+// accept both.
+const BenchSchemaVersion = 2
+
+// BenchMeta records the provenance of a benchmark document: enough to
+// tell whether two BENCH_*.json files are comparable (same machine
+// class, same toolchain) and when each was taken.
+type BenchMeta struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	NumCPU        int    `json:"num_cpu"`
+	// CPUModel is the model name from /proc/cpuinfo (empty when the
+	// platform does not expose one).
+	CPUModel string `json:"cpu_model,omitempty"`
+	// TimestampUTC is the document creation time, RFC 3339, UTC.
+	TimestampUTC string `json:"timestamp_utc"`
+}
+
+// NewBenchMeta snapshots the current process and host.
+func NewBenchMeta() BenchMeta {
+	return BenchMeta{
+		SchemaVersion: BenchSchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		CPUModel:      cpuModel(),
+		TimestampUTC:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// cpuModel extracts the first "model name" line from /proc/cpuinfo.
+// Best-effort: any failure yields "".
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok {
+			switch strings.TrimSpace(k) {
+			case "model name", "Processor", "cpu model":
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}

@@ -84,9 +84,11 @@ type OverheadRow struct {
 }
 
 // OverheadReport is the machine-readable document written to
-// BENCH_PR4.json.
+// BENCH_PR4.json. GoVersion/GOMAXPROCS predate the Meta block and stay
+// for schema-v1 readers; Meta is authoritative from schema v2 on.
 type OverheadReport struct {
 	Suite      string        `json:"suite"` // "overhead"
+	Meta       BenchMeta     `json:"meta"`
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Threads    int           `json:"threads"`
@@ -154,6 +156,7 @@ func Overhead(opts OverheadOptions) (*OverheadReport, error) {
 	opts.fill()
 	rep := &OverheadReport{
 		Suite:      "overhead",
+		Meta:       NewBenchMeta(),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Threads:    opts.Threads,

@@ -1,0 +1,230 @@
+// Package obs is the live observability plane over the telemetry
+// substrate: an OpenMetrics/Prometheus text exposition of every
+// registered counter, gauge and histogram (with p50/p95/p99 quantiles
+// derived from the fixed bucket layout), a JSON snapshot endpoint with
+// interval deltas (rates, not just totals), the flight recorder's
+// last-K-events Chrome trace on demand, and the net/http/pprof
+// handlers — everything a scraper or an operator needs while a long
+// collapse run (or, later, the collapsed daemon) is in flight.
+//
+// The exposition side deals in the registry's flat metric names.
+// Names may embed a Prometheus label set directly ("omp.worker_chunks
+// {tid=\"3\"}"); the exporter splits the family from the labels so
+// per-worker series group into one family, and sanitises the family
+// name into the OpenMetrics alphabet (dots become underscores).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// DefQuantiles are the quantiles exported per histogram family.
+var DefQuantiles = telemetry.DefQuantiles
+
+// splitName separates a registry metric name into its OpenMetrics
+// family (sanitised) and the embedded label set (without braces, empty
+// when none): "omp.worker_chunks{tid=\"3\"}" → ("omp_worker_chunks",
+// `tid="3"`).
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		family = name[:i]
+		labels = strings.TrimSuffix(name[i+1:], "}")
+	} else {
+		family = name
+	}
+	return sanitizeFamily(family), labels
+}
+
+// sanitizeFamily maps a registry name into the OpenMetrics name
+// alphabet [a-zA-Z0-9_:], collapsing every other rune to '_'. A
+// leading digit gets a '_' prefix.
+func sanitizeFamily(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sample is one exposition line: value plus its rendered label set.
+type sample struct {
+	labels string // rendered label pairs, no braces; "" for none
+	value  float64
+}
+
+// family accumulates the samples of one metric family.
+type family struct {
+	name    string
+	typ     string // counter | gauge | histogram | summary
+	samples []sample
+	// hist holds the snapshot for histogram families (one unlabeled
+	// histogram per family today).
+	hist *telemetry.HistogramSnapshot
+}
+
+// fmtFloat renders a value the way Prometheus does: shortest
+// round-trip representation, +Inf spelled literally.
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteOpenMetrics writes the registry's current state as an
+// OpenMetrics text exposition: counters (sample name <family>_total),
+// gauges, histograms (cumulative le buckets, _sum, _count, plus a
+// derived <family>_quantile gauge family carrying p50/p95/p99), and
+// per-(cat,name) span aggregates as the trace_spans /
+// trace_span_seconds gauge families. The exposition ends with the
+// mandatory # EOF terminator. A nil registry writes an empty (but
+// valid) exposition.
+func WriteOpenMetrics(w io.Writer, reg *telemetry.Registry) error {
+	fams := map[string]*family{}
+	get := func(name, typ string) *family {
+		f, ok := fams[name]
+		if !ok {
+			f = &family{name: name, typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+
+	snap := reg.Snapshot()
+	for name, v := range snap.Counters {
+		fam, labels := splitName(name)
+		f := get(fam, "counter")
+		f.samples = append(f.samples, sample{labels: labels, value: float64(v)})
+	}
+	for name, v := range snap.Gauges {
+		fam, labels := splitName(name)
+		f := get(fam, "gauge")
+		f.samples = append(f.samples, sample{labels: labels, value: float64(v)})
+	}
+	for name := range snap.Histograms {
+		h := snap.Histograms[name]
+		fam, _ := splitName(name)
+		get(fam, "histogram").hist = &h
+	}
+
+	// Span aggregates: count and total seconds per (cat, name), from
+	// the unbounded trace when it retains events, else from the flight
+	// ring (the last-K window a long-running server keeps).
+	events := reg.Trace().Events()
+	if len(events) == 0 {
+		events = reg.Flight().Events()
+	}
+	if len(events) > 0 {
+		type agg struct {
+			count int64
+			sum   time.Duration
+		}
+		aggs := map[[2]string]*agg{}
+		for _, ev := range events {
+			k := [2]string{ev.Cat, ev.Name}
+			a, ok := aggs[k]
+			if !ok {
+				a = &agg{}
+				aggs[k] = a
+			}
+			a.count++
+			a.sum += ev.Dur
+		}
+		// Gauges, not counters: with flight-only retention the window
+		// slides, so the aggregates are not monotone.
+		fc := get("trace_spans", "gauge")
+		fs := get("trace_span_seconds", "gauge")
+		for k, a := range aggs {
+			labels := fmt.Sprintf("cat=%q,name=%q", k[0], k[1])
+			fc.samples = append(fc.samples, sample{labels: labels, value: float64(a.count)})
+			fs.samples = append(fs.samples, sample{labels: labels, value: a.sum.Seconds()})
+		}
+	}
+
+	// Scrape-side reference clock: the monotonic trace offset at
+	// exposition time, for deriving in-flight chunk ages from the
+	// *_inflight_since_ns gauges.
+	if reg != nil {
+		f := get("telemetry_scrape_monotonic_ns", "gauge")
+		f.samples = append(f.samples, sample{value: float64(reg.Trace().Now().Nanoseconds())})
+		if fl := reg.Flight(); fl != nil {
+			ff := get("flight_recorded_events", "counter")
+			ff.samples = append(ff.samples, sample{value: float64(fl.Total())})
+		}
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].labels < f.samples[j].labels })
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		switch f.typ {
+		case "counter":
+			for _, s := range f.samples {
+				writeSample(&b, f.name+"_total", s.labels, s.value)
+			}
+		case "histogram":
+			h := f.hist
+			var cum int64
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				writeSample(&b, f.name+"_bucket", fmt.Sprintf("le=%q", fmtFloat(bound)), float64(cum))
+			}
+			if len(h.Counts) > len(h.Bounds) {
+				cum += h.Counts[len(h.Bounds)]
+			}
+			writeSample(&b, f.name+"_bucket", `le="+Inf"`, float64(cum))
+			writeSample(&b, f.name+"_sum", "", h.Sum)
+			writeSample(&b, f.name+"_count", "", float64(cum))
+			fmt.Fprintf(&b, "# TYPE %s_quantile gauge\n", f.name)
+			for _, q := range DefQuantiles {
+				writeSample(&b, f.name+"_quantile", fmt.Sprintf("quantile=%q", fmtFloat(q)), h.Quantile(q))
+			}
+		default: // gauge, summary
+			for _, s := range f.samples {
+				writeSample(&b, f.name, s.labels, s.value)
+			}
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSample(b *strings.Builder, name, labels string, v float64) {
+	if labels != "" {
+		fmt.Fprintf(b, "%s{%s} %s\n", name, labels, fmtFloat(v))
+	} else {
+		fmt.Fprintf(b, "%s %s\n", name, fmtFloat(v))
+	}
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/profiling"
+	"repro/internal/telemetry"
+)
+
+// Plane is the HTTP observability plane over one telemetry registry.
+// It serves:
+//
+//	/metrics     OpenMetrics text exposition (counters, gauges,
+//	             histograms with p50/p95/p99, span aggregates)
+//	/snapshot    JSON snapshot with interval deltas: per-counter rates
+//	             since the previous /snapshot scrape, histogram
+//	             quantiles, derived in-flight chunk ages
+//	/trace       Chrome trace JSON of the flight recorder's retained
+//	             window (falls back to the full trace when no flight
+//	             recorder is attached)
+//	/healthz     liveness probe
+//	/debug/pprof the net/http/pprof handlers (via internal/profiling)
+//	/            endpoint index
+//
+// A Plane is safe for concurrent scraping while the instrumented run
+// mutates the registry; the exposition is built from consistent
+// snapshots.
+type Plane struct {
+	reg   *telemetry.Registry
+	start time.Time
+
+	mu       sync.Mutex
+	lastTime time.Time
+	lastSnap telemetry.Snapshot
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewPlane builds a plane over reg (which may already be in use by a
+// running workload).
+func NewPlane(reg *telemetry.Registry) *Plane {
+	return &Plane{reg: reg, start: time.Now()}
+}
+
+// Registry returns the plane's registry.
+func (p *Plane) Registry() *telemetry.Registry { return p.reg }
+
+// Handler returns the plane's mux, usable directly with httptest or
+// mounted into a larger server (the future collapsed daemon mounts
+// exactly this).
+func (p *Plane) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", p.handleMetrics)
+	mux.HandleFunc("/snapshot", p.handleSnapshot)
+	mux.HandleFunc("/trace", p.handleTrace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", p.handleIndex)
+	profiling.AttachPprof(mux)
+	return mux
+}
+
+func (p *Plane) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "collapse observability plane (up %s)\n\n", time.Since(p.start).Round(time.Second))
+	fmt.Fprintln(w, "  /metrics      OpenMetrics exposition")
+	fmt.Fprintln(w, "  /snapshot     JSON snapshot with interval rates")
+	fmt.Fprintln(w, "  /trace        flight-recorder Chrome trace (last K events)")
+	fmt.Fprintln(w, "  /healthz      liveness")
+	fmt.Fprintln(w, "  /debug/pprof  pprof handlers")
+}
+
+func (p *Plane) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	p.refreshRuntime()
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	if err := WriteOpenMetrics(w, p.reg); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+func (p *Plane) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if f := p.reg.Flight(); f != nil {
+		f.WriteChromeTrace(w)
+		return
+	}
+	p.reg.WriteChromeTrace(w)
+}
+
+// SnapshotDoc is the JSON document served by /snapshot. Rates are
+// computed over the interval since the previous /snapshot request
+// (absent on the first scrape).
+type SnapshotDoc struct {
+	NowUTC    string  `json:"now_utc"`
+	UptimeS   float64 `json:"uptime_s"`
+	IntervalS float64 `json:"interval_s,omitempty"`
+
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Rates are per-second first derivatives of the counters over the
+	// scrape interval — the live view (throughput, escalation rate)
+	// that a totals-only dump cannot give.
+	Rates  map[string]float64 `json:"counter_rates_per_s,omitempty"`
+	Gauges map[string]int64   `json:"gauges,omitempty"`
+	// Derived carries values computed at scrape time, e.g. the
+	// in-flight chunk age of every busy worker
+	// ("omp.worker_inflight_age_ns{tid=...}").
+	Derived    map[string]int64        `json:"derived,omitempty"`
+	Histograms map[string]HistogramDoc `json:"histograms,omitempty"`
+	Spans      int                     `json:"spans"`
+	Flight     *FlightDoc              `json:"flight,omitempty"`
+}
+
+// HistogramDoc summarises one histogram for the JSON snapshot.
+type HistogramDoc struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	// RatePerS is the observation rate over the scrape interval.
+	RatePerS float64 `json:"rate_per_s,omitempty"`
+}
+
+// FlightDoc describes the flight recorder's state.
+type FlightDoc struct {
+	Cap      int    `json:"cap"`
+	Recorded uint64 `json:"recorded"`
+}
+
+func (p *Plane) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	p.refreshRuntime()
+	doc := p.snapshotDoc()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+// snapshotDoc builds the delta document and rolls the plane's
+// previous-scrape state forward.
+func (p *Plane) snapshotDoc() SnapshotDoc {
+	now := time.Now()
+	snap := p.reg.Snapshot()
+
+	p.mu.Lock()
+	var interval float64
+	var prev telemetry.Snapshot
+	if !p.lastTime.IsZero() {
+		interval = now.Sub(p.lastTime).Seconds()
+		prev = p.lastSnap
+	}
+	p.lastTime = now
+	p.lastSnap = snap
+	p.mu.Unlock()
+
+	doc := SnapshotDoc{
+		NowUTC:    now.UTC().Format(time.RFC3339Nano),
+		UptimeS:   now.Sub(p.start).Seconds(),
+		IntervalS: interval,
+		Counters:  snap.Counters,
+		Gauges:    snap.Gauges,
+		Spans:     snap.Spans,
+	}
+	if interval > 0 && len(snap.Counters) > 0 {
+		doc.Rates = make(map[string]float64, len(snap.Counters))
+		for name, v := range snap.Counters {
+			doc.Rates[name] = float64(v-prev.Counters[name]) / interval
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		doc.Histograms = make(map[string]HistogramDoc, len(snap.Histograms))
+		for name, h := range snap.Histograms {
+			hd := HistogramDoc{Count: h.Count, Sum: h.Sum}
+			if h.Count > 0 {
+				hd.Mean = h.Sum / float64(h.Count)
+			}
+			qs := h.Quantiles(0.5, 0.95, 0.99)
+			hd.P50, hd.P95, hd.P99 = qs[0], qs[1], qs[2]
+			if interval > 0 {
+				hd.RatePerS = float64(h.Count-prev.Histograms[name].Count) / interval
+			}
+			doc.Histograms[name] = hd
+		}
+	}
+	// Derived in-flight ages: any *_inflight_since_ns{...} gauge with a
+	// nonzero value is a worker inside a chunk; its age is the distance
+	// to the current monotonic trace offset.
+	nowNs := p.reg.Trace().Now().Nanoseconds()
+	for name, v := range snap.Gauges {
+		fam := name
+		if i := strings.IndexByte(fam, '{'); i >= 0 {
+			fam = fam[:i]
+		}
+		if v > 0 && strings.HasSuffix(fam, "_inflight_since_ns") {
+			if doc.Derived == nil {
+				doc.Derived = map[string]int64{}
+			}
+			derived := strings.Replace(name, "_inflight_since_ns", "_inflight_age_ns", 1)
+			doc.Derived[derived] = nowNs - v
+		}
+	}
+	if f := p.reg.Flight(); f != nil {
+		doc.Flight = &FlightDoc{Cap: f.Cap(), Recorded: f.Total()}
+	}
+	return doc
+}
+
+// Serve starts the plane on addr (e.g. ":9090" or "127.0.0.1:0") in a
+// background goroutine and returns the bound address. Close stops it.
+func (p *Plane) Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p.ln = ln
+	p.srv = &http.Server{Handler: p.Handler()}
+	go p.srv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound address (nil before Serve).
+func (p *Plane) Addr() net.Addr {
+	if p.ln == nil {
+		return nil
+	}
+	return p.ln.Addr()
+}
+
+// Close stops the listener (no-op when Serve was never called).
+func (p *Plane) Close() error {
+	if p.srv == nil {
+		return nil
+	}
+	return p.srv.Close()
+}
+
+// refreshRuntime updates process-level gauges on the registry —
+// goroutine count, heap-alloc bytes, GC cycles, GOMAXPROCS — on every
+// /metrics and /snapshot scrape. They ride the normal exporter, so
+// scrapes see process health next to workload metrics.
+func (p *Plane) refreshRuntime() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.reg.Gauge("process.goroutines").Set(int64(runtime.NumGoroutine()))
+	p.reg.Gauge("process.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	p.reg.Gauge("process.gc_cycles").Set(int64(ms.NumGC))
+	p.reg.Gauge("process.gomaxprocs").Set(int64(runtime.GOMAXPROCS(0)))
+}

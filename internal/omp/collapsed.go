@@ -161,11 +161,27 @@ func collapsedRangesRun(ctx context.Context, r *core.Result, params map[string]i
 		return agg, err
 	}
 	stats := make([]core.RangeStats, threads)
+	live := newLiveTeam(tel, threads)
+	tr := tel.Trace()
+	published := make([]unrank.Stats, threads)
 	runErr := ParallelForChunksCtx(ctx, threads, 1, end, sched, func(tid int, clo, chi int64) error {
-		return core.ForRanges(bounds[tid], clo, chi-1, &stats[tid],
+		if live == nil {
+			// Uninstrumented hot path: no clock reads, no stats copies.
+			return core.ForRanges(bounds[tid], clo, chi-1, &stats[tid],
+				func(pc int64, prefix []int64, lo, hi int64) {
+					body(tid, pc, prefix, lo, hi)
+				})
+		}
+		live.chunkStart(tid, tr.Now())
+		before := stats[tid].Iterations
+		err := core.ForRanges(bounds[tid], clo, chi-1, &stats[tid],
 			func(pc int64, prefix []int64, lo, hi int64) {
 				body(tid, pc, prefix, lo, hi)
 			})
+		s := bounds[tid].Stats()
+		live.chunkEnd(tid, stats[tid].Iterations-before, s.Sub(published[tid]))
+		published[tid] = s
+		return err
 	})
 	for t := range stats {
 		agg.Add(stats[t])
@@ -277,6 +293,8 @@ func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[st
 	}
 	tr := tel.Trace()
 	hist := tel.Histogram("omp.chunk_seconds", nil)
+	live := newLiveTeam(tel, threads)
+	published := make([]unrank.Stats, threads)
 	evName := sched.Kind.String()
 	runErr := ParallelForChunksCtx(ctx, threads, 1, end, sched, func(tid int, clo, chi int64) error {
 		st := &cs.PerThread[tid]
@@ -286,6 +304,7 @@ func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[st
 		if tr != nil {
 			startOff = tr.Now()
 		}
+		live.chunkStart(tid, startOff)
 		t0 := time.Now()
 		if err := b.Unrank(clo, idx); err != nil {
 			return err
@@ -314,6 +333,14 @@ func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[st
 		st.Recovery += recovery
 		st.Increment += incDur
 		hist.Observe(busy.Seconds())
+		if live != nil {
+			// Live progress: advance the per-worker gauges and publish the
+			// recovery-counter deltas of this chunk, so a mid-run scrape
+			// sees escalations and imbalance as they happen.
+			s := b.Stats()
+			live.chunkEnd(tid, done, s.Sub(published[tid]))
+			published[tid] = s
+		}
 		if tr != nil {
 			tr.Add(telemetry.Event{
 				Name: evName, Cat: "chunk", TID: tid, Start: startOff, Dur: busy,
@@ -328,30 +355,18 @@ func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[st
 		}
 		return chunkErr
 	})
+	// The per-chunk path published counter deltas live; here only the
+	// remainder accrued outside chunk boundaries (e.g. during Bind) is
+	// added, so the registry totals match cs.Stats exactly without
+	// double counting.
+	var remainder unrank.Stats
 	for t, b := range bounds {
 		s := b.Stats()
 		cs.PerThread[t].Unrank = s
 		cs.Stats.Add(s)
+		remainder.Add(s.Sub(published[t]))
 	}
-	tel.Counter("unrank.root_evals").Add(cs.Stats.RootEvals)
-	tel.Counter("unrank.corrections").Add(cs.Stats.Corrections)
-	tel.Counter("unrank.fallbacks").Add(cs.Stats.Fallbacks)
-	tel.Counter("unrank.searches").Add(cs.Stats.Searches)
-	if cs.Stats.Verifies > 0 {
-		tel.Counter("unrank.verifies").Add(cs.Stats.Verifies)
-	}
-	if cs.Stats.Escalations > 0 {
-		tel.Counter("unrank.verify_escalations").Add(cs.Stats.Escalations)
-	}
-	if cs.Stats.EscalationsPrec128 > 0 {
-		tel.Counter("unrank.escalations_prec128").Add(cs.Stats.EscalationsPrec128)
-	}
-	if cs.Stats.EscalationsPrec256 > 0 {
-		tel.Counter("unrank.escalations_prec256").Add(cs.Stats.EscalationsPrec256)
-	}
-	if cs.Stats.BigIntPaths > 0 {
-		tel.Counter("unrank.bigint_paths").Add(cs.Stats.BigIntPaths)
-	}
+	live.publishRemainder(remainder)
 	if runErr != nil {
 		switch {
 		case faults.AsPanic(runErr) != nil:

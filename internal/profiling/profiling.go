@@ -1,13 +1,31 @@
 // Package profiling is the tiny pprof harness shared by the command-line
 // tools: a CPU profile spanning the run and a heap snapshot at exit,
-// both optional, enabled by -cpuprofile / -memprofile flags.
+// both optional, enabled by -cpuprofile / -memprofile flags; plus the
+// HTTP mount of the net/http/pprof handlers used by the observability
+// plane's -serve mode.
 package profiling
 
 import (
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
+
+// AttachPprof registers the net/http/pprof handlers on mux under
+// /debug/pprof/ — index, named profiles (heap, goroutine, block,
+// mutex, allocs, threadcreate), the 30s CPU profile, symbolization and
+// the runtime execution trace. Registering explicitly (instead of the
+// package's init side effect on http.DefaultServeMux) keeps the
+// handlers off servers that did not ask for them.
+func AttachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}
 
 // Start begins CPU profiling into cpuPath (when non-empty) and arranges
 // a heap snapshot into memPath (when non-empty). The returned stop

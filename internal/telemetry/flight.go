@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+)
+
+// maxFlightArgs is the per-slot annotation capacity of the flight
+// recorder. Slots hold their args in a fixed backing array so the
+// record path never allocates; events carrying more args than this are
+// recorded with the first maxFlightArgs (chunk events today carry 5).
+const maxFlightArgs = 8
+
+// flightSlot is one preallocated ring entry. The Event's Args slice
+// aliases the slot's backing array, so overwriting a slot recycles its
+// storage instead of allocating.
+type flightSlot struct {
+	ev   Event
+	args [maxFlightArgs]Arg
+}
+
+// FlightRecorder is a bounded ring buffer continuously retaining the
+// last K completed spans/chunk events — the "black box" of a
+// long-running process. Unlike the Trace's unbounded event slice, its
+// memory is fixed at creation and the record path performs zero
+// allocations, so it can stay enabled for the whole lifetime of a
+// server at negligible steady-state cost. Events land in the ring at
+// chunk/span granularity (never per iteration), and the retained
+// window — "the last few seconds" of activity — exports as a Chrome
+// trace on demand.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	slots []flightSlot
+	next  int    // next slot to overwrite
+	total uint64 // events ever recorded (for drop accounting)
+}
+
+// NewFlightRecorder creates a recorder retaining the last k events
+// (k < 1 is clamped to 1). All memory is allocated up front.
+func NewFlightRecorder(k int) *FlightRecorder {
+	if k < 1 {
+		k = 1
+	}
+	return &FlightRecorder{slots: make([]flightSlot, k)}
+}
+
+// Record stores ev in the ring, overwriting the oldest entry when
+// full. The event's args are copied into the slot's fixed backing
+// array; the path allocates nothing. No-op on a nil receiver.
+func (f *FlightRecorder) Record(ev Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	s := &f.slots[f.next]
+	n := copy(s.args[:], ev.Args)
+	s.ev = ev
+	s.ev.Args = s.args[:n]
+	f.next++
+	if f.next == len(f.slots) {
+		f.next = 0
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Total returns the number of events ever recorded, including those
+// already overwritten (0 on nil).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Events returns a copy of the retained events in record order (oldest
+// first). Args slices are deep-copied so the caller's view survives
+// later overwrites.
+func (f *FlightRecorder) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.slots)
+	if f.total < uint64(n) {
+		n = int(f.total)
+	}
+	out := make([]Event, 0, n)
+	start := f.next - n
+	if start < 0 {
+		start += len(f.slots)
+	}
+	for i := 0; i < n; i++ {
+		s := &f.slots[(start+i)%len(f.slots)]
+		ev := s.ev
+		ev.Args = append([]Arg(nil), ev.Args...)
+		out = append(out, ev)
+	}
+	return out
+}
+
+// WriteChromeTrace exports the retained window in the Chrome
+// trace-event format (same shape as Trace.WriteChromeTrace), viewable
+// in about:tracing / Perfetto.
+func (f *FlightRecorder) WriteChromeTrace(w io.Writer) error {
+	t := &Trace{events: f.Events()}
+	return t.WriteChromeTrace(w)
+}
+
+// AttachFlight tees every event added to the trace into f (pass nil to
+// detach). When retain is false the trace additionally stops appending
+// to its unbounded event slice — flight-only mode, the right retention
+// policy for a long-running server where the ring is the only consumer
+// of the timeline. No-op on a nil trace.
+func (t *Trace) AttachFlight(f *FlightRecorder, retain bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.flight = f
+	t.ringOnly = f != nil && !retain
+	t.mu.Unlock()
+}
+
+// Flight returns the trace's attached flight recorder (nil when none).
+func (t *Trace) Flight() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.flight
+}
+
+// EnableFlight attaches a fresh k-event flight recorder to the
+// registry's trace and returns it. When retain is false the trace
+// keeps only the ring (no unbounded span slice) — the configuration a
+// long-running -serve process wants. Nil-safe (returns nil).
+func (r *Registry) EnableFlight(k int, retain bool) *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	f := NewFlightRecorder(k)
+	r.trace.AttachFlight(f, retain)
+	return f
+}
+
+// Flight returns the registry's flight recorder (nil when none or when
+// the registry is nil).
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.trace.Flight()
+}

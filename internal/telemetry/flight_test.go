@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func flightEvent(i int) Event {
+	return Event{
+		Name:  "chunk",
+		Cat:   "test",
+		TID:   i % 4,
+		Start: time.Duration(i) * time.Millisecond,
+		Dur:   time.Millisecond,
+		Args:  []Arg{{Name: "i", Value: int64(i)}},
+	}
+}
+
+func TestFlightRecorderRetainsLastK(t *testing.T) {
+	f := NewFlightRecorder(8)
+	for i := 0; i < 20; i++ {
+		f.Record(flightEvent(i))
+	}
+	evs := f.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	for j, ev := range evs {
+		want := int64(12 + j) // oldest retained is 20-8
+		if len(ev.Args) != 1 || ev.Args[0].Value != want {
+			t.Errorf("event %d: args %v, want i=%d", j, ev.Args, want)
+		}
+	}
+	if f.Total() != 20 {
+		t.Errorf("Total = %d, want 20", f.Total())
+	}
+	if f.Cap() != 8 {
+		t.Errorf("Cap = %d, want 8", f.Cap())
+	}
+}
+
+func TestFlightRecorderPartial(t *testing.T) {
+	f := NewFlightRecorder(16)
+	for i := 0; i < 5; i++ {
+		f.Record(flightEvent(i))
+	}
+	evs := f.Events()
+	if len(evs) != 5 {
+		t.Fatalf("retained %d events, want 5", len(evs))
+	}
+	if evs[0].Args[0].Value != 0 || evs[4].Args[0].Value != 4 {
+		t.Errorf("wrong order: first %v last %v", evs[0].Args, evs[4].Args)
+	}
+}
+
+// TestFlightRecorderZeroAllocRecord is the steady-state guard of the
+// acceptance criteria: once the ring exists, recording an event
+// allocates nothing.
+func TestFlightRecorderZeroAllocRecord(t *testing.T) {
+	f := NewFlightRecorder(64)
+	ev := flightEvent(1)
+	allocs := testing.AllocsPerRun(1000, func() { f.Record(ev) })
+	if allocs != 0 {
+		t.Errorf("Record allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestFlightRecorderEventsSurviveOverwrite checks the deep copy: a
+// snapshot taken before the ring wraps must keep its args.
+func TestFlightRecorderEventsSurviveOverwrite(t *testing.T) {
+	f := NewFlightRecorder(2)
+	f.Record(flightEvent(1))
+	f.Record(flightEvent(2))
+	evs := f.Events()
+	for i := 10; i < 20; i++ {
+		f.Record(flightEvent(i))
+	}
+	if evs[0].Args[0].Value != 1 || evs[1].Args[0].Value != 2 {
+		t.Errorf("snapshot mutated by later records: %v %v", evs[0].Args, evs[1].Args)
+	}
+}
+
+func TestFlightRecorderChromeTrace(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 6; i++ {
+		f.Record(flightEvent(i))
+	}
+	var buf bytes.Buffer
+	if err := f.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) != 4 {
+		t.Fatalf("exported %d events, want 4", len(trace.TraceEvents))
+	}
+}
+
+// TestTraceFlightTee checks the registry integration: with retention
+// on, events land in both the trace and the ring; in flight-only mode
+// the unbounded slice stays empty while the ring keeps recording.
+func TestTraceFlightTee(t *testing.T) {
+	r := New()
+	f := r.EnableFlight(4, true)
+	r.StartSpan("cat", "a", 0).End()
+	if r.Trace().Len() != 1 || len(f.Events()) != 1 {
+		t.Fatalf("tee: trace %d ring %d, want 1/1", r.Trace().Len(), len(f.Events()))
+	}
+	if r.Flight() != f {
+		t.Fatal("Registry.Flight does not return the attached recorder")
+	}
+
+	r2 := New()
+	f2 := r2.EnableFlight(4, false)
+	for i := 0; i < 10; i++ {
+		r2.StartSpan("cat", "b", 0).End()
+	}
+	if got := r2.Trace().Len(); got != 0 {
+		t.Errorf("flight-only trace retained %d events, want 0", got)
+	}
+	if got := len(f2.Events()); got != 4 {
+		t.Errorf("flight-only ring retained %d events, want 4", got)
+	}
+	if f2.Total() != 10 {
+		t.Errorf("Total = %d, want 10", f2.Total())
+	}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(Event{})
+	if f.Events() != nil || f.Cap() != 0 || f.Total() != 0 {
+		t.Error("nil recorder not inert")
+	}
+	var tr *Trace
+	tr.AttachFlight(nil, false)
+	if tr.Flight() != nil {
+		t.Error("nil trace Flight != nil")
+	}
+	var r *Registry
+	if r.EnableFlight(4, true) != nil || r.Flight() != nil {
+		t.Error("nil registry flight not nil")
+	}
+}
+
+// TestSnapshotDuringConcurrentWriters is the snapshot-vs-writer race
+// test of the satellite list: scrape the registry (snapshot, report,
+// JSON, quantiles, flight export) from several goroutines while other
+// goroutines hammer every metric kind. Run under -race this validates
+// lock discipline; in any mode it validates the snapshot consistency
+// invariant Count == Σ Counts.
+func TestSnapshotDuringConcurrentWriters(t *testing.T) {
+	r := New()
+	f := r.EnableFlight(32, true)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("c").Inc()
+				r.Counter(fmt.Sprintf("c%d", i%8)).Add(2)
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h", nil).Observe(float64(i%100) * 1e-6)
+				sp := r.StartSpan("cat", "span", w)
+				sp.End(Arg{Name: "i", Value: int64(i)})
+			}
+		}(w)
+	}
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				snap := r.Snapshot()
+				for name, h := range snap.Histograms {
+					var sum int64
+					for _, c := range h.Counts {
+						sum += c
+					}
+					if sum != h.Count {
+						t.Errorf("%s: Count %d != Σ Counts %d", name, h.Count, sum)
+					}
+					h.Quantile(0.95)
+				}
+				_ = r.Report()
+				if _, err := json.Marshal(r); err != nil {
+					t.Errorf("marshal: %v", err)
+				}
+				var buf bytes.Buffer
+				if err := f.WriteChromeTrace(&buf); err != nil {
+					t.Errorf("flight export: %v", err)
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

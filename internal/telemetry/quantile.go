@@ -1,0 +1,75 @@
+package telemetry
+
+// Quantile estimation over the fixed-bucket histograms. The histogram
+// stores only per-bucket counts, so quantiles are estimated by linear
+// interpolation inside the bucket that crosses the target rank — the
+// same scheme Prometheus' histogram_quantile() uses. The estimate is
+// exact at bucket boundaries and within one bucket width elsewhere,
+// which is plenty for the quarter-decade-spaced latency buckets.
+
+// DefQuantiles are the quantiles reported by default: the median and
+// the two tail percentiles operators actually alert on.
+var DefQuantiles = []float64{0.5, 0.95, 0.99}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the snapshot by
+// linear interpolation within the crossing bucket. Conventions:
+//
+//   - an empty histogram yields 0;
+//   - ranks inside the first bucket interpolate from 0 (latencies are
+//     nonnegative, so the lower edge of the first bucket is 0);
+//   - ranks in the +Inf overflow bucket clamp to the last finite bound
+//     (there is no upper edge to interpolate toward).
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			// Overflow bucket: clamp to the last finite bound.
+			if len(h.Bounds) == 0 {
+				return 0
+			}
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	if len(h.Bounds) == 0 {
+		return 0
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Quantiles evaluates several quantiles at once (one pass per q; the
+// snapshot is already frozen so there is no consistency concern).
+func (h HistogramSnapshot) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quantHist builds a snapshot directly so tests control bucket
+// contents exactly.
+func quantHist(bounds []float64, counts []int64) HistogramSnapshot {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return HistogramSnapshot{Bounds: bounds, Counts: counts, Count: total}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	// 100 observations uniform in one bucket (1,2]: the q-quantile
+	// interpolates linearly across the bucket.
+	h := quantHist([]float64{1, 2, 4}, []int64{0, 100, 0, 0})
+	cases := []struct{ q, want float64 }{
+		{0.0, 1.0},
+		{0.5, 1.5},
+		{0.95, 1.95},
+		{1.0, 2.0},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileAcrossBuckets(t *testing.T) {
+	// 50 in (0,1], 30 in (1,2], 20 in (2,4].
+	h := quantHist([]float64{1, 2, 4}, []int64{50, 30, 20, 0})
+	cases := []struct{ q, want float64 }{
+		{0.5, 1.0},  // rank 50: exactly the first boundary
+		{0.65, 1.5}, // rank 65 → 15/30 into (1,2]
+		{0.8, 2.0},  // rank 80: exactly the second boundary
+		{0.9, 3.0},  // rank 90 → 10/20 into (2,4]
+		{0.95, 3.5}, // rank 95 → 15/20 into (2,4]
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileFirstBucketInterpolatesFromZero(t *testing.T) {
+	h := quantHist([]float64{8}, []int64{4, 0})
+	if got := h.Quantile(0.5); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %g, want 4 (midpoint of [0,8])", got)
+	}
+}
+
+func TestQuantileOverflowClampsToLastBound(t *testing.T) {
+	h := quantHist([]float64{1, 2}, []int64{1, 1, 8})
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("Quantile(0.99) = %g, want clamp to last bound 2", got)
+	}
+}
+
+func TestQuantileEmptyAndClamping(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %g, want 0", got)
+	}
+	h := quantHist([]float64{1}, []int64{10, 0})
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("q<0 not clamped: %g vs %g", got, h.Quantile(0))
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Errorf("q>1 not clamped: %g vs %g", got, h.Quantile(1))
+	}
+}
+
+func TestQuantilesBatch(t *testing.T) {
+	h := quantHist([]float64{1, 2, 4}, []int64{50, 30, 20, 0})
+	qs := h.Quantiles(0.5, 0.95, 0.99)
+	if len(qs) != 3 {
+		t.Fatalf("got %d results", len(qs))
+	}
+	for i, q := range []float64{0.5, 0.95, 0.99} {
+		if qs[i] != h.Quantile(q) {
+			t.Errorf("Quantiles[%d] = %g, want %g", i, qs[i], h.Quantile(q))
+		}
+	}
+}
+
+// TestReportShowsQuantiles checks the -stats surface: the histogram
+// section of Report now carries p50/p95/p99.
+func TestReportShowsQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(1e-4)
+	}
+	rep := r.Report()
+	if !strings.Contains(rep, "p50") || !strings.Contains(rep, "p95") || !strings.Contains(rep, "p99") {
+		t.Errorf("report missing quantile columns:\n%s", rep)
+	}
+}

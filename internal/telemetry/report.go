@@ -53,12 +53,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if len(r.hists) > 0 {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
 		for name, h := range r.hists {
-			s.Histograms[name] = HistogramSnapshot{
-				Bounds: h.Bounds(),
-				Counts: h.BucketCounts(),
-				Count:  h.Count(),
-				Sum:    h.Sum(),
-			}
+			s.Histograms[name] = h.snapshot()
 		}
 	}
 	s.Spans = r.trace.Len()
@@ -150,7 +145,9 @@ func (r *Registry) Report() string {
 			if h.Count > 0 {
 				mean = h.Sum / float64(h.Count)
 			}
-			fmt.Fprintf(&b, "  %-34s count %-10d sum %-12.6g mean %.6g\n", k, h.Count, h.Sum, mean)
+			qs := h.Quantiles(DefQuantiles...)
+			fmt.Fprintf(&b, "  %-34s count %-10d sum %-12.6g mean %.6g p50 %.3g p95 %.3g p99 %.3g\n",
+				k, h.Count, h.Sum, mean, qs[0], qs[1], qs[2])
 		}
 	}
 	if b.Len() == 0 {

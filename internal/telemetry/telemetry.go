@@ -165,6 +165,26 @@ func (h *Histogram) BucketCounts() []int64 {
 	return out
 }
 
+// snapshot freezes an internally consistent view under concurrent
+// Observes. The count, sum and per-bucket counters are independent
+// atomics (Observe is lock-free), so reading them separately can
+// produce a view where Count != Σ Counts — which breaks the OpenMetrics
+// invariant x_count == x_bucket{le="+Inf"} when a scrape races a
+// writer. The snapshot therefore derives Count from a single read of
+// the bucket counts; Sum may lag by the in-flight observations, which
+// is harmless (monotone within one scrape).
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.Bounds(),
+		Sum:    h.Sum(),
+		Counts: h.BucketCounts(),
+	}
+	for _, c := range s.Counts {
+		s.Count += c
+	}
+	return s
+}
+
 // Registry names and owns a set of metrics plus one Trace. A nil
 // *Registry is the disabled state: every accessor returns a nil handle
 // whose methods are no-ops.

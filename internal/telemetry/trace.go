@@ -35,6 +35,11 @@ type Trace struct {
 	epoch  time.Time
 	mu     sync.Mutex
 	events []Event
+	// flight, when non-nil, receives a copy of every added event; with
+	// ringOnly set the unbounded events slice stays empty and the ring
+	// is the sole retention (see AttachFlight).
+	flight   *FlightRecorder
+	ringOnly bool
 }
 
 func newTrace() *Trace { return &Trace{epoch: time.Now()} }
@@ -47,14 +52,19 @@ func (t *Trace) Now() time.Duration {
 	return time.Since(t.epoch)
 }
 
-// Add appends a completed event. No-op on a nil receiver.
+// Add appends a completed event, also teeing it into the attached
+// flight recorder when one is present. No-op on a nil receiver.
 func (t *Trace) Add(ev Event) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	t.events = append(t.events, ev)
+	flight, ringOnly := t.flight, t.ringOnly
+	if !ringOnly {
+		t.events = append(t.events, ev)
+	}
 	t.mu.Unlock()
+	flight.Record(ev)
 }
 
 // Events returns a copy of the recorded events in append order.

@@ -42,6 +42,24 @@ func (s *Stats) Add(o Stats) {
 	s.BigIntPaths += o.BigIntPaths
 }
 
+// Sub returns s - o field by field. With o a previously published
+// snapshot of the same monotonically growing counters, the result is
+// the delta accumulated since — the quantity a live telemetry scrape
+// wants added to its counters at each chunk boundary.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		RootEvals:          s.RootEvals - o.RootEvals,
+		Corrections:        s.Corrections - o.Corrections,
+		Fallbacks:          s.Fallbacks - o.Fallbacks,
+		Searches:           s.Searches - o.Searches,
+		Verifies:           s.Verifies - o.Verifies,
+		Escalations:        s.Escalations - o.Escalations,
+		EscalationsPrec128: s.EscalationsPrec128 - o.EscalationsPrec128,
+		EscalationsPrec256: s.EscalationsPrec256 - o.EscalationsPrec256,
+		BigIntPaths:        s.BigIntPaths - o.BigIntPaths,
+	}
+}
+
 // String renders the counters in a compact fixed-order form.
 func (s Stats) String() string {
 	out := fmt.Sprintf("root evals %d, corrections %d, fallbacks %d, searches %d",
