@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check cover bench bench-json benchgate benchgate-baseline figures ablation scaling fuzz stress clean
+.PHONY: all build test test-short race check cover bench bench-json benchgate benchgate-baseline servegate servegate-baseline loadtest figures ablation scaling fuzz stress clean
 
 all: build test
 
@@ -24,7 +24,7 @@ test-short:
 # from concurrent goroutines, and the observability plane whose tests
 # scrape /metrics and /snapshot while a collapsed run mutates the
 # registry.
-RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/obs/ ./internal/kernels/ ./internal/faults/ ./internal/unrank/ ./internal/stress/ ./internal/core/ .
+RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/obs/ ./internal/kernels/ ./internal/faults/ ./internal/unrank/ ./internal/stress/ ./internal/core/ ./internal/serve/ .
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -40,8 +40,16 @@ check:
 	$(GO) test ./...
 	$(GO) test -race $(RACE_PKGS)
 	$(MAKE) stress
+	$(MAKE) loadtest
 	$(MAKE) benchgate
 	$(MAKE) fuzz FUZZTIME=5s
+
+# Daemon smoke soak: an in-process collapsed instance driven at 2x its
+# admission rate for a couple of short phases, with every admitted
+# answer differential-checked against sequential enumeration. Fails on
+# any 5xx, any wrong answer, or if over-capacity load is not shed 429.
+loadtest:
+	$(GO) run ./cmd/loadgen -smoke -quick
 
 # Bench-regression gate: one quick overhead run diffed against the
 # committed BENCH_GATE.json baseline with cmd/benchdiff, exiting
@@ -63,6 +71,25 @@ benchgate:
 
 benchgate-baseline:
 	$(GO) run ./cmd/benchfig -fig overhead -quick -reps 1 -json $(GATE_BASELINE)
+
+# Serving-trajectory regression gate: one quick loadgen run against an
+# in-process daemon, diffed against the committed BENCH_PR7.json
+# baseline. Only achieved_qps is gated (latency quantiles and shed rate
+# depend on the host and on scheduler noise at 1s phases); the threshold
+# is sized accordingly. Baseline and gate runs must share SERVE_FLAGS so
+# the per-phase target_qps params line up.
+SERVE_BASELINE = BENCH_PR7.json
+SERVE_FLAGS = -quick -qps 200 -phases 0.5,1,2 -seed 1
+SERVE_GATE_FLAGS = -metrics achieved_qps -threshold 75
+
+servegate:
+	@if [ ! -f $(SERVE_BASELINE) ]; then echo "no $(SERVE_BASELINE); run 'make servegate-baseline' first"; exit 1; fi
+	$(GO) run ./cmd/loadgen $(SERVE_FLAGS) -json .bench_serve_new.json >/dev/null
+	$(GO) run ./cmd/benchdiff -old $(SERVE_BASELINE) -new .bench_serve_new.json $(SERVE_GATE_FLAGS)
+	@rm -f .bench_serve_new.json
+
+servegate-baseline:
+	$(GO) run ./cmd/loadgen $(SERVE_FLAGS) -json $(SERVE_BASELINE)
 
 # Differential stress soak: seedable random nests through every
 # schedule and every precision-ladder tier, with fault injection,

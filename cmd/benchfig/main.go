@@ -31,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -148,7 +149,10 @@ func run(o options) error {
 				fmt.Fprintf(os.Stderr, "benchfig: run finished; holding plane open %s\n", o.hold)
 				time.Sleep(o.hold)
 			}
-			plane.Close()
+			// Graceful drain: a scraper mid-/trace gets its full answer.
+			shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			plane.Shutdown(shCtx)
 		}()
 	}
 	do := func(f string) bool { return o.fig == "all" || o.fig == f }

@@ -32,6 +32,12 @@
 //	           times, hits/misses counters)
 //	-n N       parameter value for the -stats run (default 300)
 //	-threads P team size for the -stats run (default GOMAXPROCS)
+//	-deadline DUR
+//	           wall-clock budget for the -stats run, wired as a
+//	           context.WithTimeout into the parallel runtime (the same
+//	           deadline path the collapsed daemon enforces per request);
+//	           on expiry the team stops cooperatively at a chunk
+//	           boundary and the typed faults.ErrCanceled class is reported
 //	-trace-out FILE
 //	           write the chunk timeline and compile spans as Chrome
 //	           trace-event JSON (open in about:tracing or
@@ -50,6 +56,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -85,6 +92,7 @@ type options struct {
 	verify     bool
 	statsN     int64
 	threads    int
+	deadline   time.Duration
 	traceOut   string
 	serve      string
 	hold       time.Duration
@@ -110,6 +118,7 @@ func main() {
 	flag.BoolVar(&o.verify, "verify", false, "re-rank every recovered tuple exactly during -check/-stats runs (escalates to binary search on mismatch)")
 	flag.Int64Var(&o.statsN, "n", 300, "parameter value for the -stats run")
 	flag.IntVar(&o.threads, "threads", omp.DefaultThreads(), "team size for the -stats run")
+	flag.DurationVar(&o.deadline, "deadline", 0, "wall-clock budget for the -stats run (0: none); expiry stops the team at a chunk boundary with ErrCanceled")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write Chrome trace-event JSON to this file")
 	flag.StringVar(&o.serve, "serve", "", "serve the observability plane on this address (/metrics, /snapshot, /trace, /debug/pprof) during the run")
 	flag.DurationVar(&o.hold, "hold", 0, "with -serve, keep the plane up this long after the run (negative: until interrupted)")
@@ -193,7 +202,10 @@ func run(o options) error {
 				fmt.Fprintf(os.Stderr, "collapsetool: run finished; holding plane open %s\n", o.hold)
 				time.Sleep(o.hold)
 			}
-			plane.Close()
+			// Graceful drain: a scraper mid-/trace gets its full answer.
+			shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			plane.Shutdown(shCtx)
 		}()
 	}
 	// The -stats run demonstrates the collapse cache: the first Collapse
@@ -220,7 +232,7 @@ func run(o options) error {
 			// with plain outer-loop worksharing and report the downgrade.
 			fmt.Fprintf(os.Stderr, "collapsetool: %s: collapse inapplicable: %v\n", name, err)
 			fmt.Fprintf(os.Stderr, "collapsetool: downgrading to uncollapsed outer-loop worksharing\n")
-			return runFallbackStats(prog, o.statsN, o.threads, tel)
+			return runFallbackStats(prog, o, tel)
 		}
 		return err
 	}
@@ -289,7 +301,7 @@ func run(o options) error {
 		}
 	}
 	if o.stats {
-		if err := runStats(res, prog, o.statsN, o.threads, tel); err != nil {
+		if err := runStats(res, prog, o, tel); err != nil {
 			return err
 		}
 		speedup := 0.0
@@ -379,23 +391,46 @@ func parseSchedule(clause string) omp.Schedule {
 	return s
 }
 
+// statsContext builds the -stats run context: background, or a
+// context.WithTimeout when -deadline is set — the same deadline shape
+// the collapsed daemon enforces per request.
+func statsContext(deadline time.Duration) (context.Context, context.CancelFunc) {
+	if deadline > 0 {
+		return context.WithTimeout(context.Background(), deadline)
+	}
+	return context.Background(), func() {}
+}
+
+// classifyDeadline translates a run error into the typed taxonomy for
+// the CLI: an ErrCanceled expiry is reported as such (the team stopped
+// cooperatively at a chunk boundary), anything else passes through.
+func classifyDeadline(err error, deadline time.Duration) error {
+	if errors.Is(err, faults.ErrCanceled) {
+		return fmt.Errorf("deadline %s expired: team stopped cooperatively at a chunk boundary (typed faults.ErrCanceled): %w",
+			deadline, err)
+	}
+	return err
+}
+
 // runStats executes the collapsed nest with every parameter bound to
-// statsN and prints the telemetry: compile-phase spans, per-thread
+// -n and prints the telemetry: compile-phase spans, per-thread
 // loads, recovery counters and the load-imbalance summary.
-func runStats(res *core.Result, prog *cparse.Program, statsN int64, threads int,
+func runStats(res *core.Result, prog *cparse.Program, o options,
 	tel *telemetry.Registry) error {
 	params := map[string]int64{}
 	for _, p := range prog.Nest.Params {
-		params[p] = statsN
+		params[p] = o.statsN
 	}
 	sched := parseSchedule(prog.Schedule)
-	cs, err := omp.CollapsedForTelemetry(res, params, threads, sched,
+	ctx, cancel := statsContext(o.deadline)
+	defer cancel()
+	cs, err := omp.CollapsedForTelemetryCtx(ctx, res, params, o.threads, sched,
 		tel, func(tid int, idx []int64) {})
 	if err != nil {
-		return err
+		return classifyDeadline(err, o.deadline)
 	}
 	fmt.Printf("\n=== telemetry (params=%d, threads=%d, schedule %s, %d iterations) ===\n",
-		statsN, threads, sched.Kind, cs.Total)
+		o.statsN, o.threads, sched.Kind, cs.Total)
 	fmt.Printf("\nload imbalance:\n%s", cs.ImbalanceReport())
 	fmt.Printf("\nrecovery stats (all threads): %s\n", cs.Stats)
 	fmt.Printf("\n%s", tel.Report())
@@ -405,27 +440,29 @@ func runStats(res *core.Result, prog *cparse.Program, statsN int64, threads int,
 // runFallbackStats is the degraded form of runStats: the nest runs
 // uncollapsed (outermost loop workshared) because collapsing was
 // inapplicable, and the telemetry report records the downgrade.
-func runFallbackStats(prog *cparse.Program, statsN int64, threads int,
+func runFallbackStats(prog *cparse.Program, o options,
 	tel *telemetry.Registry) error {
 	params := map[string]int64{}
 	for _, p := range prog.Nest.Params {
-		params[p] = statsN
+		params[p] = o.statsN
 	}
 	sched := parseSchedule(prog.Schedule)
 	tel.Counter("omp.downgrades").Inc()
 	var iters int64
-	perThread := make([]int64, threads)
-	err := omp.UncollapsedFor(nil, prog.Nest, params, threads, sched,
+	perThread := make([]int64, o.threads)
+	ctx, cancel := statsContext(o.deadline)
+	defer cancel()
+	err := omp.UncollapsedFor(ctx, prog.Nest, params, o.threads, sched,
 		func(tid int, idx []int64) { perThread[tid]++ })
 	if err != nil {
-		return err
+		return classifyDeadline(err, o.deadline)
 	}
 	for _, c := range perThread {
 		iters += c
 	}
 	tel.Counter("omp.iterations").Add(iters)
 	fmt.Printf("\n=== telemetry (uncollapsed fallback, params=%d, threads=%d, schedule %s, %d iterations) ===\n",
-		statsN, threads, sched.Kind, iters)
+		o.statsN, o.threads, sched.Kind, iters)
 	fmt.Printf("\nper-thread iterations (outer-loop worksharing):\n")
 	for t, c := range perThread {
 		fmt.Printf("  thread %d: %d\n", t, c)

@@ -10,11 +10,19 @@
 //	rankq -nest 'i=0:N-1; j=i+1:N' -p N=10 total
 //	rankq -nest 'i=0:N-1; j=i+1:N' -p N=10 rank 3 5
 //	rankq -nest 'i=0:N-1; j=i+1:N' -p N=10 unrank 29
+//	rankq -nest 'i=0:N-1; j=i+1:N' -p N=1000 run
 //	rankq -nest 'i=0:N-1; j=i+1:N' poly
 //	rankq -nest 'i=0:N-1; j=i+1:N' roots
+//
+// The `run` command executes the collapsed nest on the parallel runtime
+// (-threads workers). -deadline DUR bounds any run with a
+// context.WithTimeout — the same deadline path the collapsed daemon
+// enforces per request; on expiry the team stops cooperatively at a
+// chunk boundary and the typed faults.ErrCanceled class is reported.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,11 +30,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ehrhart"
 	"repro/internal/faults"
 	"repro/internal/nest"
+	"repro/internal/omp"
 	"repro/internal/poly"
 	"repro/internal/roots"
 	"repro/internal/unrank"
@@ -38,14 +48,9 @@ import (
 // compile once.
 var collapseCache = core.NewCollapseCache(16)
 
-// build compiles (or cache-hits) the unranking machinery for the whole
-// nest.
-func build(n *nest.Nest) (*unrank.Unranker, error) {
-	res, err := core.CollapseCached(collapseCache, n, n.Depth(), unrank.Options{})
-	if err != nil {
-		return nil, err
-	}
-	return res.Unranker, nil
+// build compiles (or cache-hits) the collapse of the whole nest.
+func build(n *nest.Nest) (*core.Result, error) {
+	return core.CollapseCached(collapseCache, n, n.Depth(), unrank.Options{})
 }
 
 type paramFlags map[string]int64
@@ -69,9 +74,11 @@ func main() {
 	nestSpec := flag.String("nest", "", "loops as 'i=lo:hi; j=lo:hi; ...' (hi exclusive)")
 	params := paramFlags{}
 	flag.Var(params, "p", "parameter binding name=value (repeatable)")
+	deadline := flag.Duration("deadline", 0, "wall-clock budget for the query (0: none); an expired run stops at a chunk boundary with ErrCanceled")
+	threads := flag.Int("threads", omp.DefaultThreads(), "team size for the run command")
 	flag.Parse()
 
-	if err := run(*nestSpec, params, flag.Args()); err != nil {
+	if err := run(*nestSpec, params, *deadline, *threads, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "rankq:", err)
 		os.Exit(1)
 	}
@@ -132,13 +139,13 @@ func parseNest(spec string, params paramFlags) (*nest.Nest, error) {
 	return nest.New(ps, loops...)
 }
 
-func run(nestSpec string, params paramFlags, args []string) error {
+func run(nestSpec string, params paramFlags, deadline time.Duration, threads int, args []string) error {
 	n, err := parseNest(nestSpec, params)
 	if err != nil {
 		return err
 	}
 	if len(args) == 0 {
-		return fmt.Errorf("missing command: total|rank|unrank|poly|roots|list")
+		return fmt.Errorf("missing command: total|rank|unrank|run|poly|roots|list")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -148,21 +155,25 @@ func run(nestSpec string, params paramFlags, args []string) error {
 		fmt.Printf("count = %s\n", ehrhart.Count(n))
 		return nil
 	case "roots":
-		u, err := build(n)
+		res, err := build(n)
 		if err != nil {
 			return err
 		}
+		u := res.Unranker
 		for k := 0; k < n.Depth()-1; k++ {
 			fmt.Printf("%s = floor(Re( %s ))\n", n.Loops[k].Index, roots.String(u.RootExpr(k)))
 		}
 		fmt.Printf("%s: direct formula (pc minus rank of prefix lexmin)\n", n.Loops[n.Depth()-1].Index)
 		return nil
+	case "run":
+		return runCollapsed(n, params, deadline, threads)
 	}
 
-	u, err := build(n)
+	res, err := build(n)
 	if err != nil {
 		return err
 	}
+	u := res.Unranker
 	b, err := u.Bind(params)
 	if err != nil {
 		// Domains whose iteration count exceeds the int64 pc range
@@ -228,5 +239,43 @@ func run(nestSpec string, params paramFlags, args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+	return nil
+}
+
+// runCollapsed executes the collapsed nest on the parallel runtime,
+// with -deadline wired through context.WithTimeout into
+// omp.CollapsedForCtx. Expiry is reported as the typed ErrCanceled
+// class, distinguishing a budget stop from a wrong-answer failure.
+func runCollapsed(n *nest.Nest, params paramFlags, deadline time.Duration, threads int) error {
+	res, err := build(n)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	perThread := make([]int64, threads)
+	start := time.Now()
+	// Chunked schedule: cancellation is only observed at chunk
+	// boundaries, so an unchunked static run would ignore the deadline.
+	sched := omp.Schedule{Kind: omp.Dynamic, Chunk: 4096}
+	err = omp.CollapsedForCtx(ctx, res, params, threads, sched,
+		func(tid int, idx []int64) { perThread[tid]++ })
+	elapsed := time.Since(start)
+	if err != nil {
+		if errors.Is(err, faults.ErrCanceled) {
+			return fmt.Errorf("deadline %s expired after %s: team stopped cooperatively at a chunk boundary (typed faults.ErrCanceled): %w",
+				deadline, elapsed.Round(time.Millisecond), err)
+		}
+		return err
+	}
+	var total int64
+	for _, c := range perThread {
+		total += c
+	}
+	fmt.Printf("ran %d iterations on %d threads in %s\n", total, threads, elapsed.Round(time.Microsecond))
 	return nil
 }

@@ -5,9 +5,15 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 )
 
 func captureRun(t *testing.T, nestSpec string, params paramFlags, args []string) (string, error) {
+	t.Helper()
+	return captureRunDeadline(t, nestSpec, params, 0, args)
+}
+
+func captureRunDeadline(t *testing.T, nestSpec string, params paramFlags, deadline time.Duration, args []string) (string, error) {
 	t.Helper()
 	old := os.Stdout
 	r, w, err := os.Pipe()
@@ -20,7 +26,7 @@ func captureRun(t *testing.T, nestSpec string, params paramFlags, args []string)
 		data, _ := io.ReadAll(r)
 		done <- string(data)
 	}()
-	ferr := run(nestSpec, params, args)
+	ferr := run(nestSpec, params, deadline, 1, args)
 	w.Close()
 	os.Stdout = old
 	return <-done, ferr
@@ -104,6 +110,29 @@ func TestRankqErrors(t *testing.T) {
 		if _, err := captureRun(t, c.spec, c.params, c.args); err == nil {
 			t.Errorf("spec %q args %v: expected error", c.spec, c.args)
 		}
+	}
+}
+
+func TestRankqRunCommand(t *testing.T) {
+	out, err := captureRun(t, triSpec, paramFlags{"N": 10}, []string{"run"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ran 45 iterations") {
+		t.Errorf("run output: %q", out)
+	}
+}
+
+func TestRankqRunDeadline(t *testing.T) {
+	// A deadline that has effectively already expired: the team must stop
+	// cooperatively and report the typed cancellation, not run to
+	// completion or hang.
+	_, err := captureRunDeadline(t, triSpec, paramFlags{"N": 2000}, time.Nanosecond, []string{"run"})
+	if err == nil {
+		t.Fatal("1ns deadline did not expire")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Errorf("deadline error: %v", err)
 	}
 }
 

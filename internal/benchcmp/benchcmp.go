@@ -122,6 +122,14 @@ func Decode(r io.Reader) (*Run, error) {
 		for _, row := range rep.Rows {
 			run.Kernels = append(run.Kernels, compileKernel(row))
 		}
+	case "serve":
+		var rep experiments.ServeReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, err
+		}
+		for _, row := range rep.Rows {
+			run.Kernels = append(run.Kernels, serveKernel(row))
+		}
 	case "":
 		return nil, fmt.Errorf("document has no suite field")
 	default:
@@ -162,6 +170,25 @@ func compileKernel(row experiments.CompileRow) Kernel {
 	add("cached_us", row.CachedUs, false)
 	add("speedup_parallel_vs_serial", row.SpeedupParallel, true)
 	add("speedup_cached_vs_cold", row.SpeedupCached, true)
+	return k
+}
+
+// serveKernel flattens one serving-trajectory phase into named metrics.
+// The target QPS stands in as the comparability key: two runs are only
+// apples-to-apples at the same offered load.
+func serveKernel(row experiments.ServeRow) Kernel {
+	k := Kernel{
+		Name:   "phase:" + row.Phase,
+		Params: map[string]int64{"target_qps": int64(row.TargetQPS)},
+	}
+	add := func(name string, v float64, higher bool) {
+		k.Metrics = append(k.Metrics, Metric{Name: name, Value: v, HigherIsBetter: higher})
+	}
+	add("achieved_qps", row.AchievedQPS, true)
+	add("p50_ms", row.P50Ms, false)
+	add("p99_ms", row.P99Ms, false)
+	// More shedding at the same offered load means less served capacity.
+	add("shed_rate", row.ShedRate, false)
 	return k
 }
 

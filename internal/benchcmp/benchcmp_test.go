@@ -2,6 +2,7 @@ package benchcmp
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -269,6 +270,115 @@ func TestCompileSuite(t *testing.T) {
 	}
 	if m := k.metric("cached_us"); m == nil || m.HigherIsBetter {
 		t.Errorf("cached_us direction wrong: %+v", m)
+	}
+}
+
+// syntheticServe builds a serving-trajectory report with the given p99
+// and achieved-QPS scaling (scale > 1 = slower and slower-serving runs
+// diverge in opposite directions per metric sign).
+func syntheticServe(p99Scale, qpsScale float64) *experiments.ServeReport {
+	rep := &experiments.ServeReport{
+		Suite: "serve",
+		Meta:  experiments.NewBenchMeta(),
+		Nest:  "i=0:N-1; j=i+1:N",
+		Mix:   "rank=3,unrank=3,count=1",
+	}
+	for _, ph := range []struct {
+		name string
+		qps  float64
+	}{{"0.5x", 200}, {"1x", 400}, {"2x", 800}} {
+		rep.Rows = append(rep.Rows, experiments.ServeRow{
+			Phase:       ph.name,
+			TargetQPS:   ph.qps,
+			OfferedQPS:  ph.qps,
+			AchievedQPS: ph.qps * 0.9 * qpsScale,
+			DurationS:   3,
+			Sent:        int64(ph.qps * 3),
+			OK:          int64(ph.qps * 2.7),
+			P50Ms:       0.4 * p99Scale,
+			P95Ms:       1.1 * p99Scale,
+			P99Ms:       2.5 * p99Scale,
+			ShedRate:    0.05,
+		})
+	}
+	return rep
+}
+
+func decodeServe(t *testing.T, rep *experiments.ServeReport) *Run {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestServeSuite checks the BENCH_PR7-style serving trajectory loads,
+// keys phases by target QPS, and diffs direction-aware: p99 regresses
+// upward, achieved QPS regresses downward.
+func TestServeSuite(t *testing.T) {
+	run := decodeServe(t, syntheticServe(1, 1))
+	if run.Suite != "serve" || len(run.Kernels) != 3 {
+		t.Fatalf("decoded run: suite %q, %d kernels", run.Suite, len(run.Kernels))
+	}
+	k := run.Kernel("phase:2x")
+	if k == nil {
+		t.Fatal("phase:2x kernel missing")
+	}
+	if k.Params["target_qps"] != 800 {
+		t.Fatalf("phase:2x params = %v", k.Params)
+	}
+	if m := k.metric("achieved_qps"); m == nil || !m.HigherIsBetter {
+		t.Fatalf("achieved_qps direction wrong: %+v", m)
+	}
+	if m := k.metric("p99_ms"); m == nil || m.HigherIsBetter {
+		t.Fatalf("p99_ms direction wrong: %+v", m)
+	}
+
+	// Identical runs: no regression.
+	rep, err := Compare(run, decodeServe(t, syntheticServe(1, 1)), Options{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("identical serve runs regressed: %v", regs)
+	}
+
+	// p99 doubled: latency metrics regress in every phase.
+	rep, err = Compare(run, decodeServe(t, syntheticServe(2, 1)), Options{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range rep.Regressions() {
+		if d.Metric == "p99_ms" {
+			found = true
+		}
+		if d.Metric == "achieved_qps" {
+			t.Fatalf("unchanged achieved_qps flagged: %+v", d)
+		}
+	}
+	if !found {
+		t.Fatalf("doubled p99 not flagged; deltas = %+v", rep.Deltas)
+	}
+
+	// Achieved QPS halved: throughput regresses (direction flipped).
+	rep, err = Compare(run, decodeServe(t, syntheticServe(1, 0.5)), Options{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, d := range rep.Regressions() {
+		if d.Metric == "achieved_qps" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("halved QPS not flagged; deltas = %+v", rep.Deltas)
 	}
 }
 

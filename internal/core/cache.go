@@ -139,6 +139,18 @@ func (c *CollapseCache) put(sig string, u *unrank.Unranker) (evicted int) {
 	return evicted
 }
 
+// Has reports whether an artifact for sig (a NestSignature) is resident,
+// without promoting it in the LRU order — a read-only peek for callers
+// that want to report cache effectiveness per request (the serve daemon's
+// "cached" response field).
+func (c *CollapseCache) Has(sig string) bool {
+	sh := c.shard(sig)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.m[sig]
+	return ok
+}
+
 // CollapseCached is Collapse routed through cache: a structural hit skips
 // the whole symbolic pipeline and adapts the cached artifact to the
 // caller's variable names; a miss compiles normally and populates the

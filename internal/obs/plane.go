@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -242,12 +243,30 @@ func (p *Plane) Addr() net.Addr {
 	return p.ln.Addr()
 }
 
-// Close stops the listener (no-op when Serve was never called).
+// Close stops the listener immediately, dropping in-flight scrapes
+// (no-op when Serve was never called). Prefer Shutdown on orderly exit.
 func (p *Plane) Close() error {
 	if p.srv == nil {
 		return nil
 	}
 	return p.srv.Close()
+}
+
+// Shutdown gracefully stops the plane: the listener closes at once (no
+// new scrapes), in-flight requests drain until done or ctx expires,
+// then the server closes. A scraper mid-/trace or mid-/snapshot gets
+// its full answer instead of a reset connection. No-op when Serve was
+// never called.
+func (p *Plane) Shutdown(ctx context.Context) error {
+	if p.srv == nil {
+		return nil
+	}
+	err := p.srv.Shutdown(ctx)
+	if err != nil {
+		// Drain budget exhausted: cut the stragglers loose.
+		p.srv.Close()
+	}
+	return err
 }
 
 // refreshRuntime updates process-level gauges on the registry —

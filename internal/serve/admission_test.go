@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable now() for bucket tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func fixedRnd(r float64) func() float64      { return func() float64 { return r } }
+func testBucket(rate, burst float64, clk *fakeClock, r float64) *tokenBucket {
+	b := newTokenBucket(rate, burst)
+	b.now = clk.now
+	b.last = clk.now()
+	b.rnd = fixedRnd(r)
+	return b
+}
+
+func TestBucketAdmitsBurstThenRejects(t *testing.T) {
+	clk := newFakeClock()
+	b := testBucket(10, 3, clk, 0)
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("take %d rejected within burst", i)
+		}
+	}
+	ok, retry := b.take()
+	if ok {
+		t.Fatalf("take beyond burst admitted")
+	}
+	// Empty bucket at rate 10/s: one token accrues in 100ms; with zero
+	// jitter the hint is exactly the base wait.
+	if want := 100 * time.Millisecond; retry != want {
+		t.Fatalf("retry hint = %v, want %v", retry, want)
+	}
+}
+
+func TestBucketRefillReadmits(t *testing.T) {
+	clk := newFakeClock()
+	b := testBucket(10, 1, clk, 0)
+	if ok, _ := b.take(); !ok {
+		t.Fatalf("initial take rejected")
+	}
+	if ok, _ := b.take(); ok {
+		t.Fatalf("empty bucket admitted")
+	}
+	clk.advance(100 * time.Millisecond) // exactly one token at 10/s
+	if ok, _ := b.take(); !ok {
+		t.Fatalf("refilled bucket rejected")
+	}
+}
+
+func TestBucketDisabledRateAdmitsEverything(t *testing.T) {
+	b := newTokenBucket(0, 0)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := b.take(); !ok {
+			t.Fatalf("disabled bucket rejected take %d", i)
+		}
+	}
+}
+
+// TestRetryAfterHintMath pins the header math: base wait is the deficit
+// refill time (1-tokens)/rate, stretched by the jitter factor
+// (1 + jitterFrac*r), floored at 1ms.
+func TestRetryAfterHintMath(t *testing.T) {
+	cases := []struct {
+		tokens, rate, r float64
+		want            time.Duration
+	}{
+		// Empty bucket, 10/s, no jitter: 100ms flat.
+		{0, 10, 0, 100 * time.Millisecond},
+		// Max jitter draw stretches by 1+jitterFrac = 1.25.
+		{0, 10, 1, 125 * time.Millisecond},
+		// Half a token already accrued: half the base wait.
+		{0.5, 10, 0, 50 * time.Millisecond},
+		// Mid jitter: 50ms * 1.125.
+		{0.5, 10, 0.5, time.Duration(56.25 * float64(time.Millisecond))},
+		// Very fast refill floors at 1ms — never tell clients "now".
+		{0.999, 100000, 0, time.Millisecond},
+		// Defensive: a (numerically) overfull bucket still floors at 1ms
+		// rather than going negative.
+		{1.5, 10, 1, time.Millisecond},
+	}
+	for _, c := range cases {
+		got := retryAfterHint(c.tokens, c.rate, c.r)
+		if got != c.want {
+			t.Errorf("retryAfterHint(%v, %v, %v) = %v, want %v",
+				c.tokens, c.rate, c.r, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterHintJitterDecorrelates checks the jitter range property
+// the thundering-herd defence relies on: across the full r range hints
+// spread over [base, base*1.25) instead of landing on one instant.
+func TestRetryAfterHintJitterDecorrelates(t *testing.T) {
+	base := 100 * time.Millisecond
+	lo := retryAfterHint(0, 10, 0)
+	hi := retryAfterHint(0, 10, 0.999999)
+	if lo != base {
+		t.Fatalf("zero-jitter hint = %v, want %v", lo, base)
+	}
+	if hi <= lo || hi >= time.Duration(1.25*float64(base))+time.Millisecond {
+		t.Fatalf("max-jitter hint %v outside (%v, %v)", hi, lo, time.Duration(1.25*float64(base)))
+	}
+}
+
+// TestRetryAfterHeaderFormat pins the wire format end to end: the header
+// renders fractional seconds at millisecond resolution and the client
+// parser inverts it.
+func TestRetryAfterHeaderFormat(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{42 * time.Millisecond, "0.042"},
+		{100 * time.Millisecond, "0.100"},
+		{1500 * time.Millisecond, "1.500"},
+		{time.Millisecond, "0.001"},
+	}
+	for _, c := range cases {
+		got := formatRetryAfter(c.d)
+		if got != c.want {
+			t.Errorf("formatRetryAfter(%v) = %q, want %q", c.d, got, c.want)
+		}
+		if back := ParseRetryAfter(got); back != c.d {
+			t.Errorf("ParseRetryAfter(%q) = %v, want %v", got, back, c.d)
+		}
+	}
+	// The RFC's integer form parses too; garbage yields zero.
+	if d := ParseRetryAfter("3"); d != 3*time.Second {
+		t.Errorf("ParseRetryAfter(\"3\") = %v, want 3s", d)
+	}
+	for _, bad := range []string{"", "soon", "-1"} {
+		if d := ParseRetryAfter(bad); d != 0 {
+			t.Errorf("ParseRetryAfter(%q) = %v, want 0", bad, d)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// breakerState is one signature's circuit state.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// errBreakerOpen wraps the failure that tripped a breaker, so fast
+// rejections report the original applicability error (and its HTTP
+// status) without re-running the compile pipeline.
+type errBreakerOpen struct {
+	sig  string
+	last error
+}
+
+func (e *errBreakerOpen) Error() string {
+	return fmt.Sprintf("circuit breaker open for this nest shape (repeated compile failure: %v)", e.last)
+}
+
+func (e *errBreakerOpen) Unwrap() error { return e.last }
+
+// compileBreaker is the compile-failure circuit breaker, keyed by
+// core.NestSignature. Nests that repeatedly fail compilation with a
+// deterministic applicability error (ErrDegreeTooHigh, ErrNonAffine, …)
+// trip their signature's circuit: further requests for the same shape
+// are fast-rejected with the recorded error instead of re-burning
+// compile workers. After cooldown the circuit goes half-open and admits
+// a single probe; a probe success closes it, a failure re-opens it.
+//
+// The map is bounded: when full, recording a new signature evicts an
+// arbitrary resident entry (signatures are adversary-controlled input,
+// so an unbounded map would be a memory leak an attacker can drive).
+type compileBreaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that trip the circuit
+	cooldown  time.Duration // open duration before half-open
+	maxKeys   int
+	now       func() time.Time
+	entries   map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	state    breakerState
+	failures int       // consecutive collapsible compile failures
+	until    time.Time // when an open circuit turns half-open
+	probing  bool      // a half-open probe is in flight
+	last     error     // the failure that tripped (or is accumulating)
+}
+
+// newCompileBreaker builds a breaker; threshold <= 0 disables it.
+func newCompileBreaker(threshold int, cooldown time.Duration, maxKeys int) *compileBreaker {
+	if maxKeys <= 0 {
+		maxKeys = 1024
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	return &compileBreaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		maxKeys:   maxKeys,
+		now:       time.Now,
+		entries:   make(map[string]*breakerEntry),
+	}
+}
+
+// admit decides whether a compile for sig may proceed. A non-nil error
+// is the fast rejection (*errBreakerOpen). When the circuit is half-open
+// the first caller is admitted as the probe; the caller must follow up
+// with record(sig, err) so the probe outcome resolves the state.
+func (b *compileBreaker) admit(sig string) error {
+	if b == nil || b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[sig]
+	if !ok || e.state == breakerClosed {
+		return nil
+	}
+	if e.state == breakerOpen {
+		if b.now().Before(e.until) {
+			return &errBreakerOpen{sig: sig, last: e.last}
+		}
+		e.state = breakerHalfOpen
+		e.probing = false
+	}
+	// Half-open: one probe at a time; everyone else keeps fast-failing.
+	if e.probing {
+		return &errBreakerOpen{sig: sig, last: e.last}
+	}
+	e.probing = true
+	return nil
+}
+
+// record reports a compile outcome for sig. Only deterministic
+// applicability failures should be recorded as failures (the caller
+// filters with faults.Collapsible); transient errors must not trip the
+// circuit.
+func (b *compileBreaker) record(sig string, failed bool, err error) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[sig]
+	if !ok {
+		if !failed {
+			return // nothing to track for a healthy signature
+		}
+		if len(b.entries) >= b.maxKeys {
+			for k := range b.entries {
+				delete(b.entries, k)
+				break
+			}
+		}
+		e = &breakerEntry{}
+		b.entries[sig] = e
+	}
+	e.probing = false
+	if !failed {
+		e.state = breakerClosed
+		e.failures = 0
+		e.last = nil
+		return
+	}
+	e.last = err
+	e.failures++
+	if e.state == breakerHalfOpen || e.failures >= b.threshold {
+		e.state = breakerOpen
+		e.until = b.now().Add(b.cooldown)
+	}
+}
+
+// clearProbe releases a half-open probe slot without resolving the
+// circuit either way — the outcome for a transient (non-applicability)
+// compile error, which predicts nothing about the shape itself.
+func (b *compileBreaker) clearProbe(sig string) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.entries[sig]; ok {
+		e.probing = false
+	}
+}
+
+// openCount reports how many signatures currently hold an open (or
+// half-open) circuit — the /healthz readiness signal.
+func (b *compileBreaker) openCount() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, e := range b.entries {
+		if e.state != breakerClosed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func testBreaker(threshold int, cooldown time.Duration, clk *fakeClock) *compileBreaker {
+	b := newCompileBreaker(threshold, cooldown, 0)
+	b.now = clk.now
+	return b
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(3, time.Minute, clk)
+	boom := errors.New("degree too high")
+	for i := 0; i < 2; i++ {
+		if err := b.admit("sig"); err != nil {
+			t.Fatalf("admit %d below threshold: %v", i, err)
+		}
+		b.record("sig", true, boom)
+	}
+	// Third consecutive failure trips.
+	if err := b.admit("sig"); err != nil {
+		t.Fatalf("admit at threshold-1 failures: %v", err)
+	}
+	b.record("sig", true, boom)
+	err := b.admit("sig")
+	var bo *errBreakerOpen
+	if !errors.As(err, &bo) {
+		t.Fatalf("admit after trip = %v, want errBreakerOpen", err)
+	}
+	// The fast rejection reports the original failure.
+	if !errors.Is(err, boom) {
+		t.Fatalf("open-circuit error does not wrap the tripping failure: %v", err)
+	}
+	if n := b.openCount(); n != 1 {
+		t.Fatalf("openCount = %d, want 1", n)
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(3, time.Minute, clk)
+	boom := errors.New("boom")
+	b.record("sig", true, boom)
+	b.record("sig", true, boom)
+	b.record("sig", false, nil) // success wipes the streak
+	b.record("sig", true, boom)
+	b.record("sig", true, boom)
+	if err := b.admit("sig"); err != nil {
+		t.Fatalf("non-consecutive failures tripped the circuit: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(1, time.Minute, clk)
+	boom := errors.New("boom")
+	b.record("sig", true, boom) // threshold 1: open immediately
+	if err := b.admit("sig"); err == nil {
+		t.Fatalf("open circuit admitted")
+	}
+
+	clk.advance(61 * time.Second)
+	// First caller after cooldown is the probe; the second keeps failing
+	// fast while the probe is in flight.
+	if err := b.admit("sig"); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if err := b.admit("sig"); err == nil {
+		t.Fatalf("second caller admitted while probe in flight")
+	}
+
+	// Probe success closes the circuit for everyone.
+	b.record("sig", false, nil)
+	if err := b.admit("sig"); err != nil {
+		t.Fatalf("closed circuit rejected: %v", err)
+	}
+	if n := b.openCount(); n != 0 {
+		t.Fatalf("openCount after close = %d, want 0", n)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(1, time.Minute, clk)
+	boom := errors.New("boom")
+	b.record("sig", true, boom)
+	clk.advance(61 * time.Second)
+	if err := b.admit("sig"); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.record("sig", true, boom)
+	// Re-opened: fast-fail resumes for a fresh cooldown.
+	if err := b.admit("sig"); err == nil {
+		t.Fatalf("re-opened circuit admitted")
+	}
+	clk.advance(61 * time.Second)
+	if err := b.admit("sig"); err != nil {
+		t.Fatalf("second probe after re-open rejected: %v", err)
+	}
+}
+
+// TestBreakerClearProbeReleasesWithoutResolving pins the transient-error
+// path: a probe hitting a transient (non-applicability) failure must
+// release the probe slot so the next caller can probe, without either
+// closing or re-opening the circuit.
+func TestBreakerClearProbeReleasesWithoutResolving(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(1, time.Minute, clk)
+	b.record("sig", true, errors.New("boom"))
+	clk.advance(61 * time.Second)
+	if err := b.admit("sig"); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.clearProbe("sig")
+	// The slot is free again; the circuit is still not closed (a fresh
+	// success is required for that), so this admit is the next probe.
+	if err := b.admit("sig"); err != nil {
+		t.Fatalf("probe after clearProbe rejected: %v", err)
+	}
+	if n := b.openCount(); n == 0 {
+		t.Fatalf("clearProbe resolved the circuit (openCount 0)")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	clk := newFakeClock()
+	b := testBreaker(-1, time.Minute, clk)
+	for i := 0; i < 10; i++ {
+		b.record("sig", true, errors.New("boom"))
+	}
+	if err := b.admit("sig"); err != nil {
+		t.Fatalf("disabled breaker rejected: %v", err)
+	}
+}
+
+// TestBreakerBoundedKeys checks the map bound: adversary-controlled
+// signatures cannot grow the breaker without limit.
+func TestBreakerBoundedKeys(t *testing.T) {
+	clk := newFakeClock()
+	b := newCompileBreaker(1, time.Minute, 8)
+	b.now = clk.now
+	for i := 0; i < 100; i++ {
+		b.record(string(rune('a'+i%26))+string(rune('0'+i/26)), true, errors.New("boom"))
+	}
+	b.mu.Lock()
+	n := len(b.entries)
+	b.mu.Unlock()
+	if n > 8 {
+		t.Fatalf("breaker holds %d keys, bound is 8", n)
+	}
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/telemetry"
+)
+
+// TestChaosAcceptance is the PR's acceptance scenario: the daemon under
+// simultaneous worker panics (every Nth chunk), perturbed closed-form
+// roots (the recovery machinery must repair each one), and 2x
+// over-capacity offered load. The bar:
+//
+//   - every admitted (2xx) rank/unrank/count/execute answer is exactly
+//     correct, differential-checked against the sequential enumeration;
+//   - the excess load is shed with 429, not queued and not crashed;
+//   - injected panics surface as isolated 500s on their own requests,
+//     never as process death or wrong answers elsewhere;
+//   - at the end the daemon drains cleanly.
+func TestChaosAcceptance(t *testing.T) {
+	const (
+		N        = 40
+		inflight = 4
+		clients  = 8 // 2x the request capacity
+		rounds   = 30
+	)
+	reg := telemetry.New()
+	s, c := startServer(t, Config{
+		Threads:     2,
+		MaxInflight: inflight,
+		// Admission by capacity only: the token bucket stays open so the
+		// semaphore bound is what sheds.
+		RatePerSec: 0,
+		Registry:   reg,
+		Logf:       func(string, ...any) {}, // injected panics are expected noise
+	})
+	tuples, checksum := triEnum(t, N)
+	total := int64(len(tuples))
+
+	// Warm the compile cache first: the perturbation hook also fires
+	// during compile-time root selection, where it is a deterministic
+	// applicability failure rather than a recoverable fault.
+	if _, err := c.Compile(context.Background(), triRequest(N)); err != nil {
+		t.Fatalf("warm compile: %v", err)
+	}
+
+	var chunkCount atomic.Int64
+	restore := faults.Activate(&faults.Plan{
+		OnChunk: func(tid int, clo, chi int64) error {
+			if chunkCount.Add(1)%3 == 0 {
+				panic("chaos: injected worker panic")
+			}
+			return nil
+		},
+		PerturbRoot: func(level int, x complex128) complex128 { return x + 1.5 },
+	})
+	defer restore()
+
+	var (
+		ok429, ok2xx, panics500 atomic.Int64
+		wrong                   atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			ctx := context.Background()
+			cli := NewClient(c.BaseURL)
+			cli.MaxRetries = -1
+			for r := 0; r < rounds; r++ {
+				pc := int64((cl*rounds+r)%len(tuples)) + 1
+				var err error
+				switch r % 4 {
+				case 0: // rank
+					req := triRequest(N)
+					req.Index = tuples[pc-1]
+					var resp *RankResponse
+					if resp, err = cli.Rank(ctx, req); err == nil {
+						ok2xx.Add(1)
+						if resp.Pc != pc {
+							wrong.Add(1)
+						}
+					}
+				case 1: // unrank — exercises the perturbed-root recovery
+					req := triRequest(N)
+					req.Pc = pc
+					var resp *UnrankResponse
+					if resp, err = cli.Unrank(ctx, req); err == nil {
+						ok2xx.Add(1)
+						want := tuples[pc-1]
+						if len(resp.Index) != len(want) || resp.Index[0] != want[0] || resp.Index[1] != want[1] {
+							wrong.Add(1)
+						}
+					}
+				case 2: // count
+					var resp *CountResponse
+					if resp, err = cli.Count(ctx, triRequest(N)); err == nil {
+						ok2xx.Add(1)
+						if resp.Total != total {
+							wrong.Add(1)
+						}
+					}
+				case 3: // execute — exposed to the injected panics
+					req := triRequest(N)
+					req.Schedule = "dynamic,8"
+					var resp *ExecuteResponse
+					if resp, err = cli.Execute(ctx, req); err == nil {
+						ok2xx.Add(1)
+						if resp.Iterations != total || resp.Checksum != checksum {
+							wrong.Add(1)
+						}
+					}
+				}
+				if err != nil {
+					var ae *APIError
+					if !errors.As(err, &ae) {
+						t.Errorf("client %d: transport error (daemon died?): %v", cl, err)
+						return
+					}
+					switch {
+					case ae.Status == http.StatusTooManyRequests:
+						ok429.Add(1)
+					case ae.Status == http.StatusInternalServerError && ae.Class == "panic":
+						panics500.Add(1) // isolated injected panic: allowed
+					default:
+						t.Errorf("client %d: unexpected failure %v", cl, err)
+						return
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	if w := wrong.Load(); w != 0 {
+		t.Fatalf("%d wrong answers under chaos (admitted requests must be exact)", w)
+	}
+	if ok2xx.Load() == 0 {
+		t.Fatalf("no request succeeded under chaos")
+	}
+	if panics500.Load() == 0 {
+		t.Fatalf("no injected panic surfaced — chaos did not engage")
+	}
+	t.Logf("chaos: %d ok, %d shed(429), %d isolated panics",
+		ok2xx.Load(), ok429.Load(), panics500.Load())
+
+	// Excess load is shed with 429, deterministically: with every
+	// request slot occupied, the next arrival must be turned away with a
+	// Retry-After hint — never queued, never failed.
+	for i := 0; i < inflight; i++ {
+		s.sem <- struct{}{}
+		s.inflight.Add(1)
+	}
+	_, err := c.Count(context.Background(), triRequest(N))
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity request: err = %v, want 429", err)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Fatalf("over-capacity 429 carries no Retry-After hint")
+	}
+	for i := 0; i < inflight; i++ {
+		<-s.sem
+		s.inflight.Add(-1)
+	}
+
+	// Clean drain, chaos still active.
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(shCtx); err != nil {
+		t.Fatalf("drain under chaos: %v", err)
+	}
+}
