@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check cover bench bench-json benchgate benchgate-baseline servegate servegate-baseline loadtest figures ablation scaling fuzz stress clean
+.PHONY: all build test test-short race check cover bench bench-json benchgate benchgate-baseline servegate servegate-baseline distchaos distgate distgate-baseline loadtest figures ablation scaling fuzz stress clean
 
 all: build test
 
@@ -21,10 +21,11 @@ test-short:
 # (fault injection registry, verified recovery) whose tests exercise
 # panic capture, cancellation and escalation under load, the core
 # package whose cache-contention test hammers the sharded CollapseCache
-# from concurrent goroutines, and the observability plane whose tests
+# from concurrent goroutines, the observability plane whose tests
 # scrape /metrics and /snapshot while a collapsed run mutates the
-# registry.
-RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/obs/ ./internal/kernels/ ./internal/faults/ ./internal/unrank/ ./internal/stress/ ./internal/core/ ./internal/serve/ .
+# registry, and the shard coordinator whose lease-expiry, speculation
+# and crash-chaos tests are races by construction.
+RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/obs/ ./internal/kernels/ ./internal/faults/ ./internal/unrank/ ./internal/stress/ ./internal/core/ ./internal/serve/ ./internal/dist/ .
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -41,6 +42,7 @@ check:
 	$(GO) test -race $(RACE_PKGS)
 	$(MAKE) stress
 	$(MAKE) loadtest
+	$(MAKE) distchaos
 	$(MAKE) benchgate
 	$(MAKE) fuzz FUZZTIME=5s
 
@@ -90,6 +92,32 @@ servegate:
 
 servegate-baseline:
 	$(GO) run ./cmd/loadgen $(SERVE_FLAGS) -json $(SERVE_BASELINE)
+
+# Sharded-execution chaos gate: an execute-heavy loadgen run against an
+# in-process daemon in sharded mode, with every Nth in-flight shard
+# executor killed. Fails unless executors actually died, sharded answers
+# came back, and every 2xx answer was exactly correct (differential
+# check against sequential enumeration).
+distchaos:
+	$(GO) run ./cmd/loadgen -quick -qps 60 -phases 1 -mix execute=1 -p N=120 -chaos-kill-shard-every 5
+
+# Shard-coordination regression gate: one quick distfor bench run diffed
+# against the committed BENCH_PR8.json baseline. Only the clean-run
+# throughput is gated (chaos/resume rows have injected failures whose
+# cost is noise-dominated at quick sizes); the threshold is sized for
+# quick-mode noise on a loaded host. Refresh with `make
+# distgate-baseline` after intentional coordinator changes.
+DIST_BASELINE = BENCH_PR8.json
+DIST_GATE_FLAGS = -metrics miter_per_sec -threshold 75
+
+distgate:
+	@if [ ! -f $(DIST_BASELINE) ]; then echo "no $(DIST_BASELINE); run 'make distgate-baseline' first"; exit 1; fi
+	$(GO) run ./cmd/distfor -bench -quick -json .bench_dist_new.json >/dev/null
+	$(GO) run ./cmd/benchdiff -old $(DIST_BASELINE) -new .bench_dist_new.json $(DIST_GATE_FLAGS)
+	@rm -f .bench_dist_new.json
+
+distgate-baseline:
+	$(GO) run ./cmd/distfor -bench -quick -json $(DIST_BASELINE)
 
 # Differential stress soak: seedable random nests through every
 # schedule and every precision-ladder tier, with fault injection,

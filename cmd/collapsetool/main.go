@@ -32,6 +32,16 @@
 //	           times, hits/misses counters)
 //	-n N       parameter value for the -stats run (default 300)
 //	-threads P team size for the -stats run (default GOMAXPROCS)
+//	-shards S  with -stats: run the collapsed pc-range under the
+//	           fault-tolerant shard coordinator (internal/dist) with S
+//	           shards — leases, retries, shard splitting, uncollapsed
+//	           fallback — and print the recovery ledger and per-executor
+//	           imbalance instead of per-thread chunk loads
+//	-journal FILE
+//	           with -shards: append-only checkpoint journal of completed
+//	           pc-intervals (checksummed records + run fingerprint)
+//	-resume    with -shards -journal: replay the journal, validate its
+//	           fingerprint, and execute only the uncovered intervals
 //	-deadline DUR
 //	           wall-clock budget for the -stats run, wired as a
 //	           context.WithTimeout into the parallel runtime (the same
@@ -70,6 +80,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/cparse"
+	"repro/internal/dist"
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/omp"
@@ -92,6 +103,9 @@ type options struct {
 	verify     bool
 	statsN     int64
 	threads    int
+	shards     int
+	journal    string
+	resume     bool
 	deadline   time.Duration
 	traceOut   string
 	serve      string
@@ -118,6 +132,9 @@ func main() {
 	flag.BoolVar(&o.verify, "verify", false, "re-rank every recovered tuple exactly during -check/-stats runs (escalates to binary search on mismatch)")
 	flag.Int64Var(&o.statsN, "n", 300, "parameter value for the -stats run")
 	flag.IntVar(&o.threads, "threads", omp.DefaultThreads(), "team size for the -stats run")
+	flag.IntVar(&o.shards, "shards", 0, "with -stats: run under the fault-tolerant shard coordinator with this many shards (0: plain team run)")
+	flag.StringVar(&o.journal, "journal", "", "with -shards: append-only checkpoint journal for the run (enables -resume)")
+	flag.BoolVar(&o.resume, "resume", false, "with -shards -journal: replay the journal and execute only uncovered pc-intervals")
 	flag.DurationVar(&o.deadline, "deadline", 0, "wall-clock budget for the -stats run (0: none); expiry stops the team at a chunk boundary with ErrCanceled")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write Chrome trace-event JSON to this file")
 	flag.StringVar(&o.serve, "serve", "", "serve the observability plane on this address (/metrics, /snapshot, /trace, /debug/pprof) during the run")
@@ -148,6 +165,12 @@ func main() {
 }
 
 func run(o options) error {
+	if o.resume && o.journal == "" {
+		return fmt.Errorf("-resume needs -journal FILE (the checkpoint to replay)")
+	}
+	if (o.shards > 0 || o.journal != "" || o.resume) && !o.stats {
+		return fmt.Errorf("-shards/-journal/-resume apply to the -stats run; add -stats")
+	}
 	var src []byte
 	var err error
 	name := "<stdin>"
@@ -301,7 +324,11 @@ func run(o options) error {
 		}
 	}
 	if o.stats {
-		if err := runStats(res, prog, o, tel); err != nil {
+		if o.shards > 0 {
+			if err := runShardedStats(res, prog, o, tel); err != nil {
+				return err
+			}
+		} else if err := runStats(res, prog, o, tel); err != nil {
 			return err
 		}
 		speedup := 0.0
@@ -433,6 +460,68 @@ func runStats(res *core.Result, prog *cparse.Program, o options,
 		o.statsN, o.threads, sched.Kind, cs.Total)
 	fmt.Printf("\nload imbalance:\n%s", cs.ImbalanceReport())
 	fmt.Printf("\nrecovery stats (all threads): %s\n", cs.Stats)
+	fmt.Printf("\n%s", tel.Report())
+	return nil
+}
+
+// runShardedStats is the -shards form of runStats: the collapsed
+// pc-range runs under the internal/dist fault-tolerant coordinator —
+// leases, retry/split/fallback degradation, optional checkpoint journal
+// and -resume — and the report is the recovery ledger plus the
+// per-executor imbalance summary instead of per-thread chunk loads.
+func runShardedStats(res *core.Result, prog *cparse.Program, o options,
+	tel *telemetry.Registry) error {
+	params := map[string]int64{}
+	for _, p := range prog.Nest.Params {
+		params[p] = o.statsN
+	}
+	ctx, cancel := statsContext(o.deadline)
+	defer cancel()
+	start := time.Now()
+	rep, err := dist.Run(ctx, res, params, dist.Config{
+		Workers:       o.threads,
+		Shards:        o.shards,
+		Journal:       o.journal,
+		Resume:        o.resume,
+		AllowFallback: true,
+		Registry:      tel,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "collapsetool: "+format+"\n", args...)
+		},
+	}, func(worker int, pc int64, idx []int64) uint64 { return 1 })
+	if err != nil {
+		if o.journal != "" && errors.Is(err, faults.ErrCanceled) {
+			fmt.Fprintf(os.Stderr,
+				"collapsetool: run interrupted; progress is checkpointed — re-run with -resume -journal %s to finish the rest\n",
+				o.journal)
+		}
+		return classifyDeadline(err, o.deadline)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("\n=== sharded telemetry (params=%d, workers=%d, %d shards planned, %d iterations in %s) ===\n",
+		o.statsN, o.threads, rep.PlannedShards, rep.Executed+rep.Resumed,
+		elapsed.Round(time.Millisecond))
+	if rep.Resumed > 0 {
+		fmt.Printf("\nresume: %d iterations replayed from %s, %d executed this run\n",
+			rep.Resumed, o.journal, rep.Executed)
+	}
+	if rep.FellBack {
+		fmt.Printf("\nrecovery ladder exhausted: run degraded to uncollapsed worksharing\n")
+	}
+	fmt.Printf("\nrecovery ledger:\n")
+	fmt.Printf("  completions        %d\n", rep.Completions)
+	fmt.Printf("  duplicates dropped %d\n", rep.Duplicates)
+	fmt.Printf("  lease expiries     %d\n", rep.LeaseExpiries)
+	fmt.Printf("  speculative runs   %d (wins %d)\n", rep.SpeculativeRuns, rep.SpeculativeWins)
+	fmt.Printf("  retries            %d\n", rep.Retries)
+	fmt.Printf("  shard splits       %d\n", rep.Splits)
+	imb := rep.Imbalance()
+	fmt.Printf("\nper-executor imbalance (busy max/mean %.3f, cv %.3f):\n",
+		imb.BusyImbalance, imb.BusyCV)
+	for _, w := range rep.PerWorker {
+		fmt.Printf("  worker %2d: %5d shards %10d iterations %12s busy\n",
+			w.Worker, w.Shards, w.Iterations, w.Busy.Round(time.Microsecond))
+	}
 	fmt.Printf("\n%s", tel.Report())
 	return nil
 }

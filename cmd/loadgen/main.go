@@ -19,9 +19,13 @@
 // Chaos flags (in-process target only): -chaos-panic-every N makes
 // every Nth worker chunk panic inside the daemon's team,
 // -chaos-perturb-roots biases every closed-form root evaluation so the
-// exact-correction/escalation machinery must repair each recovery.
-// Under chaos the differential check (-verify, on by default) still
-// requires every 2xx answer to be exactly correct.
+// exact-correction/escalation machinery must repair each recovery, and
+// -chaos-kill-shard-every N kills every Nth in-flight shard executor
+// attempt (execute requests switch to the sharded engine, -shards,
+// where each kill costs one lease instead of the request). Under chaos
+// the differential check (-verify, on by default) still requires every
+// 2xx answer to be exactly correct; with shard kills the run also
+// fails unless executors actually died and sharded answers came back.
 //
 // -smoke is the CI gate mode: forced overload for ~2 seconds, asserting
 // zero 5xx answers and a nonzero 429 shed; exit status reports the
@@ -69,8 +73,10 @@ type options struct {
 	burst       float64
 	maxInflight int
 	threads     int
+	shards      int
 	chaosPanic  int
 	chaosRoots  bool
+	chaosKill   int
 }
 
 type paramFlags map[string]int64
@@ -110,8 +116,10 @@ func main() {
 	flag.Float64Var(&o.burst, "burst", 0, "in-process daemon: admission burst")
 	flag.IntVar(&o.maxInflight, "max-inflight", 64, "in-process daemon: concurrency bound")
 	flag.IntVar(&o.threads, "threads", 4, "in-process daemon: execute team size")
+	flag.IntVar(&o.shards, "shards", 0, "execute requests use the sharded engine with this many shards (0: unsharded)")
 	flag.IntVar(&o.chaosPanic, "chaos-panic-every", 0, "panic inside every Nth worker chunk (in-process only)")
 	flag.BoolVar(&o.chaosRoots, "chaos-perturb-roots", false, "perturb every closed-form root evaluation (in-process only)")
+	flag.IntVar(&o.chaosKill, "chaos-kill-shard-every", 0, "kill every Nth in-flight shard executor attempt (in-process only; implies -shards 8)")
 	flag.Parse()
 
 	if err := run(&o); err != nil {
@@ -226,6 +234,7 @@ type phaseStats struct {
 	sent, ok, r429, e4xx, e5xx atomic.Int64
 	wrong                      atomic.Int64
 	degraded                   atomic.Int64
+	sharded                    atomic.Int64
 
 	mu   sync.Mutex
 	lats []time.Duration // successful answers only
@@ -285,8 +294,11 @@ func run(o *options) error {
 		base = "http://" + addr.String()
 		fmt.Fprintf(os.Stderr, "loadgen: in-process daemon on %s (rate %.0f/s, inflight %d)\n",
 			base, o.rate, o.maxInflight)
-	} else if o.chaosPanic > 0 || o.chaosRoots {
+	} else if o.chaosPanic > 0 || o.chaosRoots || o.chaosKill > 0 {
 		return fmt.Errorf("chaos flags need the in-process daemon (fault injection is process-wide)")
+	}
+	if o.chaosKill > 0 && o.shards == 0 {
+		o.shards = 8 // shard kills need sharded execute requests to land on
 	}
 
 	mix, err := parseMix(o.mix)
@@ -297,7 +309,8 @@ func run(o *options) error {
 	client.MaxRetries = -1 // open loop: one shot per arrival
 	client.Deadline = o.deadline
 
-	if o.chaosPanic > 0 || o.chaosRoots {
+	var shardKills atomic.Int64
+	if o.chaosPanic > 0 || o.chaosRoots || o.chaosKill > 0 {
 		// Warm the daemon's compile cache before arming the plan: the
 		// perturbation hook also fires during compile-time root
 		// selection, where a biased root is a deterministic
@@ -324,9 +337,24 @@ func run(o *options) error {
 				return x + 1.5 // within the exact correction's reach
 			}
 		}
+		if o.chaosKill > 0 {
+			// Kill in-flight shard executors: every Nth shard attempt dies
+			// at its start. The daemon's coordinator must absorb each kill
+			// as one failed lease (retried, split, or re-run uncollapsed)
+			// while the response stays exactly correct.
+			every := int64(o.chaosKill)
+			var shardAttempts atomic.Int64
+			plan.OnShard = func(worker int, lo, hi int64) error {
+				if shardAttempts.Add(1)%every == 0 {
+					shardKills.Add(1)
+					panic("loadgen chaos: injected shard executor kill")
+				}
+				return nil
+			}
+		}
 		defer faults.Activate(plan)()
-		fmt.Fprintf(os.Stderr, "loadgen: chaos active (panic-every=%d, perturb-roots=%t)\n",
-			o.chaosPanic, o.chaosRoots)
+		fmt.Fprintf(os.Stderr, "loadgen: chaos active (panic-every=%d, perturb-roots=%t, kill-shard-every=%d)\n",
+			o.chaosPanic, o.chaosRoots, o.chaosKill)
 	}
 
 	report := experiments.ServeReport{
@@ -335,7 +363,7 @@ func run(o *options) error {
 		Nest:  o.nestSpec,
 		Mix:   o.mix,
 	}
-	var totalWrong, total5xx, total429 int64
+	var totalWrong, total5xx, total429, totalSharded int64
 	for _, ph := range strings.Split(o.phases, ",") {
 		mult, err := strconv.ParseFloat(strings.TrimSpace(ph), 64)
 		if err != nil || mult <= 0 {
@@ -347,6 +375,7 @@ func run(o *options) error {
 		totalWrong += row.wrong
 		total5xx += row.row.Errors5xx
 		total429 += row.row.Rejected429
+		totalSharded += row.sharded
 		fmt.Fprintf(os.Stderr,
 			"loadgen: phase %-5s offered %7.1f/s achieved %7.1f/s shed %5.1f%% p50 %6.2fms p99 %7.2fms 5xx %d wrong %d\n",
 			row.row.Phase, row.row.OfferedQPS, row.row.AchievedQPS, 100*row.row.ShedRate,
@@ -381,6 +410,19 @@ func run(o *options) error {
 	if o.verify && totalWrong > 0 {
 		return fmt.Errorf("%d wrong answers (differential check failed)", totalWrong)
 	}
+	if o.chaosKill > 0 {
+		// The gate is end-to-end: executors really died, sharded answers
+		// really came back, and (above) every one of them was exactly
+		// correct.
+		if totalSharded == 0 {
+			return fmt.Errorf("shard chaos: no sharded execute answers (mix starved of execute?)")
+		}
+		if shardKills.Load() == 0 {
+			return fmt.Errorf("shard chaos: no shard executors were killed (injection inert?)")
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: shard chaos ok (%d executors killed across %d sharded answers, all verified)\n",
+			shardKills.Load(), totalSharded)
+	}
 	if o.smoke {
 		if total5xx > 0 {
 			return fmt.Errorf("smoke: %d 5xx answers under overload (want 0)", total5xx)
@@ -394,8 +436,9 @@ func run(o *options) error {
 }
 
 type phaseResult struct {
-	row   experiments.ServeRow
-	wrong int64
+	row     experiments.ServeRow
+	wrong   int64
+	sharded int64
 }
 
 // runPhase issues Poisson arrivals at targetQPS for o.duration, one
@@ -450,7 +493,7 @@ func runPhase(o *options, orc *oracle, client *serve.Client, mix []mixEntry,
 	if sent > 0 {
 		row.ShedRate = float64(row.Rejected429) / float64(sent)
 	}
-	return phaseResult{row: row, wrong: ps.wrong.Load()}
+	return phaseResult{row: row, wrong: ps.wrong.Load(), sharded: ps.sharded.Load()}
 }
 
 // fire sends one request and classifies the outcome, differential-
@@ -481,6 +524,7 @@ func fire(ctx context.Context, o *options, orc *oracle, client *serve.Client,
 		}
 	case "execute":
 		req.Schedule = "dynamic,64"
+		req.Shards = o.shards
 		var resp *serve.ExecuteResponse
 		if resp, err = client.Execute(ctx, req); err == nil {
 			if o.verify {
@@ -488,6 +532,9 @@ func fire(ctx context.Context, o *options, orc *oracle, client *serve.Client,
 			}
 			if resp.Degraded {
 				ps.degraded.Add(1)
+			}
+			if resp.Sharded {
+				ps.sharded.Add(1)
 			}
 		}
 	case "codegen":

@@ -130,6 +130,14 @@ func Decode(r io.Reader) (*Run, error) {
 		for _, row := range rep.Rows {
 			run.Kernels = append(run.Kernels, serveKernel(row))
 		}
+	case "dist":
+		var rep experiments.DistReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, err
+		}
+		for _, row := range rep.Rows {
+			run.Kernels = append(run.Kernels, distKernel(row))
+		}
 	case "":
 		return nil, fmt.Errorf("document has no suite field")
 	default:
@@ -189,6 +197,24 @@ func serveKernel(row experiments.ServeRow) Kernel {
 	add("p99_ms", row.P99Ms, false)
 	// More shedding at the same offered load means less served capacity.
 	add("shed_rate", row.ShedRate, false)
+	return k
+}
+
+// distKernel flattens one sharded-execution scenario into named
+// metrics. Worker count and problem size are the comparability key.
+func distKernel(row experiments.DistRow) Kernel {
+	k := Kernel{
+		Name:   "dist:" + row.Scenario,
+		Params: map[string]int64{"workers": int64(row.Workers), "total": row.Total},
+	}
+	add := func(name string, v float64, higher bool) {
+		k.Metrics = append(k.Metrics, Metric{Name: name, Value: v, HigherIsBetter: higher})
+	}
+	add("miter_per_sec", row.MIterPerSec, true)
+	// Recovery/journal overhead versus the clean run at the same worker
+	// count (absent on the clean rows themselves; a non-positive old
+	// value is skipped by Compare).
+	add("overhead_pct", row.OverheadPct, false)
 	return k
 }
 

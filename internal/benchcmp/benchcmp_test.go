@@ -3,6 +3,7 @@ package benchcmp
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -414,5 +415,106 @@ func TestRender(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "syrk") {
 		t.Errorf("render missing regression flag:\n%s", out)
+	}
+}
+
+// syntheticDist builds a dist document with throughput scaled by
+// mitersScale and recovery overhead scaled by overScale.
+func syntheticDist(mitersScale, overScale float64) *experiments.DistReport {
+	rep := &experiments.DistReport{
+		Suite: "dist",
+		Meta:  experiments.NewBenchMeta(),
+		Nest:  "triangle",
+	}
+	for _, w := range []int{1, 2, 4} {
+		rep.Rows = append(rep.Rows, experiments.DistRow{
+			Scenario: fmt.Sprintf("clean/w=%d", w), Workers: w, Shards: 8 * w,
+			Total: 100000, Seconds: 0.1,
+			MIterPerSec: float64(w) * 10 * mitersScale,
+		})
+	}
+	rep.Rows = append(rep.Rows, experiments.DistRow{
+		Scenario: "chaos-kill", Workers: 4, Shards: 32,
+		Total: 100000, Seconds: 0.15,
+		MIterPerSec: 30 * mitersScale,
+		OverheadPct: 50 * overScale,
+		Retries:     7,
+	})
+	return rep
+}
+
+func decodeDist(t *testing.T, rep *experiments.DistReport) *Run {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestDistSuite checks the BENCH_PR8-style sharded-execution document
+// loads, keys scenarios by worker count and problem size, and diffs
+// direction-aware: throughput regresses downward, recovery overhead
+// regresses upward.
+func TestDistSuite(t *testing.T) {
+	run := decodeDist(t, syntheticDist(1, 1))
+	if run.Suite != "dist" || len(run.Kernels) != 4 {
+		t.Fatalf("decoded run: suite %q, %d kernels", run.Suite, len(run.Kernels))
+	}
+	k := run.Kernel("dist:clean/w=4")
+	if k == nil {
+		t.Fatal("dist:clean/w=4 kernel missing")
+	}
+	if k.Params["workers"] != 4 || k.Params["total"] != 100000 {
+		t.Fatalf("clean/w=4 params = %v", k.Params)
+	}
+	if m := k.metric("miter_per_sec"); m == nil || !m.HigherIsBetter {
+		t.Fatalf("miter_per_sec direction wrong: %+v", m)
+	}
+	if m := run.Kernel("dist:chaos-kill").metric("overhead_pct"); m == nil || m.HigherIsBetter {
+		t.Fatalf("overhead_pct direction wrong: %+v", m)
+	}
+
+	rep, err := Compare(run, decodeDist(t, syntheticDist(1, 1)), Options{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("identical dist runs regressed: %v", regs)
+	}
+
+	// Throughput halved: every scenario's miter_per_sec regresses.
+	rep, err = Compare(run, decodeDist(t, syntheticDist(0.5, 1)), Options{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range rep.Regressions() {
+		if d.Metric == "miter_per_sec" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("halved throughput not flagged; deltas = %+v", rep.Deltas)
+	}
+
+	// Recovery overhead doubled: chaos scenario regresses; the clean
+	// rows (overhead 0, not comparable) stay skipped, not flagged.
+	rep, err = Compare(run, decodeDist(t, syntheticDist(1, 2)), Options{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found = false
+	for _, d := range rep.Regressions() {
+		if d.Metric == "overhead_pct" && d.Kernel == "dist:chaos-kill" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("doubled recovery overhead not flagged; deltas = %+v", rep.Deltas)
 	}
 }

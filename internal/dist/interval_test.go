@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestIntervalSetModel drives IntervalSet against a naive bitmap model
+// with randomized adds and checks Covered, Overlap, Contains and
+// Complement agree after every step.
+func TestIntervalSetModel(t *testing.T) {
+	const domain = 200
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var s IntervalSet
+		model := make([]bool, domain+2) // 1-based
+		for step := 0; step < 40; step++ {
+			lo := int64(1 + rng.Intn(domain))
+			hi := lo + int64(rng.Intn(12))
+			if hi > domain {
+				hi = domain
+			}
+			iv := Interval{Lo: lo, Hi: hi}
+
+			wantOv := int64(0)
+			for pc := lo; pc <= hi; pc++ {
+				if model[pc] {
+					wantOv++
+				}
+			}
+			if got := s.Overlap(iv); got != wantOv {
+				t.Fatalf("trial %d step %d: Overlap(%+v) = %d, want %d", trial, step, iv, got, wantOv)
+			}
+			if got, want := s.Contains(iv), wantOv == iv.Len(); got != want {
+				t.Fatalf("trial %d step %d: Contains(%+v) = %v, want %v", trial, step, iv, got, want)
+			}
+
+			added := s.Add(iv)
+			if want := iv.Len() - wantOv; added != want {
+				t.Fatalf("trial %d step %d: Add(%+v) = %d, want %d", trial, step, iv, added, want)
+			}
+			for pc := lo; pc <= hi; pc++ {
+				model[pc] = true
+			}
+
+			var covered int64
+			for pc := int64(1); pc <= domain; pc++ {
+				if model[pc] {
+					covered++
+				}
+			}
+			if s.Covered() != covered {
+				t.Fatalf("trial %d step %d: Covered = %d, want %d", trial, step, s.Covered(), covered)
+			}
+
+			// Complement over the full domain must be exactly the unset
+			// ranks, as maximal intervals.
+			var want []Interval
+			for pc := int64(1); pc <= domain; pc++ {
+				if model[pc] {
+					continue
+				}
+				if n := len(want); n > 0 && want[n-1].Hi == pc-1 {
+					want[n-1].Hi = pc
+				} else {
+					want = append(want, Interval{Lo: pc, Hi: pc})
+				}
+			}
+			if got := s.Complement(1, domain); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d step %d: Complement = %v, want %v", trial, step, got, want)
+			}
+
+			// The representation must stay sorted, disjoint and
+			// non-adjacent (fully coalesced).
+			ivs := s.Intervals()
+			for i := 1; i < len(ivs); i++ {
+				if ivs[i].Lo <= ivs[i-1].Hi+1 {
+					t.Fatalf("trial %d step %d: intervals not coalesced: %v", trial, step, ivs)
+				}
+			}
+		}
+	}
+}
+
+func TestIntervalSetCoalesce(t *testing.T) {
+	var s IntervalSet
+	s.Add(Interval{Lo: 1, Hi: 3})
+	s.Add(Interval{Lo: 7, Hi: 9})
+	if got := s.Add(Interval{Lo: 4, Hi: 6}); got != 3 {
+		t.Fatalf("bridging add = %d, want 3", got)
+	}
+	if ivs := s.Intervals(); len(ivs) != 1 || ivs[0] != (Interval{Lo: 1, Hi: 9}) {
+		t.Fatalf("adjacent intervals did not coalesce: %v", ivs)
+	}
+	if got := s.Add(Interval{Lo: 2, Hi: 8}); got != 0 {
+		t.Fatalf("duplicate add = %d, want 0", got)
+	}
+	if s.Covered() != 9 {
+		t.Fatalf("Covered = %d, want 9", s.Covered())
+	}
+}
+
+func TestComplementEdges(t *testing.T) {
+	var s IntervalSet
+	if got := s.Complement(1, 10); len(got) != 1 || got[0] != (Interval{Lo: 1, Hi: 10}) {
+		t.Fatalf("empty-set complement = %v", got)
+	}
+	s.Add(Interval{Lo: 1, Hi: 10})
+	if got := s.Complement(1, 10); got != nil {
+		t.Fatalf("full-set complement = %v, want nil", got)
+	}
+	s = IntervalSet{}
+	s.Add(Interval{Lo: 5, Hi: 5})
+	want := []Interval{{Lo: 1, Hi: 4}, {Lo: 6, Hi: 10}}
+	if got := s.Complement(1, 10); !reflect.DeepEqual(got, want) {
+		t.Fatalf("punctured complement = %v, want %v", got, want)
+	}
+}

@@ -54,6 +54,31 @@ var (
 	// ErrCanceled reports a parallel run stopped cooperatively at a
 	// chunk boundary because its context was canceled.
 	ErrCanceled = errors.New("run canceled")
+
+	// ErrLeaseExpired reports that a shard executor's time-bounded lease
+	// lapsed (no heartbeat within the TTL): the coordinator has returned
+	// the shard to the queue and canceled the straggling attempt. It
+	// appears as the cancellation cause of the abandoned attempt, never
+	// as a run-level failure — reassignment is the recovery.
+	ErrLeaseExpired = errors.New("shard lease expired")
+
+	// ErrJournalCorrupt reports a checkpoint journal whose body (not
+	// merely its tail) fails validation: a mid-file record with a bad
+	// checksum, a missing header, or an empty file. A torn *final*
+	// record is not corruption — the journal is truncated to the last
+	// valid record and the run resumes.
+	ErrJournalCorrupt = errors.New("checkpoint journal corrupt")
+
+	// ErrFingerprintMismatch reports a resume attempt against a journal
+	// written by a different run (different nest shape, parameters or
+	// total): replaying it would mix incompatible pc-ranges, so the
+	// coordinator refuses.
+	ErrFingerprintMismatch = errors.New("journal fingerprint mismatch")
+
+	// ErrShardFailed reports that a shard exhausted the recovery ladder
+	// (retries with backoff, then splitting down to the minimum shard
+	// size) and the run could not degrade further.
+	ErrShardFailed = errors.New("shard execution failed")
 )
 
 // Collapsible reports whether err is an applicability failure of the

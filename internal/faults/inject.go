@@ -39,6 +39,17 @@ type Plan struct {
 	// ChunkDelay, when positive, sleeps this long before every chunk
 	// (a shorthand for slowing runs enough to observe cancellation).
 	ChunkDelay time.Duration
+	// OnShard runs at the start of every shard attempt [lo, hi]
+	// (inclusive pc bounds) on executor worker. A panic inside emulates
+	// an executor crash mid-shard (the attempt's buffered effects are
+	// discarded and the shard is retried); a non-nil return fails the
+	// attempt through the same retry ladder; sleeping past the lease TTL
+	// turns the attempt into a straggler and exercises lease expiry plus
+	// speculative reassignment.
+	OnShard func(worker int, lo, hi int64) error
+	// ShardDelay, when positive, sleeps this long before every shard
+	// attempt (a shorthand for making every executor a straggler).
+	ShardDelay time.Duration
 }
 
 // active is the process-wide injection plan; nil means no injection.
@@ -71,6 +82,22 @@ func InjectChunk(tid int, clo, chi int64) error {
 	}
 	if p.OnChunk != nil {
 		return p.OnChunk(tid, clo, chi)
+	}
+	return nil
+}
+
+// InjectShard runs the active plan's shard hooks for shard attempt
+// [lo, hi] on executor worker; it returns nil when no plan is active.
+func InjectShard(worker int, lo, hi int64) error {
+	p := Active()
+	if p == nil {
+		return nil
+	}
+	if p.ShardDelay > 0 {
+		time.Sleep(p.ShardDelay)
+	}
+	if p.OnShard != nil {
+		return p.OnShard(worker, lo, hi)
 	}
 	return nil
 }

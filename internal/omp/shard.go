@@ -1,0 +1,87 @@
+package omp
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/unrank"
+)
+
+// DefaultShardChunk is the internal chunking of a shard attempt: the
+// interval between cancellation checks and progress callbacks. Small
+// enough that a lease heartbeat lands every few hundred microseconds on
+// trivial bodies, large enough that the §V recovery amortizes.
+const DefaultShardChunk = 4096
+
+// ShardForCtx executes the collapsed ranks [pcLo, pcHi] (inclusive) on
+// the worker-private bound b — the shard-level execution hook the dist
+// coordinator's executors run on. The shard is processed in internal
+// chunks of `chunk` iterations (DefaultShardChunk when <= 0), each chunk
+// driven by the §V engine (one costly recovery per chunk, lexicographic
+// advance within), with three guarantees:
+//
+//   - ctx is checked at every chunk boundary, so a canceled context —
+//     including a lease the coordinator revoked with
+//     faults.ErrLeaseExpired as the cause — stops the attempt
+//     cooperatively with an error wrapping faults.ErrCanceled;
+//   - progress(done), when non-nil, is invoked after every chunk with
+//     the cumulative iteration count: the heartbeat edge lease renewal
+//     rides on;
+//   - a panic in body (or in an injected fault hook) is recovered and
+//     returned as a *faults.PanicError: an executor crash mid-shard
+//     costs the attempt, never the process.
+//
+// An active fault-injection plan is consulted once per shard
+// (faults.InjectShard) and once per chunk (faults.InjectChunk), so chaos
+// harnesses can kill, stall or fail attempts at exact coordinates.
+//
+// done reports the iterations completed in full before the error (0 on
+// a clean run's completion means an empty shard). Effects of a failed
+// attempt are the caller's to discard: the §V engine has already invoked
+// body for the completed prefix.
+func ShardForCtx(ctx context.Context, worker int, b *unrank.Bound, pcLo, pcHi, chunk int64,
+	progress func(done int64), body func(pc int64, idx []int64)) (done int64, err error) {
+	if pcLo > pcHi {
+		return 0, nil
+	}
+	if chunk <= 0 {
+		chunk = DefaultShardChunk
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("omp: shard executor %d: %w", worker, faults.Recovered(r))
+		}
+	}()
+	if err := faults.InjectShard(worker, pcLo, pcHi); err != nil {
+		return 0, fmt.Errorf("omp: injected fault at shard [%d,%d]: %w", pcLo, pcHi, err)
+	}
+	for clo := pcLo; ; {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return done, canceled(ctx)
+			default:
+			}
+		}
+		chi := clo + chunk - 1
+		if chi > pcHi || chi < clo { // clo+chunk overflow saturates at pcHi
+			chi = pcHi
+		}
+		if err := faults.InjectChunk(worker, clo, chi+1); err != nil {
+			return done, fmt.Errorf("omp: injected fault at chunk [%d,%d]: %w", clo, chi, err)
+		}
+		if err := core.ForRange(b, clo, chi, body); err != nil {
+			return done, err
+		}
+		done += chi - clo + 1
+		if progress != nil {
+			progress(done)
+		}
+		if chi == pcHi {
+			return done, nil
+		}
+		clo = chi + 1
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // breakerState is one signature's circuit state.
@@ -47,6 +49,14 @@ type compileBreaker struct {
 	maxKeys   int
 	now       func() time.Time
 	entries   map[string]*breakerEntry
+	// evictions counts entries dropped at the maxKeys cap
+	// (serve.breaker_evictions); the first eviction is logged once via
+	// logf — sustained eviction pressure means an adversarial or overly
+	// diverse signature stream is cycling the map, silently forgetting
+	// circuit state.
+	evictions      *telemetry.Counter
+	logf           func(format string, args ...any)
+	loggedEviction bool
 }
 
 type breakerEntry struct {
@@ -57,13 +67,19 @@ type breakerEntry struct {
 	last     error     // the failure that tripped (or is accumulating)
 }
 
-// newCompileBreaker builds a breaker; threshold <= 0 disables it.
-func newCompileBreaker(threshold int, cooldown time.Duration, maxKeys int) *compileBreaker {
+// newCompileBreaker builds a breaker; threshold <= 0 disables it. reg
+// (may be nil) receives the eviction counter, logf (may be nil) the
+// one-time eviction warning.
+func newCompileBreaker(threshold int, cooldown time.Duration, maxKeys int,
+	reg *telemetry.Registry, logf func(format string, args ...any)) *compileBreaker {
 	if maxKeys <= 0 {
 		maxKeys = 1024
 	}
 	if cooldown <= 0 {
 		cooldown = 30 * time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
 	}
 	return &compileBreaker{
 		threshold: threshold,
@@ -71,6 +87,8 @@ func newCompileBreaker(threshold int, cooldown time.Duration, maxKeys int) *comp
 		maxKeys:   maxKeys,
 		now:       time.Now,
 		entries:   make(map[string]*breakerEntry),
+		evictions: reg.Counter("serve.breaker_evictions"),
+		logf:      logf,
 	}
 }
 
@@ -122,6 +140,14 @@ func (b *compileBreaker) record(sig string, failed bool, err error) {
 			for k := range b.entries {
 				delete(b.entries, k)
 				break
+			}
+			b.evictions.Inc()
+			if !b.loggedEviction {
+				b.loggedEviction = true
+				b.logf("serve: breaker signature map full (%d entries): evicting; "+
+					"circuit state is being forgotten under signature churn "+
+					"(further evictions counted in serve.breaker_evictions, not logged)",
+					b.maxKeys)
 			}
 		}
 		e = &breakerEntry{}

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 func testBreaker(threshold int, cooldown time.Duration, clk *fakeClock) *compileBreaker {
-	b := newCompileBreaker(threshold, cooldown, 0)
+	b := newCompileBreaker(threshold, cooldown, 0, nil, nil)
 	b.now = clk.now
 	return b
 }
@@ -139,10 +141,16 @@ func TestBreakerDisabled(t *testing.T) {
 }
 
 // TestBreakerBoundedKeys checks the map bound: adversary-controlled
-// signatures cannot grow the breaker without limit.
+// signatures cannot grow the breaker without limit — and that hitting
+// the bound is observable: every eviction increments
+// serve.breaker_evictions, and the first one logs a warning exactly
+// once (the cap used to cycle silently).
 func TestBreakerBoundedKeys(t *testing.T) {
 	clk := newFakeClock()
-	b := newCompileBreaker(1, time.Minute, 8)
+	reg := telemetry.New()
+	logged := 0
+	logf := func(format string, args ...any) { logged++ }
+	b := newCompileBreaker(1, time.Minute, 8, reg, logf)
 	b.now = clk.now
 	for i := 0; i < 100; i++ {
 		b.record(string(rune('a'+i%26))+string(rune('0'+i/26)), true, errors.New("boom"))
@@ -152,5 +160,13 @@ func TestBreakerBoundedKeys(t *testing.T) {
 	b.mu.Unlock()
 	if n > 8 {
 		t.Fatalf("breaker holds %d keys, bound is 8", n)
+	}
+	// 100 distinct signatures into 8 slots: the 9th and later insertions
+	// each evicted one resident entry.
+	if got := reg.Snapshot().Counters["serve.breaker_evictions"]; got != 100-8 {
+		t.Fatalf("serve.breaker_evictions = %d, want %d", got, 100-8)
+	}
+	if logged != 1 {
+		t.Fatalf("eviction warning logged %d times, want exactly once", logged)
 	}
 }

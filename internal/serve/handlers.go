@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/faults"
 	"repro/internal/nest"
 	"repro/internal/omp"
@@ -220,6 +221,12 @@ func (s *Server) handleExecute(ctx context.Context, req *Request) (any, error) {
 		var res *core.Result
 		res, _, err = s.compileFor(n, c)
 		switch {
+		case err == nil && req.Shards > 0:
+			// Sharded engine: the collapsed pc-range runs under the
+			// fault-tolerant coordinator, so a worker panic costs one shard
+			// attempt (retried, then split, then re-run uncollapsed) instead
+			// of the whole request.
+			return s.executeSharded(ctx, res, req, threads)
 		case err == nil:
 			collapsed = true
 			err = omp.CollapsedForCtx(ctx, res, req.Params, threads, sched, body)
@@ -239,6 +246,39 @@ func (s *Server) handleExecute(ctx context.Context, req *Request) (any, error) {
 		out.Checksum += sums[i].sum
 	}
 	return out, nil
+}
+
+// executeSharded answers a /v1/execute with Shards > 0: the compiled
+// pc-range runs under the internal/dist coordinator with leases,
+// retry/split/fallback degradation, and exactly-once commit — a worker
+// panic inside one shard is retried there instead of failing the
+// request. The checksum is identical to the unsharded engine's
+// (order-independent TupleHash sum), so clients verify sharded answers
+// against the same oracle.
+func (s *Server) executeSharded(ctx context.Context, res *core.Result, req *Request, threads int) (any, error) {
+	rep, err := dist.Run(ctx, res, req.Params, dist.Config{
+		Workers:       threads,
+		Shards:        req.Shards,
+		AllowFallback: true,
+		Registry:      s.reg,
+		Logf:          s.cfg.Logf,
+	}, func(worker int, pc int64, idx []int64) uint64 {
+		return TupleHash(idx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ExecuteResponse{
+		Iterations:      rep.Executed + rep.Resumed,
+		Checksum:        rep.Sum,
+		Collapsed:       !rep.FellBack,
+		Threads:         threads,
+		Sharded:         true,
+		Shards:          rep.PlannedShards,
+		ShardRetries:    rep.Retries,
+		LeaseExpiries:   rep.LeaseExpiries,
+		DuplicateShards: rep.Duplicates,
+	}, nil
 }
 
 // executeAccum is one worker's checksum cell, padded to its own cache

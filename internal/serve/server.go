@@ -167,7 +167,7 @@ func New(cfg Config) *Server {
 		cache:   core.NewCollapseCache(cfg.CacheCapacity),
 		bucket:  newTokenBucket(cfg.RatePerSec, cfg.Burst),
 		sem:     make(chan struct{}, cfg.MaxInflight),
-		breaker: newCompileBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, 0),
+		breaker: newCompileBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, 0, cfg.Registry, cfg.Logf),
 		plane:   obs.NewPlane(cfg.Registry),
 	}
 	mux := http.NewServeMux()

@@ -77,6 +77,13 @@ type Request struct {
 	// "dynamic,16", ...). Threads defaults to the server's team size.
 	Threads  int    `json:"threads,omitempty"`
 	Schedule string `json:"schedule,omitempty"`
+	// Shards > 0 selects the fault-tolerant sharded execute engine
+	// (internal/dist): the collapsed pc-range is split into this many
+	// shards executed under leases, a worker panic costs one shard
+	// attempt (retried) instead of the request, and the answer carries
+	// the recovery ledger. Ignored when the nest is not collapsible or
+	// the server is in the force-fallback degradation tier.
+	Shards int `json:"shards,omitempty"`
 }
 
 // CompileResponse answers /v1/compile.
@@ -127,6 +134,18 @@ type ExecuteResponse struct {
 	// Degraded is true when the overload ladder forced the fallback.
 	Degraded bool `json:"degraded"`
 	Threads  int  `json:"threads"`
+
+	// Sharded reports the run used the fault-tolerant shard coordinator
+	// (Request.Shards > 0 on a collapsible nest); Shards is the planned
+	// shard count and the remaining fields its recovery ledger — shard
+	// attempts retried after failures (including isolated worker
+	// panics), leases expired and reassigned, and duplicate completions
+	// dropped by the exactly-once commit protocol.
+	Sharded         bool  `json:"sharded,omitempty"`
+	Shards          int   `json:"shards,omitempty"`
+	ShardRetries    int64 `json:"shard_retries,omitempty"`
+	LeaseExpiries   int64 `json:"lease_expiries,omitempty"`
+	DuplicateShards int64 `json:"duplicate_shards,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.
