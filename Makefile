@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check cover bench bench-json benchgate benchgate-baseline servegate servegate-baseline distchaos distgate distgate-baseline loadtest figures ablation scaling fuzz stress clean
+.PHONY: all build test test-short race check cover bench bench-json benchgate benchgate-baseline servegate servegate-baseline distchaos distgate distgate-baseline invertgate invertgate-baseline loadtest figures ablation scaling fuzz stress clean
 
 all: build test
 
@@ -44,6 +44,7 @@ check:
 	$(MAKE) loadtest
 	$(MAKE) distchaos
 	$(MAKE) benchgate
+	$(MAKE) invertgate
 	$(MAKE) fuzz FUZZTIME=5s
 
 # Daemon smoke soak: an in-process collapsed instance driven at 2x its
@@ -118,6 +119,24 @@ distgate:
 
 distgate-baseline:
 	$(GO) run ./cmd/distfor -bench -quick -json $(DIST_BASELINE)
+
+# Inversion-throughput regression gate: one quick invert-suite run
+# diffed against the committed BENCH_PR9.json baseline. Only the
+# machine-independent speedup ratios (breakpoint-table and batched
+# recovery vs per-pc binary search) are gated; absolute ns/recovery
+# depend on the host. Refresh with `make invertgate-baseline` after
+# intentional recovery-engine changes.
+INVERT_BASELINE = BENCH_PR9.json
+INVERT_GATE_FLAGS = -metrics speedup -threshold 75
+
+invertgate:
+	@if [ ! -f $(INVERT_BASELINE) ]; then echo "no $(INVERT_BASELINE); run 'make invertgate-baseline' first"; exit 1; fi
+	$(GO) run ./cmd/benchfig -fig invert -reps 1 -json .bench_invert_new.json >/dev/null
+	$(GO) run ./cmd/benchdiff -old $(INVERT_BASELINE) -new .bench_invert_new.json $(INVERT_GATE_FLAGS)
+	@rm -f .bench_invert_new.json
+
+invertgate-baseline:
+	$(GO) run ./cmd/benchfig -fig invert -json $(INVERT_BASELINE)
 
 # Differential stress soak: seedable random nests through every
 # schedule and every precision-ladder tier, with fault injection,

@@ -14,6 +14,9 @@
 //	benchfig -fig compile    compile-path throughput: cold serial vs
 //	                         parallel fan-out vs cached Collapse per
 //	                         kernel; -json writes BENCH_PR5.json
+//	benchfig -fig invert     recovery throughput at chunk starts: per-pc
+//	                         binary search vs breakpoint-table lookup vs
+//	                         batched recovery; -json writes BENCH_PR9.json
 //	benchfig -fig all        everything
 //
 // Flags: -threads (virtual thread count, default 12), -quick (small
@@ -75,7 +78,7 @@ type options struct {
 
 // knownFigs are the accepted -fig values; anything else is rejected up
 // front instead of silently printing nothing.
-var knownFigs = []string{"2", "8", "9", "10", "imbalance", "ablation", "scaling", "overhead", "compile", "all"}
+var knownFigs = []string{"2", "8", "9", "10", "imbalance", "ablation", "scaling", "overhead", "compile", "invert", "all"}
 
 func main() {
 	var o options
@@ -303,6 +306,34 @@ func run(o options) error {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "overhead report written to %s\n", o.jsonOut)
+		}
+	}
+	if o.fig == "invert" {
+		opts := experiments.InvertOptions{Quick: o.quick, Reps: o.reps}
+		if o.verbose {
+			opts.Verbose = func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+			}
+		}
+		rep, err := experiments.Invert(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderInvert(rep))
+		fmt.Println()
+		if o.jsonOut != "" {
+			f, err := os.Create(o.jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "invert report written to %s\n", o.jsonOut)
 		}
 	}
 	return nil

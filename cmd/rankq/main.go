@@ -45,12 +45,17 @@ import (
 // collapseCache memoizes the symbolic build across the queries of one
 // invocation (e.g. a script piping many nests through one process via
 // `roots` followed by rank/unrank queries): structurally identical nests
-// compile once.
+// compile once. The cache key includes the recovery mode, so -mode
+// variants of the same nest coexist.
 var collapseCache = core.NewCollapseCache(16)
+
+// recoveryMode is the -mode selection (closed-form by default),
+// threaded into every collapse this invocation performs.
+var recoveryMode unrank.Mode
 
 // build compiles (or cache-hits) the collapse of the whole nest.
 func build(n *nest.Nest) (*core.Result, error) {
-	return core.CollapseCached(collapseCache, n, n.Depth(), unrank.Options{})
+	return core.CollapseCached(collapseCache, n, n.Depth(), unrank.Options{Mode: recoveryMode})
 }
 
 type paramFlags map[string]int64
@@ -76,8 +81,14 @@ func main() {
 	flag.Var(params, "p", "parameter binding name=value (repeatable)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for the query (0: none); an expired run stops at a chunk boundary with ErrCanceled")
 	threads := flag.Int("threads", omp.DefaultThreads(), "team size for the run command")
+	mode := flag.String("mode", "closed-form", "index recovery mode: closed-form (radical roots), search (exact binary search), or table (precomputed breakpoint tables; like search, accepts degree > 4)")
 	flag.Parse()
 
+	var err error
+	if recoveryMode, err = unrank.ParseMode(*mode); err != nil {
+		fmt.Fprintln(os.Stderr, "rankq:", err)
+		os.Exit(1)
+	}
 	if err := run(*nestSpec, params, *deadline, *threads, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "rankq:", err)
 		os.Exit(1)
@@ -155,6 +166,9 @@ func run(nestSpec string, params paramFlags, deadline time.Duration, threads int
 		fmt.Printf("count = %s\n", ehrhart.Count(n))
 		return nil
 	case "roots":
+		if recoveryMode != unrank.ModeClosedForm {
+			return fmt.Errorf("the %s mode selects no symbolic roots; rerun with -mode closed-form", recoveryMode)
+		}
 		res, err := build(n)
 		if err != nil {
 			return err

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"errors"
 	"io"
 	"os"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/faults"
+	"repro/internal/unrank"
 )
 
 func captureRun(t *testing.T, nestSpec string, params paramFlags, args []string) (string, error) {
@@ -169,5 +173,57 @@ func TestRankqHugeTotal(t *testing.T) {
 	// Everything else must still refuse the overflowing domain.
 	if _, err := captureRun(t, "i=0:N; j=0:N", paramFlags{"N": 1 << 32}, []string{"unrank", "5"}); err == nil {
 		t.Error("unrank on an overflowing domain should fail")
+	}
+}
+
+// TestRankqMode checks the -mode plumbing: breakpoint-table and
+// binary-search modes answer unrank queries identically to the
+// closed-form default, a degree-5 simplex (beyond radical solvability,
+// so the closed-form build must reject it) still unranks under -mode
+// table, and an unknown spelling is the typed faults.ErrUnknownMode.
+func TestRankqMode(t *testing.T) {
+	setMode := func(s string) {
+		t.Helper()
+		m, err := unrank.ParseMode(s)
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", s, err)
+		}
+		recoveryMode = m
+	}
+	defer func() { recoveryMode = unrank.ModeClosedForm }()
+
+	want := ""
+	for _, mode := range []string{"closed-form", "search", "table"} {
+		setMode(mode)
+		out, err := captureRun(t, triSpec, paramFlags{"N": 10}, []string{"unrank", "29"})
+		if err != nil {
+			t.Fatalf("-mode %s: %v", mode, err)
+		}
+		if want == "" {
+			want = out
+		} else if out != want {
+			t.Errorf("-mode %s unrank = %q, closed-form said %q", mode, out, want)
+		}
+	}
+
+	const simplex = "a=0:N; b=0:a+1; c=0:b+1; d=0:c+1; e=0:d+1"
+	setMode("closed-form")
+	if _, err := captureRun(t, simplex, paramFlags{"N": 10}, []string{"unrank", "500"}); !errors.Is(err, faults.ErrDegreeTooHigh) {
+		t.Fatalf("degree-5 closed-form err = %v, want ErrDegreeTooHigh", err)
+	}
+	setMode("table")
+	out, err := captureRun(t, simplex, paramFlags{"N": 10}, []string{"unrank", "500"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "a=7 b=4 c=1 d=1 e=0" {
+		t.Errorf("table unrank 500 = %q", out)
+	}
+	if _, err := captureRun(t, simplex, paramFlags{"N": 10}, []string{"roots"}); err == nil {
+		t.Error("roots under -mode table: expected an error pointing at closed-form")
+	}
+
+	if _, err := unrank.ParseMode("bogus"); !errors.Is(err, faults.ErrUnknownMode) {
+		t.Errorf("ParseMode(bogus) = %v, want ErrUnknownMode", err)
 	}
 }

@@ -138,6 +138,14 @@ func Decode(r io.Reader) (*Run, error) {
 		for _, row := range rep.Rows {
 			run.Kernels = append(run.Kernels, distKernel(row))
 		}
+	case "invert":
+		var rep experiments.InvertReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, err
+		}
+		for _, row := range rep.Rows {
+			run.Kernels = append(run.Kernels, invertKernels(row)...)
+		}
 	case "":
 		return nil, fmt.Errorf("document has no suite field")
 	default:
@@ -198,6 +206,31 @@ func serveKernel(row experiments.ServeRow) Kernel {
 	// More shedding at the same offered load means less served capacity.
 	add("shed_rate", row.ShedRate, false)
 	return k
+}
+
+// invertKernels flattens one invert row into one comparison unit per
+// chunk size: nest shape and chunk name the unit (kernel pairing is by
+// name), problem size is the comparability key. Throughput is
+// higher-is-better; the gated machine-independent ratios are the
+// speedups over per-pc search.
+func invertKernels(row experiments.InvertRow) []Kernel {
+	var ks []Kernel
+	for _, c := range row.Chunks {
+		k := Kernel{
+			Name:   fmt.Sprintf("invert:%s/chunk=%d", row.Nest, c.ChunkPC),
+			Params: row.Params,
+		}
+		add := func(name string, v float64, higher bool) {
+			k.Metrics = append(k.Metrics, Metric{Name: name, Value: v, HigherIsBetter: higher})
+		}
+		add("search_recoveries_per_sec", c.SearchRecPerSec, true)
+		add("table_recoveries_per_sec", c.TableRecPerSec, true)
+		add("batch_recoveries_per_sec", c.BatchRecPerSec, true)
+		add("speedup_table_vs_search", c.SpeedupTable, true)
+		add("speedup_batch_vs_search", c.SpeedupBatch, true)
+		ks = append(ks, k)
+	}
+	return ks
 }
 
 // distKernel flattens one sharded-execution scenario into named

@@ -518,3 +518,94 @@ func TestDistSuite(t *testing.T) {
 		t.Fatalf("doubled recovery overhead not flagged; deltas = %+v", rep.Deltas)
 	}
 }
+
+// syntheticInvert builds an invert report whose speedups are scaled by
+// spScale (<1 = the table tier lost ground).
+func syntheticInvert(spScale float64) *experiments.InvertReport {
+	rep := &experiments.InvertReport{
+		Suite: "invert",
+		Meta:  experiments.NewBenchMeta(),
+	}
+	for _, n := range []string{"triangular2", "simplex5-deg5"} {
+		row := experiments.InvertRow{
+			Nest:   n,
+			Params: map[string]int64{"N": 4096},
+			Depth:  2,
+		}
+		for _, chunk := range []int64{1, 4096} {
+			row.Chunks = append(row.Chunks, experiments.InvertChunk{
+				ChunkPC:         chunk,
+				Recoveries:      1000,
+				SearchNs:        3000,
+				TableNs:         300 / spScale,
+				BatchNs:         20 / spScale,
+				SearchRecPerSec: 1e9 / 3000,
+				TableRecPerSec:  1e9 / 300 * spScale,
+				BatchRecPerSec:  1e9 / 20 * spScale,
+				SpeedupTable:    10 * spScale,
+				SpeedupBatch:    150 * spScale,
+			})
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+func decodeInvert(t *testing.T, rep *experiments.InvertReport) *Run {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+func TestInvertSuite(t *testing.T) {
+	run := decodeInvert(t, syntheticInvert(1))
+	if run.Suite != "invert" || len(run.Kernels) != 4 {
+		t.Fatalf("decoded run: suite %q, %d kernels", run.Suite, len(run.Kernels))
+	}
+	k := run.Kernel("invert:simplex5-deg5/chunk=1")
+	if k == nil {
+		t.Fatal("invert:simplex5-deg5/chunk=1 kernel missing")
+	}
+	if k.Params["N"] != 4096 {
+		t.Fatalf("params = %v", k.Params)
+	}
+	// Every invert metric is a throughput or a speedup: higher is better.
+	for _, name := range []string{"search_recoveries_per_sec", "table_recoveries_per_sec",
+		"batch_recoveries_per_sec", "speedup_table_vs_search", "speedup_batch_vs_search"} {
+		if m := k.metric(name); m == nil || !m.HigherIsBetter {
+			t.Fatalf("%s direction wrong: %+v", name, m)
+		}
+	}
+
+	rep, err := Compare(run, decodeInvert(t, syntheticInvert(1)), Options{ThresholdPct: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := rep.Regressions(); len(regs) != 0 {
+		t.Fatalf("identical invert runs regressed: %v", regs)
+	}
+
+	// Table tier halved its advantage: the speedup metrics regress even
+	// under the gate's filter.
+	rep, err = Compare(run, decodeInvert(t, syntheticInvert(0.5)),
+		Options{ThresholdPct: 20, MetricFilter: []string{"speedup"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range rep.Regressions() {
+		if d.Metric == "speedup_table_vs_search" && d.Kernel == "invert:simplex5-deg5/chunk=1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("halved table speedup not flagged; deltas = %+v", rep.Deltas)
+	}
+}

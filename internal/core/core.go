@@ -298,6 +298,44 @@ func ForRange(b *unrank.Bound, pcLo, pcHi int64, body func(pc int64, idx []int64
 	}
 }
 
+// ForRangeFrom is ForRange with the recovery already paid: start must be
+// the exact iteration tuple of rank pcLo — typically produced by
+// unrank.Bound.RecoverBatch over the chunk/shard starts of a planned
+// execution — and the driver goes straight to the §V incrementation.
+// start is read, never written.
+func ForRangeFrom(b *unrank.Bound, pcLo, pcHi int64, start []int64,
+	body func(pc int64, idx []int64)) error {
+	if pcLo > pcHi {
+		return nil
+	}
+	inst := b.Instance()
+	last := inst.Depth() - 1
+	idx := b.Scratch()
+	if len(start) != len(idx) {
+		return fmt.Errorf("core: start tuple has length %d, want %d", len(start), len(idx))
+	}
+	copy(idx, start)
+	pc := pcLo
+	for {
+		hi := inst.UpperAt(last, idx)
+		if rem := pcHi - pc + 1; hi-idx[last] > rem {
+			hi = idx[last] + rem
+		}
+		for i := idx[last]; i < hi; i++ {
+			idx[last] = i
+			body(pc, idx)
+			pc++
+		}
+		if pc > pcHi {
+			return nil
+		}
+		if !inst.NextRun(idx) {
+			return fmt.Errorf("core: iteration space exhausted at pc=%d before reaching %d: %w",
+				pc-1, pcHi, faults.ErrRecoveryDiverged)
+		}
+	}
+}
+
 // ForRangeEvery executes body for every pc in [pcLo, pcHi], performing
 // the full closed-form recovery at every iteration (no incrementation).
 // This is the maximum-cost variant the paper associates with dynamic

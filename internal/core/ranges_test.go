@@ -193,5 +193,56 @@ func TestForRangeDriversZeroAlloc(t *testing.T) {
 	if allocs := testing.AllocsPerRun(10, batched); allocs != 0 {
 		t.Errorf("ForRanges allocates %v per run in steady state, want 0", allocs)
 	}
+
+	// The breakpoint-table tier must hold the same guarantee: tables are
+	// built once at Bind, so steady-state table recovery (and the seeded
+	// driver entry) may not allocate either.
+	rest, err := Collapse(n, 2, unrank.Options{Mode: unrank.ModeTable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := rest.Unranker.MustBind(map[string]int64{"N": 64})
+	ttotal := bt.Total()
+	tblIter := func() {
+		if err := ForRange(bt, 1, ttotal, func(pc int64, idx []int64) { sink += idx[0] }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := make([]int64, bt.Depth())
+	if err := bt.Unrank(1, start); err != nil {
+		t.Fatal(err)
+	}
+	tblFrom := func() {
+		if err := ForRangeFrom(bt, 1, ttotal, start, func(pc int64, idx []int64) { sink += idx[0] }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Batched multi-pc recovery over preallocated buffers: every chunk
+	// start of the space resolved in one pass, zero allocations.
+	pcs := make([]int64, 0, 64)
+	for pc := int64(1); pc <= ttotal; pc += 37 {
+		pcs = append(pcs, pc)
+	}
+	backing := make([]int64, len(pcs)*bt.Depth())
+	out := make([][]int64, len(pcs))
+	for i := range out {
+		out[i] = backing[i*bt.Depth() : (i+1)*bt.Depth()]
+	}
+	tblBatch := func() {
+		if err := bt.RecoverBatch(pcs, out); err != nil {
+			t.Fatal(err)
+		}
+		sink += out[0][0]
+	}
+	tblIter() // warm table scratch (per-prefix base cache)
+	if allocs := testing.AllocsPerRun(10, tblIter); allocs != 0 {
+		t.Errorf("ForRange (table tier) allocates %v per run in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, tblFrom); allocs != 0 {
+		t.Errorf("ForRangeFrom (table tier) allocates %v per run in steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(10, tblBatch); allocs != 0 {
+		t.Errorf("RecoverBatch allocates %v per run in steady state, want 0", allocs)
+	}
 	_ = sink
 }

@@ -41,6 +41,15 @@ func NestSignature(n *nest.Nest, c int, opts unrank.Options) (sig string, ok boo
 	if opts.MaxCorrection <= 0 {
 		opts.MaxCorrection = 8
 	}
+	if opts.TableMaxEntries <= 0 {
+		opts.TableMaxEntries = 4096
+	}
+	if opts.TableMaxEntries < 64 {
+		opts.TableMaxEntries = 64
+	}
+	if opts.TableMaxEntries > 1<<20 {
+		opts.TableMaxEntries = 1 << 20
+	}
 	m := make(map[string]string, len(n.Params)+c)
 	for i, p := range n.Params {
 		m[p] = fmt.Sprintf("p%d", i)
@@ -49,9 +58,9 @@ func NestSignature(n *nest.Nest, c int, opts unrank.Options) (sig string, ok boo
 		m[l.Index] = fmt.Sprintf("i%d", i)
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "v1|np=%d|c=%d|mode=%d|verify=%t|tier=%d|corr=%d|enum=%d",
+	fmt.Fprintf(&b, "v2|np=%d|c=%d|mode=%d|verify=%t|tier=%d|corr=%d|enum=%d|tbl=%d",
 		len(n.Params), c, opts.Mode, opts.Verify, opts.StartTier,
-		opts.MaxCorrection, opts.MaxEnum)
+		opts.MaxCorrection, opts.MaxEnum, opts.TableMaxEntries)
 	for _, l := range n.Loops[:c] {
 		b.WriteString("|[")
 		b.WriteString(l.Lower.Rename(m).String())

@@ -79,6 +79,11 @@ var (
 	// (retries with backoff, then splitting down to the minimum shard
 	// size) and the run could not degrade further.
 	ErrShardFailed = errors.New("shard execution failed")
+
+	// ErrUnknownMode reports a recovery-mode spelling that names no
+	// strategy (CLI flags parse user input into unrank.Mode through
+	// unrank.ParseMode; this is its typed rejection).
+	ErrUnknownMode = errors.New("unknown recovery mode")
 )
 
 // Collapsible reports whether err is an applicability failure of the

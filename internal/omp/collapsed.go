@@ -381,9 +381,12 @@ func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[st
 
 // CollapsedForSIMD executes the collapsed space with the §VI.A
 // vectorization scheme: each thread recovers its first tuple once, then
-// repeatedly materialises batches of up to vlength consecutive tuples by
-// incrementation and hands the whole batch to body, which plays the role
-// of the "#pragma omp simd" loop over the thread-private array T.
+// repeatedly materialises batches of up to vlength consecutive tuples
+// through unrank.RecoverBatchSeeded — the batched entry point rides its
+// incrementation fast path for consecutive ranks, so the cost profile is
+// the paper's (one costly recovery per thread, one cheap advance per
+// iteration) while the whole batch lands in the thread-private array T
+// in one call, which body consumes as the "#pragma omp simd" loop.
 func CollapsedForSIMD(r *core.Result, params map[string]int64, threads, vlength int,
 	body func(tid int, batch [][]int64)) error {
 	if vlength < 1 {
@@ -414,22 +417,24 @@ func CollapsedForSIMD(r *core.Result, params map[string]int64, threads, vlength 
 			for v := range batch {
 				batch[v] = backing[v*depth : (v+1)*depth]
 			}
+			pcs := make([]int64, vlength)
 			cur := make([]int64, depth)
 			if err := b.Unrank(clo, cur); err != nil {
 				return err
 			}
+			curPC := clo
 			for pc := clo; pc < chi; {
 				nb := 0
 				for v := 0; v < vlength && pc+int64(v) < chi; v++ {
-					copy(batch[v], cur)
+					pcs[v] = pc + int64(v)
 					nb++
-					if pc+int64(v)+1 < chi {
-						if !b.Increment(cur) {
-							break
-						}
-					}
+				}
+				if err := b.RecoverBatchSeeded(curPC, cur, pcs[:nb], batch[:nb]); err != nil {
+					return err
 				}
 				body(tid, batch[:nb])
+				copy(cur, batch[nb-1])
+				curPC = pcs[nb-1]
 				pc += int64(nb)
 			}
 			return nil
@@ -438,9 +443,11 @@ func CollapsedForSIMD(r *core.Result, params map[string]int64, threads, vlength 
 
 // CollapsedForWarp executes the collapsed space with the §VI.B GPU-warp
 // scheme: W lanes run concurrently; lane w executes iterations pc = w+1,
-// w+1+W, w+1+2W, … Each lane performs the costly recovery only once (at
-// its first pc) and advances by W lexicographic incrementations between
-// iterations, achieving the coalesced-access distribution of the paper.
+// w+1+W, w+1+2W, … The W lane-start tuples are recovered in a single
+// batched pass (consecutive ranks, so the batch costs one full recovery
+// plus W−1 incrementations) before the lanes spawn; each lane then
+// advances by W lexicographic incrementations between iterations,
+// achieving the coalesced-access distribution of the paper.
 func CollapsedForWarp(r *core.Result, params map[string]int64, W int,
 	body func(lane int, pc int64, idx []int64)) error {
 	if W < 1 {
@@ -455,6 +462,24 @@ func CollapsedForWarp(r *core.Result, params map[string]int64, W int,
 		// Lane strides pc += W would wrap past MaxInt64 near the end.
 		return fmt.Errorf("omp: collapsed total %d overflows the warp stride: %w",
 			total, faults.ErrOverflow)
+	}
+	// Batch-recover the W lane starts (pcs 1..W) in one pass before the
+	// lanes spawn: consecutive ranks ride RecoverBatch's incrementation
+	// fast path, so the whole warp pays a single full recovery instead of
+	// one per lane.
+	nlanes := int64(W)
+	if total < nlanes {
+		nlanes = total
+	}
+	startPCs := make([]int64, nlanes)
+	startBacking := make([]int64, int(nlanes)*r.C)
+	starts := make([][]int64, nlanes)
+	for w := range starts {
+		startPCs[w] = int64(w) + 1
+		starts[w] = startBacking[w*r.C : (w+1)*r.C]
+	}
+	if err := bounds[0].RecoverBatch(startPCs, starts); err != nil {
+		return err
 	}
 	var wg sync.WaitGroup
 	var firstErr error
@@ -476,10 +501,7 @@ func CollapsedForWarp(r *core.Result, params map[string]int64, W int,
 				return
 			}
 			idx := make([]int64, r.C)
-			if err := b.Unrank(start, idx); err != nil {
-				errOnce.Do(func() { firstErr = err })
-				return
-			}
+			copy(idx, starts[lane])
 			for pc := start; pc <= total; pc += int64(W) {
 				body(lane, pc, idx)
 				for inc := 0; inc < W && pc+int64(inc) < total; inc++ {

@@ -90,6 +90,7 @@ type unrankCounters struct {
 	rootEvals, corrections, fallbacks, searches *telemetry.Counter
 	verifies, escalations                       *telemetry.Counter
 	prec128, prec256, bigint                    *telemetry.Counter
+	tableLookups, tableCorrections, batches     *telemetry.Counter
 }
 
 func newUnrankCounters(tel *telemetry.Registry) *unrankCounters {
@@ -106,6 +107,10 @@ func newUnrankCounters(tel *telemetry.Registry) *unrankCounters {
 		prec128:     tel.Counter("unrank.escalations_prec128"),
 		prec256:     tel.Counter("unrank.escalations_prec256"),
 		bigint:      tel.Counter("unrank.bigint_paths"),
+
+		tableLookups:     tel.Counter("unrank.table_lookups"),
+		tableCorrections: tel.Counter("unrank.table_corrections"),
+		batches:          tel.Counter("unrank.batch_recoveries"),
 	}
 }
 
@@ -124,4 +129,7 @@ func (u *unrankCounters) publish(d unrank.Stats) {
 	u.prec128.Add(d.EscalationsPrec128)
 	u.prec256.Add(d.EscalationsPrec256)
 	u.bigint.Add(d.BigIntPaths)
+	u.tableLookups.Add(d.TableLookups)
+	u.tableCorrections.Add(d.TableCorrections)
+	u.batches.Add(d.BatchRecoveries)
 }

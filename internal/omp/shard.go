@@ -43,6 +43,18 @@ const DefaultShardChunk = 4096
 // body for the completed prefix.
 func ShardForCtx(ctx context.Context, worker int, b *unrank.Bound, pcLo, pcHi, chunk int64,
 	progress func(done int64), body func(pc int64, idx []int64)) (done int64, err error) {
+	return ShardForCtxFrom(ctx, worker, b, nil, pcLo, pcHi, chunk, progress, body)
+}
+
+// ShardForCtxFrom is ShardForCtx with a pre-recovered start tuple: when
+// start is non-nil it must be the exact iteration tuple of rank pcLo
+// (typically produced by a coordinator batch-recovering all planned
+// shard starts with unrank.Bound.RecoverBatch), and the first internal
+// chunk skips its §V recovery entirely — the shard begins at pure
+// incrementation cost. A nil start is ShardForCtx. start is read-only.
+func ShardForCtxFrom(ctx context.Context, worker int, b *unrank.Bound, start []int64,
+	pcLo, pcHi, chunk int64,
+	progress func(done int64), body func(pc int64, idx []int64)) (done int64, err error) {
 	if pcLo > pcHi {
 		return 0, nil
 	}
@@ -72,7 +84,12 @@ func ShardForCtx(ctx context.Context, worker int, b *unrank.Bound, pcLo, pcHi, c
 		if err := faults.InjectChunk(worker, clo, chi+1); err != nil {
 			return done, fmt.Errorf("omp: injected fault at chunk [%d,%d]: %w", clo, chi, err)
 		}
-		if err := core.ForRange(b, clo, chi, body); err != nil {
+		if clo == pcLo && start != nil {
+			err = core.ForRangeFrom(b, clo, chi, start, body)
+		} else {
+			err = core.ForRange(b, clo, chi, body)
+		}
+		if err != nil {
 			return done, err
 		}
 		done += chi - clo + 1

@@ -5,16 +5,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/omp"
-	"repro/internal/unrank"
 )
 
 // FuzzStressNest drives the generator from arbitrary seeds and pushes
-// each generated nest through the full precision ladder: recovery
-// forced to start at every tier (float64, 128-bit, 256-bit, exact
-// binary search) must visit exactly the sequential iteration set.
-// Unlike FuzzRankUnrank (which fuzzes the C front end), this target
-// fuzzes the numeric recovery engine over the space of collapsible
-// shapes directly.
+// each generated nest through every recovery variant: the full
+// precision ladder (float64, 128-bit, 256-bit, breakpoint tables,
+// exact binary search) plus the pure table mode must each visit
+// exactly the sequential iteration set. Unlike FuzzRankUnrank (which
+// fuzzes the C front end), this target fuzzes the numeric recovery
+// engine over the space of collapsible shapes directly.
 func FuzzStressNest(f *testing.F) {
 	for seed := int64(0); seed < 8; seed++ {
 		f.Add(seed)
@@ -30,27 +29,27 @@ func FuzzStressNest(f *testing.F) {
 		if err != nil {
 			t.Fatalf("%s: enumerate: %v", c.Name, err)
 		}
-		for _, tier := range Tiers() {
-			res, err := core.Collapse(c.Nest, c.C, unrank.Options{StartTier: tier})
+		for _, v := range Variants() {
+			res, err := core.Collapse(c.Nest, c.C, v.Opts)
 			if err != nil {
-				t.Fatalf("%s: collapse at %v: %v", c.Name, tier, err)
+				t.Fatalf("%s: collapse at %s: %v", c.Name, v.Name, err)
 			}
 			sched := omp.Schedule{Kind: omp.Dynamic, Chunk: 3}
 			got, cs, err := runParallel(res, c.Params, 2, sched)
 			if err != nil {
-				t.Fatalf("%s at %v: %v", c.Name, tier, err)
+				t.Fatalf("%s at %s: %v", c.Name, v.Name, err)
 			}
 			if err := diffVisitSets(truth, got); err != nil {
-				t.Fatalf("%s at %v: %v (stats: %s)", c.Name, tier, err, cs.Stats.String())
+				t.Fatalf("%s at %s: %v (stats: %s)", c.Name, v.Name, err, cs.Stats.String())
 			}
 			// The range-batched engine must visit the identical set; the
 			// chunk size deliberately splits innermost runs.
 			got, rs, err := runParallelRanges(res, c.Params, 2, sched)
 			if err != nil {
-				t.Fatalf("%s at %v (ranges): %v", c.Name, tier, err)
+				t.Fatalf("%s at %s (ranges): %v", c.Name, v.Name, err)
 			}
 			if err := diffVisitSets(truth, got); err != nil {
-				t.Fatalf("%s at %v (ranges): %v (engine: %+v)", c.Name, tier, err, rs)
+				t.Fatalf("%s at %s (ranges): %v (engine: %+v)", c.Name, v.Name, err, rs)
 			}
 		}
 	})

@@ -142,9 +142,29 @@ func Schedules() []omp.Schedule {
 }
 
 // Tiers is the precision-ladder sweep: each run forces recovery to
-// begin at one rung (TierExact degenerates to pure binary search).
+// begin at one rung (TierTable recovers from precomputed breakpoint
+// tables; TierExact degenerates to pure binary search).
 func Tiers() []unrank.Tier {
-	return []unrank.Tier{unrank.TierFloat64, unrank.TierPrec128, unrank.TierPrec256, unrank.TierExact}
+	return []unrank.Tier{unrank.TierFloat64, unrank.TierPrec128, unrank.TierPrec256,
+		unrank.TierTable, unrank.TierExact}
+}
+
+// Variant is one recovery configuration of the differential sweep.
+type Variant struct {
+	Name string
+	Opts unrank.Options
+}
+
+// Variants is the recovery-configuration sweep: recovery forced to
+// begin at each ladder rung, plus the pure breakpoint-table mode
+// (ModeTable — no symbolic root selection at all, the same compile
+// path CollapsedForAuto retries degree>4 nests on).
+func Variants() []Variant {
+	var vs []Variant
+	for _, t := range Tiers() {
+		vs = append(vs, Variant{Name: fmt.Sprintf("tier=%v", t), Opts: unrank.Options{StartTier: t}})
+	}
+	return append(vs, Variant{Name: "mode=table", Opts: unrank.Options{Mode: unrank.ModeTable}})
 }
 
 // RunStats aggregates a differential sweep.
@@ -184,41 +204,42 @@ func RunCase(c *Case, threads int, withFaults bool) (RunStats, error) {
 		return st, err
 	}
 	st.Cases = 1
-	// Compile every ladder variant before any fault plan is active:
+	// Compile every recovery variant before any fault plan is active:
 	// injection targets run-time recovery, not compile-time root
 	// selection (whose sampling also evaluates the roots).
-	results := make([]*core.Result, len(Tiers()))
-	for i, tier := range Tiers() {
-		res, err := core.Collapse(c.Nest, c.C, unrank.Options{StartTier: tier})
+	variants := Variants()
+	results := make([]*core.Result, len(variants))
+	for i, v := range variants {
+		res, err := core.Collapse(c.Nest, c.C, v.Opts)
 		if err != nil {
-			return st, fmt.Errorf("%s: collapse at %v: %w", c.Name, tier, err)
+			return st, fmt.Errorf("%s: collapse at %s: %w", c.Name, v.Name, err)
 		}
 		results[i] = res
 	}
 	sweep := func() error {
-		for i, tier := range Tiers() {
+		for i, v := range variants {
 			res := results[i]
 			for _, sched := range Schedules() {
 				got, cs, err := runParallel(res, c.Params, threads, sched)
 				if err != nil {
-					return fmt.Errorf("%s: %v/%v: %w", c.Name, sched.Kind, tier, err)
+					return fmt.Errorf("%s: %v/%s: %w", c.Name, sched.Kind, v.Name, err)
 				}
 				if err := diffVisitSets(truth, got); err != nil {
-					return fmt.Errorf("%s: %v/%v: %w", c.Name, sched.Kind, tier, err)
+					return fmt.Errorf("%s: %v/%s: %w", c.Name, sched.Kind, v.Name, err)
 				}
 				st.Runs++
 				st.Unrank.Add(cs.Stats)
 
 				got, rs, err := runParallelRanges(res, c.Params, threads, sched)
 				if err != nil {
-					return fmt.Errorf("%s: %v/%v (ranges): %w", c.Name, sched.Kind, tier, err)
+					return fmt.Errorf("%s: %v/%s (ranges): %w", c.Name, sched.Kind, v.Name, err)
 				}
 				if err := diffVisitSets(truth, got); err != nil {
-					return fmt.Errorf("%s: %v/%v (ranges): %w", c.Name, sched.Kind, tier, err)
+					return fmt.Errorf("%s: %v/%s (ranges): %w", c.Name, sched.Kind, v.Name, err)
 				}
 				if rs.Iterations != c.Total {
-					return fmt.Errorf("%s: %v/%v (ranges): engine covered %d iterations, want %d",
-						c.Name, sched.Kind, tier, rs.Iterations, c.Total)
+					return fmt.Errorf("%s: %v/%s (ranges): engine covered %d iterations, want %d",
+						c.Name, sched.Kind, v.Name, rs.Iterations, c.Total)
 				}
 				st.Runs++
 			}

@@ -70,9 +70,9 @@ func TestDifferentialSweep(t *testing.T) {
 	if err != nil {
 		t.Fatalf("differential sweep: %v (after %d runs)", err, st.Runs)
 	}
-	// Every schedule × tier cell runs twice: once through the
+	// Every schedule × variant cell runs twice: once through the
 	// per-iteration driver, once through the range-batched engine.
-	wantRuns := 3 * len(Schedules()) * len(Tiers()) * 2
+	wantRuns := 3 * len(Schedules()) * len(Variants()) * 2
 	if st.Runs != wantRuns {
 		t.Fatalf("ran %d differential runs, want %d", st.Runs, wantRuns)
 	}

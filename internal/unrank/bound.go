@@ -27,6 +27,13 @@ type Stats struct {
 	EscalationsPrec128 int64 // recoveries completed at big.Float(128)
 	EscalationsPrec256 int64 // recoveries completed at big.Float(256)
 	BigIntPaths        int64 // exact evaluations taking the big.Int slow path
+
+	// Breakpoint-table counters: levels recovered through the table
+	// tier, exact in-segment/confirmation evaluations spent there, and
+	// pc values resolved through RecoverBatch.
+	TableLookups     int64 // level recoveries completed by table lookup
+	TableCorrections int64 // exact evals spent refining/confirming a lookup
+	BatchRecoveries  int64 // pc values resolved via RecoverBatch
 }
 
 // Add accumulates o into s (used to aggregate per-thread stats).
@@ -40,6 +47,9 @@ func (s *Stats) Add(o Stats) {
 	s.EscalationsPrec128 += o.EscalationsPrec128
 	s.EscalationsPrec256 += o.EscalationsPrec256
 	s.BigIntPaths += o.BigIntPaths
+	s.TableLookups += o.TableLookups
+	s.TableCorrections += o.TableCorrections
+	s.BatchRecoveries += o.BatchRecoveries
 }
 
 // Sub returns s - o field by field. With o a previously published
@@ -57,6 +67,9 @@ func (s Stats) Sub(o Stats) Stats {
 		EscalationsPrec128: s.EscalationsPrec128 - o.EscalationsPrec128,
 		EscalationsPrec256: s.EscalationsPrec256 - o.EscalationsPrec256,
 		BigIntPaths:        s.BigIntPaths - o.BigIntPaths,
+		TableLookups:       s.TableLookups - o.TableLookups,
+		TableCorrections:   s.TableCorrections - o.TableCorrections,
+		BatchRecoveries:    s.BatchRecoveries - o.BatchRecoveries,
 	}
 }
 
@@ -72,6 +85,12 @@ func (s Stats) String() string {
 	}
 	if s.BigIntPaths > 0 {
 		out += fmt.Sprintf(", bigint paths %d", s.BigIntPaths)
+	}
+	if s.TableLookups > 0 || s.TableCorrections > 0 {
+		out += fmt.Sprintf(", table lookups %d, table corrections %d", s.TableLookups, s.TableCorrections)
+	}
+	if s.BatchRecoveries > 0 {
+		out += fmt.Sprintf(", batch recoveries %d", s.BatchRecoveries)
 	}
 	return out
 }
@@ -98,6 +117,21 @@ type Bound struct {
 	// Scratch — per-Bound, so the §V drivers allocate nothing per chunk.
 	scratch []int64
 	stats   Stats
+
+	// Breakpoint-table state (nil unless the unranker's strategy enables
+	// tables; see Unranker.tablesEnabled). tables is immutable after Bind
+	// and shared by Clone; the rest is per-Bound scratch.
+	tables []*levelTable
+	// tvals[k] is the positional argument vector of level k's separable
+	// evaluator gComp: [params..., x].
+	tvals [][]int64
+	// tbase[k] caches B(prefix) = rk(prefix, lb) − g(lb) for the prefix
+	// in tpref[k] (valid when tvalid[k]); consecutive recoveries under an
+	// unchanged prefix — the common case at small chunk sizes — then skip
+	// both exact evaluations.
+	tbase  []int64
+	tpref  [][]int64
+	tvalid []bool
 }
 
 // Bind fixes parameter values, precomputing the total iteration count.
@@ -168,6 +202,12 @@ func (u *Unranker) Bind(params map[string]int64) (b *Bound, err error) {
 	if b.total < 0 {
 		return nil, fmt.Errorf("unrank: negative iteration count %d (irregular nest for %v)", b.total, params)
 	}
+	if u.tablesEnabled() {
+		// Tables are built eagerly here — before any Clone — so worker
+		// clones share the immutable tables and only duplicate the small
+		// per-recovery scratch (zero steady-state allocations preserved).
+		b.buildTables()
+	}
 	return b, nil
 }
 
@@ -194,6 +234,21 @@ func (b *Bound) Clone() *Bound {
 	for k := range b.fvals {
 		nb.fvals[k] = append([]float64(nil), b.fvals[k]...)
 		nb.ivals[k] = append([]int64(nil), b.ivals[k]...)
+	}
+	if b.tables != nil {
+		nb.tables = b.tables // immutable after Bind, shared
+		nb.tvals = make([][]int64, len(b.tvals))
+		nb.tpref = make([][]int64, len(b.tpref))
+		for k := range b.tvals {
+			if b.tvals[k] != nil {
+				nb.tvals[k] = append([]int64(nil), b.tvals[k]...)
+			}
+			if b.tpref[k] != nil {
+				nb.tpref[k] = make([]int64, len(b.tpref[k]))
+			}
+		}
+		nb.tbase = make([]int64, len(b.tbase))
+		nb.tvalid = make([]bool, len(b.tvalid))
 	}
 	return nb
 }
@@ -296,56 +351,80 @@ func (b *Bound) Unrank(pc int64, idx []int64) (err error) {
 	if pc < 1 || pc > b.total {
 		return fmt.Errorf("unrank: pc = %d out of range 1..%d", pc, b.total)
 	}
+	return b.recoverInto(pc, idx)
+}
+
+// recoverInto performs the full per-level recovery of pc into idx
+// (already validated), including the verify-mode escalation. Shared by
+// Unrank and RecoverBatch.
+func (b *Bound) recoverInto(pc int64, idx []int64) error {
 	for k := 0; k < b.depth-1; k++ {
-		lv := &b.u.levels[k]
-		lo := b.inst.LowerAt(k, idx)
-		hi := b.inst.UpperAt(k, idx)
-		var ik int64
-		recovered := false
-		if lv.rootFn != nil {
-			// Precision ladder (§IV.C hardened): the float64 radical is
-			// tried first; a failure escalates to the certified big.Float
-			// tiers before conceding to exact binary search.
-			if b.u.startTier == TierFloat64 {
-				ik, recovered = b.tryFloat64(lv, k, pc, lo, hi)
-				if !recovered {
-					b.stats.Fallbacks++
-				}
+		b.setLevel(k, b.recoverLevel(k, pc, idx), idx)
+	}
+	b.lastLevel(pc, idx)
+	return b.maybeVerify(pc, idx)
+}
+
+// recoverLevel recovers level k of pc through the precision ladder:
+// float64 radical → certified big.Float tiers → breakpoint-table lookup
+// → exact binary search. The radical tiers exist only in closed-form
+// mode; the table tier only when the strategy built tables at Bind; the
+// binary search is always available and always exact.
+func (b *Bound) recoverLevel(k int, pc int64, idx []int64) int64 {
+	lv := &b.u.levels[k]
+	lo := b.inst.LowerAt(k, idx)
+	hi := b.inst.UpperAt(k, idx)
+	if lv.rootFn != nil {
+		// Precision ladder (§IV.C hardened): the float64 radical is
+		// tried first; a failure escalates to the certified big.Float
+		// tiers before conceding to the exact rungs.
+		if b.u.startTier == TierFloat64 {
+			if ik, ok := b.tryFloat64(lv, k, pc, lo, hi); ok {
+				return ik
 			}
-			for ti := 0; !recovered && ti < len(lv.rootBig); ti++ {
-				tier := TierPrec128 + Tier(ti)
-				if b.u.startTier > tier || lv.rootBig[ti] == nil {
-					continue
+			b.stats.Fallbacks++
+		}
+		for ti := 0; ti < len(lv.rootBig); ti++ {
+			tier := TierPrec128 + Tier(ti)
+			if b.u.startTier > tier || lv.rootBig[ti] == nil {
+				continue
+			}
+			if ik, ok := b.tryBig(lv, k, ti, pc, lo, hi); ok {
+				if tier == TierPrec128 {
+					b.stats.EscalationsPrec128++
+				} else {
+					b.stats.EscalationsPrec256++
 				}
-				ik, recovered = b.tryBig(lv, k, ti, pc, lo, hi)
-				if recovered {
-					if tier == TierPrec128 {
-						b.stats.EscalationsPrec128++
-					} else {
-						b.stats.EscalationsPrec256++
-					}
-				}
+				return ik
 			}
 		}
-		if !recovered {
-			ik = b.searchLevel(k, pc, lo, hi)
+	}
+	if b.tables != nil && b.u.startTier <= TierTable {
+		if ik, ok := b.tryTable(k, pc, lo, hi); ok {
+			return ik
 		}
+	}
+	return b.searchLevel(k, pc, lo, hi)
+}
+
+// maybeVerify applies verify-mode checking to a freshly recovered tuple:
+// exact big.Rat re-rank, binary-search escalation on mismatch, and a
+// typed error when even the escalation disagrees.
+func (b *Bound) maybeVerify(pc int64, idx []int64) error {
+	if !b.u.verify || b.verifyRank(pc, idx) {
+		return nil
+	}
+	// Escalation rung of the degradation ladder: redo every level
+	// with exact binary search over the monotone ranking polynomial.
+	b.stats.Escalations++
+	for k := 0; k < b.depth-1; k++ {
+		ik := b.searchLevel(k, pc, b.inst.LowerAt(k, idx), b.inst.UpperAt(k, idx))
 		b.setLevel(k, ik, idx)
 	}
 	b.lastLevel(pc, idx)
-	if b.u.verify && !b.verifyRank(pc, idx) {
-		// Escalation rung of the degradation ladder: redo every level
-		// with exact binary search over the monotone ranking polynomial.
-		b.stats.Escalations++
-		for k := 0; k < b.depth-1; k++ {
-			ik := b.searchLevel(k, pc, b.inst.LowerAt(k, idx), b.inst.UpperAt(k, idx))
-			b.setLevel(k, ik, idx)
-		}
-		b.lastLevel(pc, idx)
-		if !b.verifyRank(pc, idx) {
-			return fmt.Errorf("unrank: pc = %d: exact re-rank of %v mismatches after binary-search escalation: %w",
-				pc, idx, faults.ErrRecoveryDiverged)
-		}
+	if !b.verifyRank(pc, idx) {
+		return fmt.Errorf("unrank: pc = %d: exact re-rank of %v mismatches after binary-search escalation: %w",
+			pc, idx, faults.ErrRecoveryDiverged)
 	}
 	return nil
 }

@@ -136,6 +136,9 @@ func TestStartTierForcesRung(t *testing.T) {
 		{TierFloat64, func(s Stats) bool { return s.RootEvals > 0 && s.Searches == 0 }},
 		{TierPrec128, func(s Stats) bool { return s.RootEvals == 0 && s.EscalationsPrec128 > 0 && s.Searches == 0 }},
 		{TierPrec256, func(s Stats) bool { return s.EscalationsPrec128 == 0 && s.EscalationsPrec256 > 0 && s.Searches == 0 }},
+		{TierTable, func(s Stats) bool {
+			return s.RootEvals == 0 && s.EscalationsPrec256 == 0 && s.TableLookups > 0 && s.Searches == 0
+		}},
 		{TierExact, func(s Stats) bool {
 			return s.RootEvals == 0 && s.EscalationsPrec128 == 0 && s.EscalationsPrec256 == 0 && s.Searches > 0
 		}},

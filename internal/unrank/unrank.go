@@ -46,20 +46,60 @@ const (
 	// ranking polynomial. It needs no symbolic solving and serves as the
 	// correctness oracle and baseline.
 	ModeBinarySearch
+	// ModeTable uses the precomputed per-level breakpoint tables: each
+	// recovery is a pure-integer table lookup plus a short exact
+	// correction, with exact binary search as the safety net for levels
+	// whose restricted ranking polynomial is not separable (or whose
+	// table could not be built). Like ModeBinarySearch it needs no
+	// radical solving, so it accepts nests of any degree — it is the
+	// fast strategy where closed forms do not exist.
+	ModeTable
 )
+
+// String names the mode for CLI flags and reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeClosedForm:
+		return "closed-form"
+	case ModeBinarySearch:
+		return "search"
+	case ModeTable:
+		return "table"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses a CLI spelling of a recovery mode. Unknown spellings
+// return an error wrapping faults.ErrUnknownMode so callers can reject
+// them with a typed check.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "closed-form", "closedform", "closed":
+		return ModeClosedForm, nil
+	case "search", "binary-search", "binarysearch":
+		return ModeBinarySearch, nil
+	case "table", "breakpoint-table":
+		return ModeTable, nil
+	}
+	return 0, fmt.Errorf("unrank: mode %q (want closed-form | search | table): %w",
+		s, faults.ErrUnknownMode)
+}
 
 // Tier identifies a rung of the adaptive-precision recovery ladder:
 //
-//	float64  →  big.Float(128)  →  big.Float(256)  →  exact binary search
+//	float64 → big.Float(128) → big.Float(256) → breakpoint table → exact
 //
 // The float64 tier is the paper's §IV.C fast path. When its floor cannot
 // be repaired within MaxCorrection exact ±1 steps (or evaluates to
 // NaN/Inf), recovery escalates tier by tier: each big.Float tier
 // re-evaluates the same radical formula at higher precision with a
 // certified error radius and only trusts the floor when the radius
-// provably clears every integer boundary; the final rung is the exact
-// binary search over the monotone ranking polynomial, which needs no
-// floating point at all.
+// provably clears every integer boundary. Below the float tiers sits the
+// breakpoint-table tier — a pure-integer table lookup over the
+// precomputed per-level inversion tables (built when the strategy
+// requests them: ModeTable, or StartTier == TierTable) — and the final
+// rung is the exact binary search over the monotone ranking polynomial,
+// which needs no floating point at all.
 type Tier int
 
 const (
@@ -69,6 +109,8 @@ const (
 	TierPrec128
 	// TierPrec256 evaluates the radical at 256-bit big.Float precision.
 	TierPrec256
+	// TierTable is the breakpoint-table lookup with exact correction.
+	TierTable
 	// TierExact is exact binary search (no closed form).
 	TierExact
 )
@@ -82,6 +124,8 @@ func (t Tier) String() string {
 		return "prec128"
 	case TierPrec256:
 		return "prec256"
+	case TierTable:
+		return "table"
 	case TierExact:
 		return "exact"
 	}
@@ -158,6 +202,13 @@ type Options struct {
 	// behaves like ModeBinarySearch at recovery time while still
 	// performing the symbolic solve.
 	StartTier Tier
+	// TableMaxEntries caps the per-level breakpoint-table size. Levels
+	// whose index range fits under the cap get a dense (stride-1) table
+	// — recovery is then a pure int64 binary search over the table with
+	// zero polynomial evaluations; wider levels get geometrically ramped
+	// breakpoints up to a uniform stride, with a short exact in-segment
+	// search. Defaults to 4096; clamped to [64, 1<<20].
+	TableMaxEntries int
 	// CompileWorkers bounds the goroutines used for the per-level
 	// compile fan-out (ranking restriction, radical solving, root
 	// selection and root compilation are independent across levels and
@@ -188,6 +239,15 @@ type level struct {
 	// the same selected root compiled at 128- and 256-bit big.Float
 	// precision with certified error radii (nil in binary-search mode).
 	rootBig [2]roots.BigEvalFunc
+
+	// gComp is the separable x-part of the restricted ranking
+	// polynomial: rk = B(prefix) + g(x) with B = rk|_{x=0} and
+	// g = rk − B. When g mentions no prefix iterator the level is
+	// "separable" and its inversion can be tabulated once per binding —
+	// gComp then evaluates g over [params..., x]. Nil when the level is
+	// not separable (the breakpoint table falls back to exact binary
+	// search there).
+	gComp *poly.Compiled
 }
 
 // Unranker is the symbolic (parameter-independent) part of the inverse
@@ -200,6 +260,7 @@ type Unranker struct {
 	maxCorr   int
 	verify    bool
 	startTier Tier
+	tableMax  int
 
 	order    []string // params..., all indices...
 	rankComp *poly.Compiled
@@ -222,12 +283,27 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 	if opts.MaxCorrection <= 0 {
 		opts.MaxCorrection = 8
 	}
+	if opts.TableMaxEntries <= 0 {
+		opts.TableMaxEntries = 4096
+	}
+	if opts.TableMaxEntries < 64 {
+		opts.TableMaxEntries = 64
+	}
+	if opts.TableMaxEntries > 1<<20 {
+		opts.TableMaxEntries = 1 << 20
+	}
 	tel := opts.Telemetry
 	spNew := tel.StartSpan("compile", "unrank.New", 0)
 	defer spNew.End()
 	ranking, count := ehrhart.RankingInstrumented(n, tel)
-	if err := ehrhart.CheckDegree(ranking); err != nil {
-		return nil, err
+	if opts.Mode == ModeClosedForm {
+		// Only the radical path is degree-limited (no closed-form roots
+		// beyond the quartic). Binary search and the breakpoint tables
+		// invert the ranking polynomial without solving it, so they
+		// accept nests of any degree.
+		if err := ehrhart.CheckDegree(ranking); err != nil {
+			return nil, err
+		}
 	}
 	u := &Unranker{
 		nest:      n,
@@ -237,6 +313,7 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 		maxCorr:   opts.MaxCorrection,
 		verify:    opts.Verify,
 		startTier: opts.StartTier,
+		tableMax:  opts.TableMaxEntries,
 	}
 	u.order = append(append([]string(nil), n.Params...), n.Indices()...)
 	spPoly := tel.StartSpan("compile", "poly.Compile", 0)
@@ -268,6 +345,30 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 		lv.rk, err = rk.Compile(u.order[:len(n.Params)+k+1])
 		if err != nil {
 			return err
+		}
+		if u.tablesEnabled() {
+			// Separability split for the breakpoint table: rk = B + g
+			// with B = rk|_{x=0} (every monomial containing x killed)
+			// and g = rk − B carrying the whole x-dependence. The level
+			// is tabulable iff g mentions no prefix iterator — then
+			// g(x) can be tabulated once per binding, independent of
+			// the prefix recovered at run time. The identity rk = B + g
+			// holds exactly over ℚ, so table decisions made on g are
+			// bit-identical to decisions made on rk.
+			g := rk.Sub(rk.Subst(lv.varName, poly.Int(0)))
+			separable := true
+			for _, v := range g.Vars() {
+				if v != lv.varName && !isParam(n, v) {
+					separable = false
+					break
+				}
+			}
+			if separable {
+				gvars := append(append([]string(nil), u.order[:len(n.Params)]...), lv.varName)
+				if lv.gComp, err = g.Compile(gvars); err != nil {
+					return err
+				}
+			}
 		}
 		if opts.Mode == ModeClosedForm {
 			eq := rk.Sub(poly.Var("pc"))
@@ -345,6 +446,26 @@ func New(n *nest.Nest, opts Options) (*Unranker, error) {
 		}
 	}
 	return u, nil
+}
+
+// tablesEnabled reports whether this unranker's strategy uses the
+// breakpoint-table tier: the dedicated ModeTable, or a ladder whose
+// StartTier lands exactly on TierTable. Tables are built eagerly at Bind
+// time only when enabled, so the default closed-form path (which almost
+// never escalates past the big.Float tiers) pays nothing, and the
+// binary-search oracle stays pure.
+func (u *Unranker) tablesEnabled() bool {
+	return u.mode == ModeTable || (u.mode != ModeBinarySearch && u.startTier == TierTable)
+}
+
+// isParam reports whether v names a parameter of n.
+func isParam(n *nest.Nest, v string) bool {
+	for _, p := range n.Params {
+		if p == v {
+			return true
+		}
+	}
+	return false
 }
 
 // fanOut runs fn(0..n-1) on up to `workers` goroutines (0 means

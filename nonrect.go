@@ -52,6 +52,7 @@ package nonrect
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/codegen"
@@ -230,6 +231,19 @@ func CollapseBinarySearch(n *Nest, c int) (*Result, error) {
 	return core.Collapse(n, c, unrank.Options{Mode: unrank.ModeBinarySearch})
 }
 
+// CollapseTable is Collapse with the closed-form recovery replaced by
+// precomputed per-level breakpoint tables (unrank.ModeTable): recovery
+// is an O(log depth) monotone table lookup with an exact short
+// correction, bit-identical to binary search but without per-query
+// polynomial solving. Like the binary-search oracle it needs no
+// symbolic root, so it also covers nests whose ranking degree exceeds
+// radical solvability (degree > 4).
+func CollapseTable(n *Nest, c int, opts ...Option) (*Result, error) {
+	cfg := buildConfig(opts)
+	return core.CollapseCached(cfg.cache, n, c,
+		unrank.Options{Mode: unrank.ModeTable, Telemetry: cfg.tel, Verify: cfg.verify})
+}
+
 // CollapseAt collapses c successive loops starting at level from
 // (0-based); the surrounding iterators become symbolic parameters of the
 // ranking polynomial, bound per outer iteration via res.Unranker.Bind.
@@ -269,10 +283,14 @@ func CollapsedForCtx(ctx context.Context, res *Result, params map[string]int64, 
 
 // CollapsedForAuto is the self-degrading entry point: it collapses the c
 // outermost loops of n and runs the collapsed schedule, but when the
-// technique is inapplicable to this nest (non-affine bounds, ranking
-// degree above 4, no convenient root, int64 overflow) it falls back to
-// plain parallel worksharing of the outermost loop over the original
-// nest — the program still runs, merely without the balance guarantee.
+// technique is inapplicable to this nest it degrades gracefully. A
+// symbolic-inversion failure (ranking degree above 4, no convenient
+// root) first retries in breakpoint-table mode — still collapsed, still
+// balanced, counted by the "omp.table_retries" telemetry counter —
+// and only a genuinely uncollapsible nest (non-affine bounds, int64
+// overflow) falls back to plain parallel worksharing of the outermost
+// loop over the original nest: the program still runs, merely without
+// the balance guarantee.
 // It reports which path executed; a downgrade increments the
 // "omp.downgrades" telemetry counter when WithTelemetry is given.
 // Errors outside the applicability class (and any runtime error) are
@@ -289,6 +307,23 @@ func CollapsedForAuto(ctx context.Context, n *Nest, c int, params map[string]int
 	}
 	if !faults.Collapsible(cerr) {
 		return false, cerr
+	}
+	// Symbolic inversion failed but the nest may still collapse: the
+	// breakpoint-table mode needs no convenient root and accepts any
+	// degree, so degree-above-radical and root-selection failures get a
+	// second chance before the balance guarantee is surrendered.
+	if errors.Is(cerr, faults.ErrDegreeTooHigh) || errors.Is(cerr, faults.ErrNoConvenientRoot) {
+		res, terr := core.CollapseCached(cfg.cache, n, c,
+			unrank.Options{Mode: unrank.ModeTable, Telemetry: cfg.tel, Verify: cfg.verify})
+		if terr == nil {
+			if cfg.tel != nil {
+				cfg.tel.Counter("omp.table_retries").Inc()
+			}
+			return true, CollapsedForCtx(ctx, res, params, threads, sched, body, opts...)
+		}
+		if !faults.Collapsible(terr) {
+			return false, terr
+		}
 	}
 	if cfg.tel != nil {
 		cfg.tel.Counter("omp.downgrades").Inc()

@@ -69,9 +69,10 @@ func TestCancellationThroughAPI(t *testing.T) {
 }
 
 // TestCollapsedForAutoDowngrade checks the degradation ladder end to
-// end: a 5-deep simplex nest (ranking degree 5, beyond radicals) runs
-// uncollapsed, the same iterations are produced, and the downgrade is
-// recorded in telemetry; a collapsible nest takes the fast path.
+// end: a 5-deep simplex nest (ranking degree 5, beyond radicals) stays
+// collapsed through the breakpoint-table retry, a non-affine nest runs
+// uncollapsed, the same iterations are produced either way, and each
+// rung is recorded in telemetry; a collapsible nest takes the fast path.
 func TestCollapsedForAutoDowngrade(t *testing.T) {
 	deep := MustNewNest([]string{"N"},
 		L("a", "0", "N"), L("b", "0", "a+1"), L("c", "0", "b+1"),
@@ -84,8 +85,8 @@ func TestCollapsedForAutoDowngrade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if collapsed {
-		t.Fatal("degree-5 nest reported as collapsed")
+	if !collapsed {
+		t.Fatal("degree-5 nest did not collapse through the table retry")
 	}
 	// Serial reference count.
 	var want int64
@@ -97,6 +98,34 @@ func TestCollapsedForAutoDowngrade(t *testing.T) {
 				}
 			}
 		}
+	}
+	if count.Load() != want {
+		t.Fatalf("table retry ran %d iterations, want %d", count.Load(), want)
+	}
+	if !strings.Contains(tel.Report(), "omp.table_retries") {
+		t.Errorf("table retry not recorded in telemetry:\n%s", tel.Report())
+	}
+
+	// A non-affine bound is beyond every collapsed mode: the bottom rung
+	// (uncollapsed worksharing) must run it. Built as a raw literal —
+	// NewNest would reject it up front.
+	quad := &Nest{Params: []string{"N"}, Loops: []Loop{
+		L("i", "0", "N"), L("j", "0", "i*i+1"),
+	}}
+	tel = NewTelemetry()
+	count.Store(0)
+	collapsed, err = CollapsedForAuto(context.Background(), quad, 2,
+		map[string]int64{"N": 10}, 4, Schedule{Kind: Static},
+		func(tid int, idx []int64) { count.Add(1) }, WithTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if collapsed {
+		t.Fatal("non-affine nest reported as collapsed")
+	}
+	want = 0
+	for i := int64(0); i < 10; i++ {
+		want += i*i + 1
 	}
 	if count.Load() != want {
 		t.Fatalf("fallback ran %d iterations, want %d", count.Load(), want)
