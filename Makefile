@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check cover bench bench-json benchgate benchgate-baseline servegate servegate-baseline distchaos distgate distgate-baseline invertgate invertgate-baseline loadtest figures ablation scaling fuzz stress clean
+.PHONY: all build test test-short race check cover bench bench-json benchgate benchgate-baseline servegate servegate-baseline distchaos distgate distgate-baseline invertgate invertgate-baseline autotunegate autotunegate-baseline loadtest figures ablation scaling fuzz stress clean
 
 all: build test
 
@@ -25,7 +25,7 @@ test-short:
 # scrape /metrics and /snapshot while a collapsed run mutates the
 # registry, and the shard coordinator whose lease-expiry, speculation
 # and crash-chaos tests are races by construction.
-RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/obs/ ./internal/kernels/ ./internal/faults/ ./internal/unrank/ ./internal/stress/ ./internal/core/ ./internal/serve/ ./internal/dist/ .
+RACE_PKGS = ./internal/telemetry/ ./internal/omp/ ./internal/obs/ ./internal/kernels/ ./internal/faults/ ./internal/unrank/ ./internal/stress/ ./internal/core/ ./internal/serve/ ./internal/dist/ ./internal/autotune/ .
 
 race:
 	$(GO) test -race $(RACE_PKGS)
@@ -45,6 +45,7 @@ check:
 	$(MAKE) distchaos
 	$(MAKE) benchgate
 	$(MAKE) invertgate
+	$(MAKE) autotunegate
 	$(MAKE) fuzz FUZZTIME=5s
 
 # Daemon smoke soak: an in-process collapsed instance driven at 2x its
@@ -137,6 +138,25 @@ invertgate:
 
 invertgate-baseline:
 	$(GO) run ./cmd/benchfig -fig invert -json $(INVERT_BASELINE)
+
+# Autotuning regression gate: one quick autotune-suite run diffed
+# against the committed BENCH_PR10.json baseline. Only the
+# machine-independent ratios are gated — the planner's pick vs the best
+# hand-picked schedule (auto_vs_best, lower is better) and the worst
+# hand pick vs the planner (worst_vs_auto, higher is better); absolute
+# wall times depend on the host. Refresh with `make
+# autotunegate-baseline` after intentional planner/cost-model changes.
+AUTOTUNE_BASELINE = BENCH_PR10.json
+AUTOTUNE_GATE_FLAGS = -metrics vs_best,vs_auto -threshold 75
+
+autotunegate:
+	@if [ ! -f $(AUTOTUNE_BASELINE) ]; then echo "no $(AUTOTUNE_BASELINE); run 'make autotunegate-baseline' first"; exit 1; fi
+	$(GO) run ./cmd/benchfig -fig autotune -reps 1 -json .bench_autotune_new.json >/dev/null
+	$(GO) run ./cmd/benchdiff -old $(AUTOTUNE_BASELINE) -new .bench_autotune_new.json $(AUTOTUNE_GATE_FLAGS)
+	@rm -f .bench_autotune_new.json
+
+autotunegate-baseline:
+	$(GO) run ./cmd/benchfig -fig autotune -json $(AUTOTUNE_BASELINE)
 
 # Differential stress soak: seedable random nests through every
 # schedule and every precision-ladder tier, with fault injection,

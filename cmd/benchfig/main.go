@@ -17,6 +17,10 @@
 //	benchfig -fig invert     recovery throughput at chunk starts: per-pc
 //	                         binary search vs breakpoint-table lookup vs
 //	                         batched recovery; -json writes BENCH_PR9.json
+//	benchfig -fig autotune   schedule autotuning: the measured-cost
+//	                         planner's pick vs a hand-picked
+//	                         (schedule, chunk) panel per kernel;
+//	                         -json writes BENCH_PR10.json
 //	benchfig -fig all        everything
 //
 // Flags: -threads (virtual thread count, default 12), -quick (small
@@ -78,7 +82,7 @@ type options struct {
 
 // knownFigs are the accepted -fig values; anything else is rejected up
 // front instead of silently printing nothing.
-var knownFigs = []string{"2", "8", "9", "10", "imbalance", "ablation", "scaling", "overhead", "compile", "invert", "all"}
+var knownFigs = []string{"2", "8", "9", "10", "imbalance", "ablation", "scaling", "overhead", "compile", "invert", "autotune", "all"}
 
 func main() {
 	var o options
@@ -93,8 +97,8 @@ func main() {
 	flag.StringVar(&o.src, "src", "", "annotated C file: run -fig imbalance on its nest instead of a named kernel")
 	flag.Int64Var(&o.srcN, "srcn", 200, "parameter value for every parameter of the -src nest")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the imbalance chunk timeline as Chrome trace-event JSON")
-	flag.StringVar(&o.jsonOut, "json", "", "write the -fig overhead report as JSON to this file")
-	flag.IntVar(&o.reps, "reps", 0, "best-of repetitions for -fig overhead (default 3, quick: 1)")
+	flag.StringVar(&o.jsonOut, "json", "", "write the suite report (-fig overhead|compile|invert|autotune) as JSON to this file")
+	flag.IntVar(&o.reps, "reps", 0, "best-of repetitions for the measured suites (default 3, quick: 1)")
 	flag.BoolVar(&o.verbose, "v", false, "print calibration details")
 	flag.StringVar(&o.serve, "serve", "", "serve the observability plane on this address (/metrics, /snapshot, /trace, /debug/pprof) during the run")
 	flag.DurationVar(&o.hold, "hold", 0, "with -serve, keep the plane up this long after the run (negative: until interrupted)")
@@ -334,6 +338,34 @@ func run(o options) error {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "invert report written to %s\n", o.jsonOut)
+		}
+	}
+	if o.fig == "autotune" {
+		opts := experiments.AutotuneOptions{Quick: o.quick, Reps: o.reps, Threads: o.threads}
+		if o.verbose {
+			opts.Verbose = func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+			}
+		}
+		rep, err := experiments.Autotune(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderAutotune(rep))
+		fmt.Println()
+		if o.jsonOut != "" {
+			f, err := os.Create(o.jsonOut)
+			if err != nil {
+				return err
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "autotune report written to %s\n", o.jsonOut)
 		}
 	}
 	return nil

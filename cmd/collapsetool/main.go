@@ -32,6 +32,12 @@
 //	           times, hits/misses counters)
 //	-n N       parameter value for the -stats run (default 300)
 //	-threads P team size for the -stats run (default GOMAXPROCS)
+//	-sched S   schedule for the -stats run, overriding the pragma
+//	           clause: static|static,N|dynamic[,N]|guided[,N]|auto.
+//	           "auto" hands the choice of (schedule, chunk, workers) to
+//	           the autotuner — a simulator-backed planner over the
+//	           nest's measured work vector — and the report prints the
+//	           chosen triple with predicted-vs-actual makespan
 //	-shards S  with -stats: run the collapsed pc-range under the
 //	           fault-tolerant shard coordinator (internal/dist) with S
 //	           shards — leases, retries, shard splitting, uncollapsed
@@ -77,6 +83,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/cparse"
@@ -101,6 +108,7 @@ type options struct {
 	check      int64
 	stats      bool
 	verify     bool
+	sched      string
 	statsN     int64
 	threads    int
 	shards     int
@@ -130,6 +138,7 @@ func main() {
 	flag.Int64Var(&o.check, "check", 0, "self-check the bijection for this parameter value")
 	flag.BoolVar(&o.stats, "stats", false, "run the collapsed nest and print telemetry (per-thread loads, recovery counters, imbalance)")
 	flag.BoolVar(&o.verify, "verify", false, "re-rank every recovered tuple exactly during -check/-stats runs (escalates to binary search on mismatch)")
+	flag.StringVar(&o.sched, "sched", "", "schedule for the -stats run, overriding the pragma clause: static|static,N|dynamic[,N]|guided[,N]|auto (auto lets the autotuner pick schedule, chunk and team size)")
 	flag.Int64Var(&o.statsN, "n", 300, "parameter value for the -stats run")
 	flag.IntVar(&o.threads, "threads", omp.DefaultThreads(), "team size for the -stats run")
 	flag.IntVar(&o.shards, "shards", 0, "with -stats: run under the fault-tolerant shard coordinator with this many shards (0: plain team run)")
@@ -397,8 +406,9 @@ func selfCheck(res *core.Result, prog *cparse.Program, check int64) error {
 	return nil
 }
 
-// parseSchedule maps the pragma's schedule clause text to a runtime
-// schedule (defaulting to static).
+// parseSchedule maps the pragma's schedule clause text (or the -sched
+// flag, same grammar plus "auto") to a runtime schedule (defaulting to
+// static).
 func parseSchedule(clause string) omp.Schedule {
 	kind, arg, _ := strings.Cut(clause, ",")
 	s := omp.Schedule{Kind: omp.Static}
@@ -407,6 +417,8 @@ func parseSchedule(clause string) omp.Schedule {
 		s.Kind = omp.Dynamic
 	case "guided":
 		s.Kind = omp.Guided
+	case "auto":
+		s.Kind = omp.ScheduleAuto
 	case "static", "":
 	}
 	if n, err := strconv.ParseInt(strings.TrimSpace(arg), 10, 64); err == nil && n > 0 {
@@ -448,9 +460,16 @@ func runStats(res *core.Result, prog *cparse.Program, o options,
 	for _, p := range prog.Nest.Params {
 		params[p] = o.statsN
 	}
-	sched := parseSchedule(prog.Schedule)
+	clause := prog.Schedule
+	if o.sched != "" {
+		clause = o.sched
+	}
+	sched := parseSchedule(clause)
 	ctx, cancel := statsContext(o.deadline)
 	defer cancel()
+	if sched.Kind == omp.ScheduleAuto {
+		return runTunedStats(ctx, res, params, o, tel)
+	}
 	cs, err := omp.CollapsedForTelemetryCtx(ctx, res, params, o.threads, sched,
 		tel, func(tid int, idx []int64) {})
 	if err != nil {
@@ -460,6 +479,31 @@ func runStats(res *core.Result, prog *cparse.Program, o options,
 		o.statsN, o.threads, sched.Kind, cs.Total)
 	fmt.Printf("\nload imbalance:\n%s", cs.ImbalanceReport())
 	fmt.Printf("\nrecovery stats (all threads): %s\n", cs.Stats)
+	fmt.Printf("\n%s", tel.Report())
+	return nil
+}
+
+// runTunedStats is the -sched auto form of runStats: the autotuner
+// plans (schedule, chunk, workers) by simulation against the measured
+// cost model, the run executes under the chosen triple, and the report
+// leads with the decision and its predicted-vs-actual makespan.
+func runTunedStats(ctx context.Context, res *core.Result, params map[string]int64,
+	o options, tel *telemetry.Registry) error {
+	tuner := autotune.New(autotune.Options{Registry: tel, MaxWorkers: o.threads})
+	run, err := tuner.CollapsedFor(ctx, res, params, func(tid int, idx []int64) {})
+	if err != nil {
+		return classifyDeadline(err, o.deadline)
+	}
+	d := run.Plan.Decision
+	fmt.Printf("\n=== telemetry (params=%d, schedule auto -> %s, %d iterations) ===\n",
+		o.statsN, d, run.Stats.Total)
+	fmt.Printf("\nautotune decision: schedule %s, chunk %d, workers %d\n",
+		d.Schedule.Kind, d.Schedule.Chunk, d.Workers)
+	fmt.Printf("  predicted makespan %.3fms, actual %.3fms\n",
+		d.PredictedSec*1e3, run.Actual.Seconds()*1e3)
+	fmt.Printf("  plan cached: %v, replanned after run: %v\n", run.Cached, run.Replanned)
+	fmt.Printf("\nload imbalance:\n%s", run.Stats.ImbalanceReport())
+	fmt.Printf("\nrecovery stats (all threads): %s\n", run.Stats.Stats)
 	fmt.Printf("\n%s", tel.Report())
 	return nil
 }

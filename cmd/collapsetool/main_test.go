@@ -319,3 +319,24 @@ func TestRunRepositoryTestdata(t *testing.T) {
 		})
 	}
 }
+
+func TestRunStatsSchedAuto(t *testing.T) {
+	o := base(writeInput(t))
+	o.stats = true
+	o.sched = "auto"
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"schedule auto ->",
+		"autotune decision: schedule",
+		"predicted makespan",
+		"actual",
+		"load imbalance:",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("auto stats output missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/core"
 	"repro/internal/ehrhart"
 	"repro/internal/faults"
@@ -81,6 +82,7 @@ func main() {
 	flag.Var(params, "p", "parameter binding name=value (repeatable)")
 	deadline := flag.Duration("deadline", 0, "wall-clock budget for the query (0: none); an expired run stops at a chunk boundary with ErrCanceled")
 	threads := flag.Int("threads", omp.DefaultThreads(), "team size for the run command")
+	sched := flag.String("sched", "dynamic,4096", "schedule for the run command: static|static,N|dynamic[,N]|guided[,N]|auto (auto lets the autotuner pick schedule, chunk and team size)")
 	mode := flag.String("mode", "closed-form", "index recovery mode: closed-form (radical roots), search (exact binary search), or table (precomputed breakpoint tables; like search, accepts degree > 4)")
 	flag.Parse()
 
@@ -89,7 +91,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rankq:", err)
 		os.Exit(1)
 	}
-	if err := run(*nestSpec, params, *deadline, *threads, flag.Args()); err != nil {
+	if err := run(*nestSpec, params, *deadline, *threads, *sched, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "rankq:", err)
 		os.Exit(1)
 	}
@@ -150,7 +152,7 @@ func parseNest(spec string, params paramFlags) (*nest.Nest, error) {
 	return nest.New(ps, loops...)
 }
 
-func run(nestSpec string, params paramFlags, deadline time.Duration, threads int, args []string) error {
+func run(nestSpec string, params paramFlags, deadline time.Duration, threads int, sched string, args []string) error {
 	n, err := parseNest(nestSpec, params)
 	if err != nil {
 		return err
@@ -180,7 +182,7 @@ func run(nestSpec string, params paramFlags, deadline time.Duration, threads int
 		fmt.Printf("%s: direct formula (pc minus rank of prefix lexmin)\n", n.Loops[n.Depth()-1].Index)
 		return nil
 	case "run":
-		return runCollapsed(n, params, deadline, threads)
+		return runCollapsed(n, params, deadline, threads, sched)
 	}
 
 	res, err := build(n)
@@ -260,7 +262,7 @@ func run(nestSpec string, params paramFlags, deadline time.Duration, threads int
 // with -deadline wired through context.WithTimeout into
 // omp.CollapsedForCtx. Expiry is reported as the typed ErrCanceled
 // class, distinguishing a budget stop from a wrong-answer failure.
-func runCollapsed(n *nest.Nest, params paramFlags, deadline time.Duration, threads int) error {
+func runCollapsed(n *nest.Nest, params paramFlags, deadline time.Duration, threads int, spec string) error {
 	res, err := build(n)
 	if err != nil {
 		return err
@@ -271,11 +273,12 @@ func runCollapsed(n *nest.Nest, params paramFlags, deadline time.Duration, threa
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
+	sched := parseSchedule(spec)
+	if sched.Kind == omp.ScheduleAuto {
+		return runTuned(ctx, res, params, deadline, threads)
+	}
 	perThread := make([]int64, threads)
 	start := time.Now()
-	// Chunked schedule: cancellation is only observed at chunk
-	// boundaries, so an unchunked static run would ignore the deadline.
-	sched := omp.Schedule{Kind: omp.Dynamic, Chunk: 4096}
 	err = omp.CollapsedForCtx(ctx, res, params, threads, sched,
 		func(tid int, idx []int64) { perThread[tid]++ })
 	elapsed := time.Since(start)
@@ -291,5 +294,52 @@ func runCollapsed(n *nest.Nest, params paramFlags, deadline time.Duration, threa
 		total += c
 	}
 	fmt.Printf("ran %d iterations on %d threads in %s\n", total, threads, elapsed.Round(time.Microsecond))
+	return nil
+}
+
+// parseSchedule maps the -sched flag to a runtime schedule: the OpenMP
+// clause grammar plus "auto" (autotuned). The default spec keeps the
+// historical dynamic,4096 behaviour so deadlines are observed at chunk
+// boundaries.
+func parseSchedule(spec string) omp.Schedule {
+	kind, arg, _ := strings.Cut(spec, ",")
+	s := omp.Schedule{Kind: omp.Static}
+	switch strings.TrimSpace(kind) {
+	case "dynamic":
+		s.Kind = omp.Dynamic
+	case "guided":
+		s.Kind = omp.Guided
+	case "auto":
+		s.Kind = omp.ScheduleAuto
+	case "static", "":
+	}
+	if n, err := strconv.ParseInt(strings.TrimSpace(arg), 10, 64); err == nil && n > 0 {
+		s.Chunk = n
+		if s.Kind == omp.Static {
+			s.Kind = omp.StaticChunk
+		}
+	}
+	return s
+}
+
+// runTuned is the -sched auto form of the run command: the autotuner
+// plans (schedule, chunk, workers) by simulation against the measured
+// cost model and the report prints the chosen triple with its
+// predicted-vs-actual makespan.
+func runTuned(ctx context.Context, res *core.Result, params paramFlags, deadline time.Duration, threads int) error {
+	tuner := autotune.New(autotune.Options{MaxWorkers: threads})
+	run, err := tuner.CollapsedFor(ctx, res, params, func(tid int, idx []int64) {})
+	if err != nil {
+		if errors.Is(err, faults.ErrCanceled) {
+			return fmt.Errorf("deadline %s expired: team stopped cooperatively at a chunk boundary (typed faults.ErrCanceled): %w",
+				deadline, err)
+		}
+		return err
+	}
+	d := run.Plan.Decision
+	fmt.Printf("ran %d iterations tuned (schedule %s) in %s\n",
+		run.Stats.Total, d, run.Actual.Round(time.Microsecond))
+	fmt.Printf("autotune: predicted %.3fms, actual %.3fms, plan cached %v\n",
+		d.PredictedSec*1e3, run.Actual.Seconds()*1e3, run.Cached)
 	return nil
 }

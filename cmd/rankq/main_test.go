@@ -30,7 +30,7 @@ func captureRunDeadline(t *testing.T, nestSpec string, params paramFlags, deadli
 		data, _ := io.ReadAll(r)
 		done <- string(data)
 	}()
-	ferr := run(nestSpec, params, deadline, 1, args)
+	ferr := run(nestSpec, params, deadline, 1, "dynamic,4096", args)
 	w.Close()
 	os.Stdout = old
 	return <-done, ferr
@@ -225,5 +225,32 @@ func TestRankqMode(t *testing.T) {
 
 	if _, err := unrank.ParseMode("bogus"); !errors.Is(err, faults.ErrUnknownMode) {
 		t.Errorf("ParseMode(bogus) = %v, want ErrUnknownMode", err)
+	}
+}
+
+func TestRankqRunSchedAuto(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- string(data)
+	}()
+	ferr := run(triSpec, paramFlags{"N": 30}, 0, 2, "auto", []string{"run"})
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if !strings.Contains(out, "ran 435 iterations tuned (schedule ") {
+		t.Errorf("tuned run output: %q", out)
+	}
+	if !strings.Contains(out, "autotune: predicted ") {
+		t.Errorf("tuned run missing predicted-vs-actual: %q", out)
 	}
 }

@@ -1,0 +1,470 @@
+// Package autotune picks the (schedule, chunk, workers) triple for a
+// collapsed loop nest by simulation against a measured cost model
+// instead of live trial runs.
+//
+// The planner builds a work vector for the nest — exact per-unit inner
+// trip counts from the Ehrhart count polynomial of the non-collapsed
+// sub-nest, compressed to a bounded number of cells — calibrates the
+// §V recovery and dynamic-dequeue overheads on first contact (replaced
+// by the live omp.recovery_seconds histogram p50 once real runs have
+// been observed), and scores every candidate triple with the
+// internal/schedsim engine under a multi-objective fitness (makespan,
+// p99 latency under the configured arrival process, imbalance).
+//
+// Decisions are cached in the CollapseCache plan side-table keyed by
+// NestSignature × params bucket × core count, so a plan invalidates
+// implicitly when the problem size leaves its bucket or GOMAXPROCS
+// changes. Observed makespans feed back: when a run deviates more than
+// ReplanDeviation from the prediction, the per-unit cost estimate is
+// rescaled and the triple re-planned — self-tuning hot nests converge
+// to their measured behaviour without ever running probe bodies (the
+// tuned path visits exactly the multiset of iterations the static path
+// does; only scheduling changes).
+package autotune
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/omp"
+	"repro/internal/schedsim"
+	"repro/internal/telemetry"
+	"repro/internal/unrank"
+)
+
+// Decision is the planner's chosen execution triple plus its simulated
+// expectation, so callers can print predicted-vs-actual.
+type Decision struct {
+	Schedule     omp.Schedule // concrete kind (never ScheduleAuto) + chunk
+	Workers      int          // team size
+	PredictedSec float64      // simulated makespan of the chosen triple
+	Score        float64      // fitness (lower is better) under the Objective
+}
+
+// String renders the triple the way the CLI -sched flag spells it.
+func (d Decision) String() string {
+	return fmt.Sprintf("%s x%d", scheduleSpec(d.Schedule), d.Workers)
+}
+
+// scheduleSpec renders an omp.Schedule in -sched grammar.
+func scheduleSpec(s omp.Schedule) string {
+	if s.Chunk > 0 {
+		return fmt.Sprintf("%s,%d", s.Kind, s.Chunk)
+	}
+	return s.Kind.String()
+}
+
+// Plan is one cached planning outcome: the decision, the calibration
+// and work model it was derived from (kept so online refinement can
+// re-simulate without re-binding the nest), and the per-unit cost
+// estimate in effect. Plans are immutable — refinement stores a new
+// Plan in the cache rather than mutating a shared one.
+type Plan struct {
+	Key      string
+	Decision Decision
+	Cal      Calibration
+	UnitSec  float64 // estimated seconds per work unit (one inner iteration)
+
+	model   workModel
+	replans int // generations of refinement behind this plan
+}
+
+// Replans reports how many refinement generations produced this plan
+// (0 for a first-contact plan).
+func (p *Plan) Replans() int { return p.replans }
+
+// Workload describes the request stream the planner optimizes for.
+// The zero value means single-shot: one request, pure makespan.
+type Workload struct {
+	Arrivals schedsim.Arrivals
+	Requests int
+}
+
+// Options configures a Tuner. The zero value works: plans are cached
+// in a private cache, telemetry is dropped, workers default to
+// GOMAXPROCS, and the objective to schedsim.DefaultObjective.
+type Options struct {
+	// Registry receives autotune.plans / autotune.replans /
+	// autotune.cache_hits counters and is consulted for the measured
+	// omp.recovery_seconds histogram. Nil drops telemetry.
+	Registry *telemetry.Registry
+	// Cache stores plans alongside compiled artifacts. Nil allocates a
+	// private cache.
+	Cache *core.CollapseCache
+	// MaxWorkers caps the candidate team sizes. <=0 means GOMAXPROCS.
+	MaxWorkers int
+	// MaxUnits bounds the compressed work vector. <=0 means 4096 cells.
+	MaxUnits int
+	// Objective weights the fitness terms. Zero value means
+	// schedsim.DefaultObjective.
+	Objective schedsim.Objective
+	// Workload is the arrival process candidates are scored under.
+	// Zero value means single-shot.
+	Workload Workload
+	// ReplanDeviation is the relative |actual-predicted|/predicted above
+	// which Observe refines the plan. <=0 means 0.25.
+	ReplanDeviation float64
+	// UnitSec seeds the per-unit cost before any observation. <=0 means
+	// 50ns (a handful of arithmetic ops per innermost iteration).
+	UnitSec float64
+}
+
+func (o Options) fill() Options {
+	if o.Cache == nil {
+		o.Cache = core.NewCollapseCache(0)
+	}
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxUnits <= 0 {
+		o.MaxUnits = 4096
+	}
+	o.Objective = o.Objective.Normalized()
+	if o.Workload.Requests < 1 {
+		o.Workload.Requests = 1
+	}
+	if o.ReplanDeviation <= 0 {
+		o.ReplanDeviation = 0.25
+	}
+	if o.UnitSec <= 0 {
+		o.UnitSec = 50e-9
+	}
+	return o
+}
+
+// Tuner plans and refines schedules. Safe for concurrent use.
+type Tuner struct {
+	opts Options
+
+	dequeueOnce sync.Once
+	dequeueSec  float64
+}
+
+// New returns a Tuner with opts' defaults filled in.
+func New(opts Options) *Tuner {
+	return &Tuner{opts: opts.fill()}
+}
+
+// Cache exposes the plan/artifact cache the tuner stores decisions in.
+func (t *Tuner) Cache() *core.CollapseCache { return t.opts.Cache }
+
+// planKey derives the cache key: the structural NestSignature extended
+// with the log2 bucket of every parameter value and the core count.
+// Bucketing means nearby problem sizes share a plan while order-of-
+// magnitude changes (or a GOMAXPROCS change) re-plan.
+func planKey(res *core.Result, params map[string]int64, cores int) string {
+	// The decision depends on the nest shape and the work profile, not on
+	// the compile options the artifact was built with, so the signature is
+	// taken at default options. It is taken at FULL depth — not res.C —
+	// because NestSignature only renders the collapsed prefix, and two
+	// nests sharing a prefix but differing in inner loops (syrk vs ltmp)
+	// have different work profiles and must not share a plan; the actual
+	// collapse count is appended separately. Non-canonicalizable nests
+	// still plan, keyed on the raw shape dimensions.
+	sig, ok := core.NestSignature(res.Nest, len(res.Nest.Loops), unrank.Options{})
+	if !ok {
+		sig = fmt.Sprintf("raw|np=%d|d=%d", len(res.Nest.Params), len(res.Nest.Loops))
+	}
+	sig = fmt.Sprintf("%s|collapse=%d", sig, res.C)
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString(sig)
+	for _, name := range names {
+		v := params[name]
+		bucket := -1 // bucket for v <= 0
+		if v > 0 {
+			bucket = int(math.Round(math.Log2(float64(v))))
+		}
+		fmt.Fprintf(&sb, "|%s~%d", name, bucket)
+	}
+	fmt.Fprintf(&sb, "|cores=%d", cores)
+	return sb.String()
+}
+
+// Plan returns the cached plan for (res, params) or computes, caches
+// and returns a fresh one. cached reports whether the plan was served
+// from the cache.
+func (t *Tuner) Plan(res *core.Result, params map[string]int64) (plan *Plan, cached bool, err error) {
+	cores := runtime.GOMAXPROCS(0)
+	key := planKey(res, params, cores)
+	if v, ok := t.opts.Cache.GetPlan(key); ok {
+		t.opts.Registry.Counter("autotune.cache_hits").Add(1)
+		return v.(*Plan), true, nil
+	}
+	b, err := res.Unranker.Bind(params)
+	if err != nil {
+		return nil, false, err
+	}
+	model := buildWorkModel(res, b, params, t.opts.MaxUnits)
+	cal := t.calibrate(b, res.C, model.total)
+	plan = t.plan(key, model, cal, t.opts.UnitSec, 0)
+	t.opts.Cache.PutPlan(key, plan)
+	t.opts.Registry.Counter("autotune.plans").Add(1)
+	return plan, false, nil
+}
+
+// calibrate assembles the cost model for one plan: the per-process
+// dequeue constant plus the recovery cost — live histogram p50 when
+// the nest has run enough, else sampled from the bound's own unranker.
+func (t *Tuner) calibrate(b *unrank.Bound, c int, total int64) Calibration {
+	t.dequeueOnce.Do(func() { t.dequeueSec = measureDequeue() })
+	cal := Calibration{Dequeue: t.dequeueSec}
+	if p50, ok := recoveryP50(t.opts.Registry); ok {
+		cal.Recovery = p50
+		cal.RecoveryMeasured = true
+		return cal
+	}
+	cal.Recovery = measureRecovery(b, c, total)
+	return cal
+}
+
+// plan enumerates candidates and scores each by simulation, returning
+// the winner as an immutable Plan.
+func (t *Tuner) plan(key string, model workModel, cal Calibration, unitSec float64, replans int) *Plan {
+	best := Decision{Schedule: omp.Schedule{Kind: omp.Guided, Chunk: 1}, Workers: t.opts.MaxWorkers}
+	bestScore := math.Inf(1)
+	// Work in seconds: scale the unit vector once per plan.
+	workSec := make([]float64, len(model.work))
+	for i, w := range model.work {
+		workSec[i] = w * unitSec
+	}
+	for _, workers := range candidateWorkers(t.opts.MaxWorkers) {
+		for _, pol := range candidatePolicies(model.total, workers) {
+			ms, score := t.score(workSec, model, cal, workers, pol)
+			if score < bestScore {
+				bestScore = score
+				best = Decision{
+					Schedule:     policySchedule(pol),
+					Workers:      workers,
+					PredictedSec: ms,
+					Score:        score,
+				}
+			}
+		}
+	}
+	return &Plan{
+		Key:      key,
+		Decision: best,
+		Cal:      cal,
+		UnitSec:  unitSec,
+		model:    model,
+		replans:  replans,
+	}
+}
+
+// score simulates one candidate triple over the configured workload.
+// Chunks are expressed in pcs but the work vector is in cells of G pcs,
+// so the chunk and the per-chunk overhead are rescaled to cell space:
+// cellChunk = max(1, chunk/G) cells, and the overhead per simulated
+// cell-chunk is scaled by cellChunk*G/chunk so the total overhead
+// charged across the run is preserved.
+func (t *Tuner) score(workSec []float64, model workModel, cal Calibration, workers int, pol schedsim.Policy) (makespanSec, score float64) {
+	g := model.cellPCs
+	if g < 1 {
+		g = 1
+	}
+	chunk := float64(pol.Chunk)
+	if chunk <= 0 {
+		chunk = defaultChunkPCs(pol, model.total, workers)
+	}
+	cellChunk := math.Max(1, math.Floor(chunk/g))
+	overheadScale := cellChunk * g / chunk
+	cm := schedsim.CostModel{
+		PerChunk:   cal.Recovery * overheadScale,
+		PerDequeue: cal.Dequeue * overheadScale,
+	}
+	cellPol := schedsim.Policy{Kind: pol.Kind, Chunk: int(cellChunk)}
+	if pol.Kind == schedsim.PolicyStatic {
+		cellPol.Chunk = 0
+		cm.PerChunk = cal.Recovery // one recovery per contiguous block
+		cm.PerDequeue = 0
+	}
+
+	if t.opts.Workload.Requests <= 1 {
+		ms, loads := schedsim.Simulate(workSec, workers, cellPol, cm)
+		imb := schedsim.Imbalance(loads)
+		obj := t.opts.Objective
+		score = obj.WMakespan*ms*1e3 + obj.WP99*ms*1e3 + obj.WImbalance*math.Max(0, imb-1)*ms*1e3
+		return ms, score
+	}
+
+	// Trace-based scoring: replay the arrival process against copies of
+	// this work vector (all requests share the shape; mixed-shape traces
+	// are the experiment suite's domain, not the per-nest planner's).
+	tr := schedsim.GenTrace(schedsim.TraceOptions{
+		Arrivals: t.opts.Workload.Arrivals,
+		Requests: t.opts.Workload.Requests,
+		Shapes:   []schedsim.Shape{{Name: "nest", Work: workSec, Weight: 1}},
+		Seed:     1,
+	})
+	resTr := schedsim.SimulateTrace(tr, workers, cellPol, cm)
+	score = t.opts.Objective.Score(resTr)
+	return resTr.MeanMakespan(), score
+}
+
+// defaultChunkPCs mirrors omp's implicit chunking so simulation charges
+// overheads at the granularity the runtime will actually use.
+func defaultChunkPCs(pol schedsim.Policy, total int64, workers int) float64 {
+	switch pol.Kind {
+	case schedsim.PolicyDynamic:
+		return 1
+	case schedsim.PolicyGuided:
+		c := float64(total) / float64(2*workers)
+		if c < 1 {
+			c = 1
+		}
+		return c
+	default:
+		c := float64(total) / float64(workers)
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+}
+
+// policySchedule converts a simulator policy back to the runtime kind.
+func policySchedule(pol schedsim.Policy) omp.Schedule {
+	switch pol.Kind {
+	case schedsim.PolicyStatic:
+		return omp.Schedule{Kind: omp.Static}
+	case schedsim.PolicyStaticChunk:
+		return omp.Schedule{Kind: omp.StaticChunk, Chunk: int64(pol.Chunk)}
+	case schedsim.PolicyDynamic:
+		return omp.Schedule{Kind: omp.Dynamic, Chunk: int64(pol.Chunk)}
+	default:
+		return omp.Schedule{Kind: omp.Guided, Chunk: int64(pol.Chunk)}
+	}
+}
+
+// candidateWorkers enumerates team sizes: max, halvings of max, and 1.
+func candidateWorkers(max int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for w := max; w >= 1; w /= 2 {
+		if !seen[w] {
+			out = append(out, w)
+			seen[w] = true
+		}
+	}
+	if !seen[1] {
+		out = append(out, 1)
+	}
+	return out
+}
+
+// candidateChunks are the chunk sizes tried for chunked policies,
+// pruned to at most total/workers (a bigger chunk degenerates to
+// static).
+var candidateChunks = []int{1, 16, 64, 256, 1024, 4096}
+
+// candidatePolicies enumerates the simulator policies scored per team
+// size.
+func candidatePolicies(total int64, workers int) []schedsim.Policy {
+	limit := int(total / int64(workers))
+	if limit < 1 {
+		limit = 1
+	}
+	out := []schedsim.Policy{
+		{Kind: schedsim.PolicyStatic},
+		{Kind: schedsim.PolicyGuided, Chunk: 1},
+		{Kind: schedsim.PolicyGuided, Chunk: 64},
+	}
+	for _, c := range candidateChunks {
+		if c > limit && c != 1 {
+			continue
+		}
+		out = append(out,
+			schedsim.Policy{Kind: schedsim.PolicyStaticChunk, Chunk: c},
+			schedsim.Policy{Kind: schedsim.PolicyDynamic, Chunk: c},
+		)
+	}
+	return out
+}
+
+// Observe feeds an actual measured makespan back into the tuner. When
+// the observation deviates from the plan's prediction by more than
+// ReplanDeviation (and exceeds a noise floor), the per-unit cost is
+// rescaled by actual/predicted, the candidates re-simulated against
+// the stored work model, and the refreshed plan cached. Returns the
+// plan now in effect and whether a re-plan happened.
+func (t *Tuner) Observe(plan *Plan, actualSec float64) (*Plan, bool) {
+	const noiseFloorSec = 100e-6
+	if plan == nil || actualSec <= 0 {
+		return plan, false
+	}
+	pred := plan.Decision.PredictedSec
+	if pred <= 0 {
+		return plan, false
+	}
+	dev := math.Abs(actualSec-pred) / pred
+	if dev <= t.opts.ReplanDeviation || math.Abs(actualSec-pred) < noiseFloorSec {
+		return plan, false
+	}
+	// The simulated makespan is (work + overhead); attribute the full
+	// deviation to the unit cost — overheads are measured, work is the
+	// estimate being corrected.
+	unit := plan.UnitSec * actualSec / pred
+	if unit <= 0 || math.IsNaN(unit) || math.IsInf(unit, 0) {
+		return plan, false
+	}
+	cal := plan.Cal
+	if p50, ok := recoveryP50(t.opts.Registry); ok {
+		cal.Recovery = p50
+		cal.RecoveryMeasured = true
+	}
+	next := t.plan(plan.Key, plan.model, cal, unit, plan.replans+1)
+	t.opts.Cache.PutPlan(plan.Key, next)
+	t.opts.Registry.Counter("autotune.replans").Add(1)
+	return next, true
+}
+
+// Run is one tuned execution: a Result run through the planner's chosen
+// triple, so callers never pick a schedule by hand.
+type Run struct {
+	Plan      *Plan
+	Cached    bool          // plan served from the cache (no planning cost)
+	Replanned bool          // this run's observation triggered refinement
+	Actual    time.Duration // measured wall time of the parallel region
+	Stats     omp.CollapsedStats
+}
+
+// PredictedSec returns the makespan the plan promised for this run.
+func (r Run) PredictedSec() float64 { return r.Plan.Decision.PredictedSec }
+
+// CollapsedFor plans (or recalls) the schedule for (res, params), runs
+// body over every collapsed iteration under the chosen triple, measures
+// the actual makespan, and feeds it back for online refinement. The
+// visited iteration multiset is identical to any static schedule —
+// only the order and the thread assignment differ.
+func (t *Tuner) CollapsedFor(ctx context.Context, res *core.Result, params map[string]int64,
+	body func(tid int, idx []int64)) (Run, error) {
+	plan, cached, err := t.Plan(res, params)
+	if err != nil {
+		return Run{}, err
+	}
+	d := plan.Decision
+	start := time.Now()
+	// Chunk-granularity instrumentation: recovery histogram, live gauges
+	// and counters still feed the cost model, but the body loop runs at
+	// CollapsedFor speed so the measured makespan is not skewed by
+	// per-iteration clock reads.
+	cs, err := omp.CollapsedForChunkTelemetryCtx(ctx, res, params, d.Workers, d.Schedule, t.opts.Registry, body)
+	actual := time.Since(start)
+	if err != nil {
+		return Run{Plan: plan, Cached: cached, Actual: actual}, err
+	}
+	next, replanned := t.Observe(plan, actual.Seconds())
+	return Run{Plan: next, Cached: cached, Replanned: replanned, Actual: actual, Stats: cs}, nil
+}

@@ -1,0 +1,135 @@
+package autotune
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ehrhart"
+	"repro/internal/nest"
+	"repro/internal/poly"
+	"repro/internal/unrank"
+)
+
+// The measured work vector. The scheduling unit of a collapsed loop is
+// one collapsed iteration pc; when the collapse covers the whole nest
+// every unit carries identical work (the paper's balance guarantee),
+// but a partial collapse (c < depth) leaves inner loops whose trip
+// counts vary across the collapsed range — exactly the imbalance the
+// planner must see. The per-unit trip count is not guessed: it is the
+// Ehrhart count polynomial of the inner sub-nest, evaluated at the
+// tuple the unranker recovers for that pc. Totals run into the
+// millions, so the vector is compressed to at most maxUnits cells of G
+// consecutive pcs each, sampling the inner count at the cell midpoint —
+// trip-count polynomials vary smoothly across the collapsed range, so
+// midpoint sampling preserves the work profile the schedules react to.
+
+// workModel is the planner's view of one (nest shape × params) point:
+// the compressed per-cell work vector (in abstract work units — inner
+// iterations), the cell size G in pcs, and the totals.
+type workModel struct {
+	work      []float64 // per-cell work units, len <= maxUnits
+	cellPCs   float64   // pcs per cell (last cell may be partial)
+	total     int64     // collapsed units (pc range)
+	totalWork float64   // sum(work): inner iterations
+	uniform   bool      // true when every pc carries one unit
+}
+
+// buildWorkModel derives the work model for a bound collapse result.
+// The inner-count polynomial path needs one index recovery per cell; a
+// full-depth collapse (or an inner sub-nest the validator rejects)
+// short-circuits to the uniform model.
+func buildWorkModel(res *core.Result, b *unrank.Bound, params map[string]int64, maxUnits int) workModel {
+	if maxUnits < 1 {
+		maxUnits = 1
+	}
+	total := b.Total()
+	if total <= 0 {
+		return workModel{total: total}
+	}
+	cells := total
+	if cells > int64(maxUnits) {
+		cells = int64(maxUnits)
+	}
+	g := (total + cells - 1) / cells
+	cells = (total + g - 1) / g
+	m := workModel{
+		work:    make([]float64, cells),
+		cellPCs: float64(g),
+		total:   total,
+	}
+
+	cnt := innerCount(res)
+	if cnt == nil {
+		// Full collapse: one work unit per pc.
+		m.uniform = true
+		for k := int64(0); k < cells; k++ {
+			m.work[k] = float64(cellExtent(k, g, total))
+		}
+		m.totalWork = float64(total)
+		return m
+	}
+
+	env := make(map[string]float64, len(params)+res.C)
+	for name, v := range params {
+		env[name] = float64(v)
+	}
+	idx := make([]int64, res.C)
+	indices := res.Nest.Indices()[:res.C]
+	for k := int64(0); k < cells; k++ {
+		lo := 1 + k*g
+		hi := lo + cellExtent(k, g, total) - 1
+		mid := lo + (hi-lo)/2
+		w := 1.0
+		if err := b.Unrank(mid, idx); err == nil {
+			for j, name := range indices {
+				env[name] = float64(idx[j])
+			}
+			if v, err := cnt.EvalFloat(env); err == nil && !math.IsNaN(v) {
+				w = v
+				if w < 0 {
+					w = 0
+				}
+			}
+		}
+		m.work[k] = w * float64(hi-lo+1)
+		m.totalWork += m.work[k]
+	}
+	return m
+}
+
+// cellExtent returns the number of pcs cell k covers.
+func cellExtent(k, g, total int64) int64 {
+	lo := 1 + k*g
+	hi := lo + g - 1
+	if hi > total {
+		hi = total
+	}
+	return hi - lo + 1
+}
+
+// innerCount returns the Ehrhart count polynomial of the non-collapsed
+// inner sub-nest — its variables are the nest parameters plus the
+// collapsed iterators, mirroring CollapseAt's "surrounding iterators
+// become symbolic parameters" — or nil when the collapse covers the
+// whole nest (uniform work) or the inner sub-nest does not validate.
+func innerCount(res *core.Result) (p *poly.Poly) {
+	defer func() {
+		// The summation pipeline panics on malformed input; planning
+		// must degrade to the uniform model, never crash the caller.
+		if recover() != nil {
+			p = nil
+		}
+	}()
+	if res.C >= len(res.Nest.Loops) {
+		return nil
+	}
+	params := append([]string(nil), res.Nest.Params...)
+	for _, l := range res.Nest.Loops[:res.C] {
+		params = append(params, l.Index)
+	}
+	inner, err := nest.New(params, res.Nest.Loops[res.C:]...)
+	if err != nil {
+		return nil
+	}
+	return ehrhart.Count(inner)
+}

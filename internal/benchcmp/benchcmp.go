@@ -146,6 +146,14 @@ func Decode(r io.Reader) (*Run, error) {
 		for _, row := range rep.Rows {
 			run.Kernels = append(run.Kernels, invertKernels(row)...)
 		}
+	case "autotune":
+		var rep experiments.AutotuneReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, err
+		}
+		for _, row := range rep.Rows {
+			run.Kernels = append(run.Kernels, autotuneKernel(row))
+		}
 	case "":
 		return nil, fmt.Errorf("document has no suite field")
 	default:
@@ -231,6 +239,23 @@ func invertKernels(row experiments.InvertRow) []Kernel {
 		ks = append(ks, k)
 	}
 	return ks
+}
+
+// autotuneKernel flattens one autotune row into named metrics. Absolute
+// wall times are host-dependent; the gated machine-independent metrics
+// are the two ratios — auto over the best hand-picked choice (lower is
+// better, 1.0 = the planner matched the optimum) and the worst choice
+// over auto (higher is better, what guessing wrong costs).
+func autotuneKernel(row experiments.AutotuneRow) Kernel {
+	k := Kernel{Name: "autotune:" + row.Kernel, Params: row.Params}
+	add := func(name string, v float64, higher bool) {
+		k.Metrics = append(k.Metrics, Metric{Name: name, Value: v, HigherIsBetter: higher})
+	}
+	add("auto_sec", row.AutoSec, false)
+	add("best_sec", row.BestSec, false)
+	add("auto_vs_best", row.AutoVsBest, false)
+	add("worst_vs_auto", row.WorstVsAuto, true)
+	return k
 }
 
 // distKernel flattens one sharded-execution scenario into named

@@ -609,3 +609,46 @@ func TestInvertSuite(t *testing.T) {
 		t.Fatalf("halved table speedup not flagged; deltas = %+v", rep.Deltas)
 	}
 }
+
+// TestAutotuneSuite checks the BENCH_PR10-style autotuning document
+// loads with the right metric directions: ratios are the gated
+// machine-independent pair — auto_vs_best regresses up, worst_vs_auto
+// regresses down.
+func TestAutotuneSuite(t *testing.T) {
+	rep := &experiments.AutotuneReport{
+		Suite: "autotune",
+		Meta:  experiments.NewBenchMeta(),
+		Rows: []experiments.AutotuneRow{{
+			Kernel: "ltmp", Params: map[string]int64{"N": 500},
+			Decision: "guided,64 x12", AutoSec: 0.010,
+			BestSpec: "guided,1", BestSec: 0.0095,
+			WorstSpec: "dynamic,1", WorstSec: 0.030,
+			AutoVsBest: 1.05, WorstVsAuto: 3.0,
+		}},
+		CacheHits: 1,
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	run, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Suite != "autotune" {
+		t.Fatalf("suite = %q", run.Suite)
+	}
+	k := run.Kernel("autotune:ltmp")
+	if k == nil {
+		t.Fatal("autotune kernel missing")
+	}
+	if m := k.metric("auto_vs_best"); m == nil || m.Value != 1.05 || m.HigherIsBetter {
+		t.Errorf("auto_vs_best = %+v", m)
+	}
+	if m := k.metric("worst_vs_auto"); m == nil || m.Value != 3.0 || !m.HigherIsBetter {
+		t.Errorf("worst_vs_auto = %+v", m)
+	}
+	if m := k.metric("auto_sec"); m == nil || m.HigherIsBetter {
+		t.Errorf("auto_sec direction wrong: %+v", m)
+	}
+}

@@ -43,11 +43,26 @@ type cacheShard struct {
 	mu  sync.Mutex
 	lru list.List // front = most recent; values are *cacheEntry
 	m   map[string]*list.Element
+
+	// Planner side-table: autotuning decisions cached alongside the
+	// compiled artifacts they schedule. Keys extend the NestSignature
+	// with the params bucket and core count (so a decision invalidates
+	// implicitly when either changes); values are opaque to core — the
+	// planner (internal/autotune) owns the concrete type. The table has
+	// its own LRU list so plan churn cannot evict compiled artifacts,
+	// and vice versa.
+	planLRU list.List // values are *planEntry
+	plans   map[string]*list.Element
 }
 
 type cacheEntry struct {
 	sig string
 	u   *unrank.Unranker
+}
+
+type planEntry struct {
+	key string
+	v   any
 }
 
 // NewCollapseCache returns a cache holding at most capacity compiled
@@ -61,6 +76,7 @@ func NewCollapseCache(capacity int) *CollapseCache {
 	c := &CollapseCache{capPerShard: per}
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]*list.Element)
+		c.shards[i].plans = make(map[string]*list.Element)
 	}
 	return c
 }
@@ -149,6 +165,71 @@ func (c *CollapseCache) Has(sig string) bool {
 	defer sh.mu.Unlock()
 	_, ok := sh.m[sig]
 	return ok
+}
+
+// planCapPerShard bounds the planner side-table per shard. Decisions
+// are tiny (a schedule triple plus a few floats), so the bound is a
+// multiple of the artifact capacity rather than sharing it.
+func (c *CollapseCache) planCapPerShard() int { return 4 * c.capPerShard }
+
+// GetPlan returns the cached planner decision stored under key (a
+// NestSignature extended with the params bucket and core count),
+// promoting it to most recently used.
+func (c *CollapseCache) GetPlan(key string) (any, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.plans[key]
+	if !ok {
+		return nil, false
+	}
+	sh.planLRU.MoveToFront(el)
+	return el.Value.(*planEntry).v, true
+}
+
+// PutPlan stores (or replaces) the planner decision under key, evicting
+// the shard's least recently used plan when over capacity.
+func (c *CollapseCache) PutPlan(key string, v any) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.plans[key]; ok {
+		el.Value.(*planEntry).v = v
+		sh.planLRU.MoveToFront(el)
+		return
+	}
+	sh.plans[key] = sh.planLRU.PushFront(&planEntry{key: key, v: v})
+	cap := c.planCapPerShard()
+	for sh.planLRU.Len() > cap {
+		back := sh.planLRU.Back()
+		sh.planLRU.Remove(back)
+		delete(sh.plans, back.Value.(*planEntry).key)
+	}
+}
+
+// DeletePlan drops the decision under key (a no-op when absent) — the
+// online-refinement path invalidates a plan whose prediction deviated
+// from the observed makespan.
+func (c *CollapseCache) DeletePlan(key string) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.plans[key]; ok {
+		sh.planLRU.Remove(el)
+		delete(sh.plans, key)
+	}
+}
+
+// Plans reports how many planner decisions are resident.
+func (c *CollapseCache) Plans() int {
+	var n int
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.plans)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // CollapseCached is Collapse routed through cache: a structural hit skips

@@ -161,7 +161,7 @@ func collapsedRangesRun(ctx context.Context, r *core.Result, params map[string]i
 		return agg, err
 	}
 	stats := make([]core.RangeStats, threads)
-	live := newLiveTeam(tel, threads)
+	live := newLiveTeam(tel, threads, sched.Kind)
 	tr := tel.Trace()
 	published := make([]unrank.Stats, threads)
 	runErr := ParallelForChunksCtx(ctx, threads, 1, end, sched, func(tid int, clo, chi int64) error {
@@ -272,6 +272,29 @@ func CollapsedForTelemetry(r *core.Result, params map[string]int64, threads int,
 func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[string]int64,
 	threads int, sched Schedule, tel *telemetry.Registry,
 	body func(tid int, idx []int64)) (CollapsedStats, error) {
+	return collapsedForInstrumented(ctx, r, params, threads, sched, tel, true, body)
+}
+
+// CollapsedForChunkTelemetryCtx is CollapsedForTelemetryCtx at chunk
+// granularity: chunk durations, recovery times, live gauges, trace
+// events and robustness counters are all still recorded, but the
+// per-iteration busy-vs-increment clock reads are skipped, so the body
+// loop runs at CollapsedFor speed (ThreadStats.Increment stays zero and
+// Busy includes incrementation). This is the executor behind the tuned
+// path, where instrumentation skew would corrupt the very measurements
+// the planner feeds on.
+func CollapsedForChunkTelemetryCtx(ctx context.Context, r *core.Result, params map[string]int64,
+	threads int, sched Schedule, tel *telemetry.Registry,
+	body func(tid int, idx []int64)) (CollapsedStats, error) {
+	return collapsedForInstrumented(ctx, r, params, threads, sched, tel, false, body)
+}
+
+// collapsedForInstrumented is the shared instrumented executor;
+// fineTiming selects per-iteration increment timing (two monotonic
+// clock reads per iteration) versus chunk-granularity timing only.
+func collapsedForInstrumented(ctx context.Context, r *core.Result, params map[string]int64,
+	threads int, sched Schedule, tel *telemetry.Registry, fineTiming bool,
+	body func(tid int, idx []int64)) (CollapsedStats, error) {
 	if threads < 1 {
 		threads = 1
 	}
@@ -293,7 +316,8 @@ func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[st
 	}
 	tr := tel.Trace()
 	hist := tel.Histogram("omp.chunk_seconds", nil)
-	live := newLiveTeam(tel, threads)
+	recHist := tel.Histogram("omp.recovery_seconds", nil)
+	live := newLiveTeam(tel, threads, sched.Kind)
 	published := make([]unrank.Stats, threads)
 	evName := sched.Kind.String()
 	runErr := ParallelForChunksCtx(ctx, threads, 1, end, sched, func(tid int, clo, chi int64) error {
@@ -310,21 +334,38 @@ func CollapsedForTelemetryCtx(ctx context.Context, r *core.Result, params map[st
 			return err
 		}
 		recovery := time.Since(t0)
+		// The per-chunk recovery histogram is the autotuner's measured
+		// cost input: its p50 replaces the calibrated constant when the
+		// planner charges the §V recovery per simulated chunk.
+		recHist.Observe(recovery.Seconds())
 		var incDur time.Duration
 		var done int64
 		var chunkErr error
-		for pc := clo; pc < chi; pc++ {
-			body(tid, idx)
-			done++
-			if pc+1 < chi {
+		if fineTiming {
+			for pc := clo; pc < chi; pc++ {
+				body(tid, idx)
+				done++
+				if pc+1 >= chi {
+					break
+				}
 				is := time.Now()
-				if !b.Increment(idx) {
+				ok := b.Increment(idx)
+				incDur += time.Since(is)
+				if !ok {
 					chunkErr = fmt.Errorf("omp: iteration space exhausted at pc=%d before reaching %d: %w",
 						pc, chi-1, faults.ErrRecoveryDiverged)
 					break
 				}
-				incDur += time.Since(is)
 			}
+		} else {
+			// Chunk granularity: hand the already-recovered start tuple to
+			// the range-batched driver — flat innermost runs, bounds
+			// re-evaluated only on outer carries — so the body loop costs
+			// the same as an uninstrumented CollapsedForRanges chunk.
+			chunkErr = core.ForRangeFrom(b, clo, chi-1, idx, func(pc int64, ix []int64) {
+				body(tid, ix)
+				done++
+			})
 		}
 		busy := time.Since(t0)
 		st.Chunks++

@@ -11,10 +11,12 @@ import (
 // Live progress instrumentation: per-worker gauges updated at chunk
 // boundaries so a mid-run scrape of the registry (the obs plane's
 // /metrics endpoint) shows imbalance as it happens rather than in a
-// post-hoc report. Metric names embed the worker id as a Prometheus
-// label ("omp.worker_chunks{tid=\"3\"}"); the OpenMetrics exporter
-// splits name and label set apart, so the per-worker series group into
-// one family.
+// post-hoc report. Metric names embed the worker id and the executing
+// schedule as Prometheus labels
+// ("omp.worker_chunks{tid=\"3\",sched=\"guided\"}"); the OpenMetrics
+// exporter splits name and label set apart, so the per-worker series
+// group into one family, and the schedule label makes an autotuned
+// run's chosen schedule visible on /metrics and /snapshot.
 //
 // All updates are atomic stores/adds on pre-fetched handles — no map
 // lookups, no allocations on the chunk path — and the whole layer is
@@ -32,8 +34,10 @@ type liveTeam struct {
 }
 
 // newLiveTeam pre-fetches the per-worker metric handles (nil when
-// telemetry is off).
-func newLiveTeam(tel *telemetry.Registry, threads int) *liveTeam {
+// telemetry is off). sched is the executing schedule's clause spelling,
+// attached as a label so scrapes can attribute the series — and, for
+// autotuned runs, see which schedule the planner chose.
+func newLiveTeam(tel *telemetry.Registry, threads int, sched Kind) *liveTeam {
 	if tel == nil {
 		return nil
 	}
@@ -45,9 +49,10 @@ func newLiveTeam(tel *telemetry.Registry, threads int) *liveTeam {
 		unrank:   newUnrankCounters(tel),
 	}
 	for t := 0; t < threads; t++ {
-		l.chunks[t] = tel.Counter(fmt.Sprintf("omp.worker_chunks{tid=%q}", fmt.Sprint(t)))
-		l.iters[t] = tel.Counter(fmt.Sprintf("omp.worker_iterations{tid=%q}", fmt.Sprint(t)))
-		l.inflight[t] = tel.Gauge(fmt.Sprintf("omp.worker_inflight_since_ns{tid=%q}", fmt.Sprint(t)))
+		tid := fmt.Sprint(t)
+		l.chunks[t] = tel.Counter(fmt.Sprintf("omp.worker_chunks{tid=%q,sched=%q}", tid, sched))
+		l.iters[t] = tel.Counter(fmt.Sprintf("omp.worker_iterations{tid=%q,sched=%q}", tid, sched))
+		l.inflight[t] = tel.Gauge(fmt.Sprintf("omp.worker_inflight_since_ns{tid=%q,sched=%q}", tid, sched))
 	}
 	l.teamSize.Set(int64(threads))
 	return l

@@ -40,11 +40,12 @@ func TestLiveProgressGauges(t *testing.T) {
 	if got := snap.Gauges["omp.team_size"]; got != int64(threads) {
 		t.Errorf("omp.team_size = %d, want %d", got, threads)
 	}
+	sched := StaticChunk.String()
 	var chunks, iters int64
 	for tid := 0; tid < threads; tid++ {
-		chunks += snap.Counters[fmt.Sprintf("omp.worker_chunks{tid=%q}", fmt.Sprint(tid))]
-		iters += snap.Counters[fmt.Sprintf("omp.worker_iterations{tid=%q}", fmt.Sprint(tid))]
-		if since := snap.Gauges[fmt.Sprintf("omp.worker_inflight_since_ns{tid=%q}", fmt.Sprint(tid))]; since != 0 {
+		chunks += snap.Counters[fmt.Sprintf("omp.worker_chunks{tid=%q,sched=%q}", fmt.Sprint(tid), sched)]
+		iters += snap.Counters[fmt.Sprintf("omp.worker_iterations{tid=%q,sched=%q}", fmt.Sprint(tid), sched)]
+		if since := snap.Gauges[fmt.Sprintf("omp.worker_inflight_since_ns{tid=%q,sched=%q}", fmt.Sprint(tid), sched)]; since != 0 {
 			t.Errorf("worker %d inflight marker %d after run end, want 0", tid, since)
 		}
 	}
@@ -76,12 +77,13 @@ func TestLiveGaugesMidRun(t *testing.T) {
 	var scraped atomic.Bool
 	var midIters int64
 	threads := 2
+	sched := StaticChunk.String()
 	_, err := CollapsedForTelemetry(res, map[string]int64{"N": 120}, threads,
 		Schedule{Kind: StaticChunk, Chunk: 16}, tel, func(tid int, idx []int64) {
 			if idx[0] > 60 && scraped.CompareAndSwap(false, true) {
 				snap := tel.Snapshot()
 				for tid := 0; tid < threads; tid++ {
-					midIters += snap.Counters[fmt.Sprintf("omp.worker_iterations{tid=%q}", fmt.Sprint(tid))]
+					midIters += snap.Counters[fmt.Sprintf("omp.worker_iterations{tid=%q,sched=%q}", fmt.Sprint(tid), sched)]
 				}
 			}
 		})
@@ -107,9 +109,10 @@ func TestRangesLiveGauges(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := tel.Snapshot()
+	sched := Static.String()
 	var iters int64
 	for tid := 0; tid < 3; tid++ {
-		iters += snap.Counters[fmt.Sprintf("omp.worker_iterations{tid=%q}", fmt.Sprint(tid))]
+		iters += snap.Counters[fmt.Sprintf("omp.worker_iterations{tid=%q,sched=%q}", fmt.Sprint(tid), sched)]
 	}
 	want := snap.Counters["omp.iterations"]
 	if want == 0 || iters != want {

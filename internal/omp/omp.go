@@ -39,6 +39,14 @@ const (
 	StaticChunk
 	Dynamic
 	Guided
+	// ScheduleAuto asks the runtime to choose: the autotuning planner
+	// (internal/autotune, surfaced as nonrect.CollapsedForTuned and the
+	// daemon's "auto" schedule clause) resolves it to a concrete
+	// (kind, chunk, workers) decision by simulating candidates against
+	// the nest's measured work vector. An unresolved ScheduleAuto that
+	// reaches the worksharing engine directly degrades to guided via
+	// Resolved() — the safest static fallback under unknown imbalance.
+	ScheduleAuto
 )
 
 // String returns the OpenMP clause spelling of the schedule kind.
@@ -52,6 +60,8 @@ func (k Kind) String() string {
 		return "dynamic"
 	case Guided:
 		return "guided"
+	case ScheduleAuto:
+		return "auto"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -69,6 +79,17 @@ func (s Schedule) chunk() int64 {
 	return 1
 }
 
+// Resolved maps ScheduleAuto to its unplanned fallback (guided, which
+// self-balances without a measured work vector); concrete schedules
+// pass through unchanged. The chunk planners resolve implicitly, so an
+// auto schedule is always executable even without the planner.
+func (s Schedule) Resolved() Schedule {
+	if s.Kind == ScheduleAuto {
+		return Schedule{Kind: Guided, Chunk: s.Chunk}
+	}
+	return s
+}
+
 // DefaultThreads returns the default team size (GOMAXPROCS).
 func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
 
@@ -79,6 +100,7 @@ func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
 // false to stop the thread's chunk stream early (cancellation or a
 // failure elsewhere in the team).
 func chunkPlan(threads int, lo, hi int64, sched Schedule) func(tid int, emit func(clo, chi int64) bool) {
+	sched = sched.Resolved()
 	n := hi - lo
 	switch sched.Kind {
 	case Static:
@@ -305,6 +327,7 @@ func ParallelForChunks(threads int, lo, hi int64, sched Schedule, body func(tid 
 // so chunk-boundary effects (e.g. per-chunk recovery cost) are preserved
 // in serial measurements.
 func serialChunks(lo, hi int64, sched Schedule, body func(tid int, clo, chi int64)) {
+	sched = sched.Resolved()
 	switch sched.Kind {
 	case Static:
 		body(0, lo, hi)

@@ -1,0 +1,28 @@
+package omp
+
+import (
+	"testing"
+)
+
+// An unresolved ScheduleAuto must still execute (degrading to guided),
+// covering every iteration exactly once.
+func TestScheduleAutoResolvesToGuided(t *testing.T) {
+	if got := (Schedule{Kind: ScheduleAuto, Chunk: 8}).Resolved(); got.Kind != Guided || got.Chunk != 8 {
+		t.Fatalf("Resolved() = %+v, want guided chunk 8", got)
+	}
+	if got := (Schedule{Kind: Dynamic, Chunk: 4}).Resolved(); got.Kind != Dynamic || got.Chunk != 4 {
+		t.Fatalf("Resolved() changed a concrete schedule: %+v", got)
+	}
+	if ScheduleAuto.String() != "auto" {
+		t.Fatalf("ScheduleAuto.String() = %q", ScheduleAuto.String())
+	}
+	var visited [100]int32
+	ParallelFor(4, 0, 100, Schedule{Kind: ScheduleAuto}, func(tid int, i int64) {
+		visited[i]++
+	})
+	for i, v := range visited {
+		if v != 1 {
+			t.Fatalf("iteration %d visited %d times under unresolved auto", i, v)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package schedsim
+
+import "fmt"
+
+// PolicyKind enumerates the simulated worksharing schedules. It mirrors
+// the runtime's schedule kinds but is deliberately independent of
+// internal/omp so the simulator stays usable from pure planning code
+// (and from tests) without dragging in the goroutine runtime.
+type PolicyKind int
+
+const (
+	PolicyStatic PolicyKind = iota
+	PolicyStaticChunk
+	PolicyDynamic
+	PolicyGuided
+)
+
+// String returns the OpenMP clause spelling of the policy kind.
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyStatic:
+		return "static"
+	case PolicyStaticChunk:
+		return "static,chunk"
+	case PolicyDynamic:
+		return "dynamic"
+	case PolicyGuided:
+		return "guided"
+	}
+	return fmt.Sprintf("PolicyKind(%d)", int(k))
+}
+
+// Policy is one candidate schedule under simulation: a kind plus the
+// chunk size (minimum chunk for guided; ignored for plain static).
+type Policy struct {
+	Kind  PolicyKind
+	Chunk int
+}
+
+// String renders the policy the way a schedule clause would.
+func (p Policy) String() string {
+	switch p.Kind {
+	case PolicyStatic:
+		return "static"
+	case PolicyStaticChunk:
+		return fmt.Sprintf("static,%d", p.chunk())
+	case PolicyDynamic:
+		return fmt.Sprintf("dynamic,%d", p.chunk())
+	case PolicyGuided:
+		return fmt.Sprintf("guided,%d", p.chunk())
+	}
+	return p.Kind.String()
+}
+
+func (p Policy) chunk() int {
+	if p.Chunk > 0 {
+		return p.Chunk
+	}
+	return 1
+}
+
+// CostModel carries the per-event overheads the simulator charges, in
+// seconds. The legacy entry points (Static, Dynamic, …) folded the
+// collapsed loop's once-per-chunk index recovery into a single
+// calibrated constant or omitted it from the dynamic/guided paths
+// entirely; the cost-model engine charges them separately so the
+// planner can feed PerChunk from the *measured* per-chunk recovery
+// histogram (its p50) and PerDequeue from the calibrated shared-counter
+// grab.
+type CostModel struct {
+	// PerChunk is charged once at the start of every chunk on every
+	// schedule: for collapsed loops this is the §V closed-form index
+	// recovery (measured p50, not a guess).
+	PerChunk float64
+	// PerDequeue is charged per chunk grab on the dynamic and guided
+	// schedules only (the shared-counter RMW and dispatch).
+	PerDequeue float64
+}
+
+// Makespan simulates pol over the per-unit work vector and returns the
+// finishing time of the slowest thread.
+func Makespan(work []float64, threads int, pol Policy, cm CostModel) float64 {
+	ms, _ := Simulate(work, threads, pol, cm)
+	return ms
+}
+
+// Simulate is the cost-model simulation engine behind every schedule:
+// it returns the makespan and the per-thread busy loads (work plus
+// charged overheads). The greedy earliest-available-thread rule models
+// the dynamic and guided queues; the static schedules are deterministic
+// round-robin/blocked assignments.
+func Simulate(work []float64, threads int, pol Policy, cm CostModel) (float64, []float64) {
+	if threads < 1 {
+		threads = 1
+	}
+	loads := make([]float64, threads)
+	switch pol.Kind {
+	case PolicyStatic:
+		n := int64(len(work))
+		base := n / int64(threads)
+		rem := n % int64(threads)
+		var start int64
+		for t := 0; t < threads; t++ {
+			size := base
+			if int64(t) < rem {
+				size++
+			}
+			if size > 0 {
+				loads[t] += cm.PerChunk
+			}
+			for i := start; i < start+size; i++ {
+				loads[t] += work[i]
+			}
+			start += size
+		}
+	case PolicyStaticChunk:
+		chunk := pol.chunk()
+		for c, t := 0, 0; c < len(work); c, t = c+chunk, (t+1)%threads {
+			end := c + chunk
+			if end > len(work) {
+				end = len(work)
+			}
+			loads[t] += cm.PerChunk
+			for i := c; i < end; i++ {
+				loads[t] += work[i]
+			}
+		}
+	case PolicyDynamic:
+		chunk := pol.chunk()
+		for c := 0; c < len(work); c += chunk {
+			end := c + chunk
+			if end > len(work) {
+				end = len(work)
+			}
+			var cw float64
+			for i := c; i < end; i++ {
+				cw += work[i]
+			}
+			t := earliest(loads)
+			loads[t] += cm.PerDequeue + cm.PerChunk + cw
+		}
+	case PolicyGuided:
+		minChunk := pol.chunk()
+		for c := 0; c < len(work); {
+			remaining := len(work) - c
+			size := remaining / threads
+			if size < minChunk {
+				size = minChunk
+			}
+			if size > remaining {
+				size = remaining
+			}
+			var cw float64
+			for i := c; i < c+size; i++ {
+				cw += work[i]
+			}
+			t := earliest(loads)
+			loads[t] += cm.PerDequeue + cm.PerChunk + cw
+			c += size
+		}
+	default:
+		panic(fmt.Sprintf("schedsim: unknown policy kind %d", pol.Kind))
+	}
+	var ms float64
+	for _, l := range loads {
+		if l > ms {
+			ms = l
+		}
+	}
+	return ms, loads
+}
+
+// earliest returns the index of the earliest-available thread (lowest
+// accumulated load, lowest tid on ties).
+func earliest(loads []float64) int {
+	t := 0
+	for q := 1; q < len(loads); q++ {
+		if loads[q] < loads[t] {
+			t = q
+		}
+	}
+	return t
+}
+
+// Imbalance returns max/mean of the per-thread loads (1 = perfectly
+// balanced; 0 when there is no load at all).
+func Imbalance(loads []float64) float64 {
+	var total, maxL float64
+	for _, l := range loads {
+		total += l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	return maxL * float64(len(loads)) / total
+}

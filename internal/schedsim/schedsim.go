@@ -73,135 +73,36 @@ func StaticLoads(work []float64, threads int) []float64 {
 // perChunkOverhead once per non-empty thread block (for collapsed loops
 // this models the single costly index recovery of §V).
 func Static(work []float64, threads int, perChunkOverhead float64) float64 {
-	loads := StaticLoads(work, threads)
-	n := int64(len(work))
-	base := n / int64(threads)
-	rem := n % int64(threads)
-	var ms float64
-	for t, l := range loads {
-		size := base
-		if int64(t) < rem {
-			size++
-		}
-		if size > 0 {
-			l += perChunkOverhead
-		}
-		if l > ms {
-			ms = l
-		}
-	}
-	return ms
+	return Makespan(work, threads, Policy{Kind: PolicyStatic}, CostModel{PerChunk: perChunkOverhead})
 }
 
 // StaticChunk returns the makespan under schedule(static, chunk): chunks
 // of the given size are assigned round-robin; perChunkOverhead is paid at
 // the start of every chunk.
 func StaticChunk(work []float64, threads int, chunk int, perChunkOverhead float64) float64 {
-	if threads < 1 {
-		threads = 1
-	}
-	if chunk < 1 {
-		chunk = 1
-	}
-	loads := make([]float64, threads)
-	for c, t := 0, 0; c < len(work); c, t = c+chunk, (t+1)%threads {
-		end := c + chunk
-		if end > len(work) {
-			end = len(work)
-		}
-		loads[t] += perChunkOverhead
-		for i := c; i < end; i++ {
-			loads[t] += work[i]
-		}
-	}
-	var ms float64
-	for _, l := range loads {
-		if l > ms {
-			ms = l
-		}
-	}
-	return ms
+	return Makespan(work, threads, Policy{Kind: PolicyStaticChunk, Chunk: chunk},
+		CostModel{PerChunk: perChunkOverhead})
 }
 
 // Dynamic returns the makespan under schedule(dynamic, chunk): a greedy
 // list schedule in which the earliest-available thread takes the next
 // chunk, paying perDequeue overhead per grab. This models the runtime
-// cost the paper attributes to dynamic scheduling (§I, §II).
+// cost the paper attributes to dynamic scheduling (§I, §II). Collapsed
+// loops additionally pay an index recovery per chunk: use the CostModel
+// engine (Makespan/Simulate) with PerChunk set from the measured
+// recovery histogram for those.
 func Dynamic(work []float64, threads int, chunk int, perDequeue float64) float64 {
-	if threads < 1 {
-		threads = 1
-	}
-	if chunk < 1 {
-		chunk = 1
-	}
-	avail := make([]float64, threads)
-	for c := 0; c < len(work); c += chunk {
-		end := c + chunk
-		if end > len(work) {
-			end = len(work)
-		}
-		var cw float64
-		for i := c; i < end; i++ {
-			cw += work[i]
-		}
-		// earliest-available thread
-		t := 0
-		for q := 1; q < threads; q++ {
-			if avail[q] < avail[t] {
-				t = q
-			}
-		}
-		avail[t] += perDequeue + cw
-	}
-	var ms float64
-	for _, a := range avail {
-		if a > ms {
-			ms = a
-		}
-	}
-	return ms
+	return Makespan(work, threads, Policy{Kind: PolicyDynamic, Chunk: chunk},
+		CostModel{PerDequeue: perDequeue})
 }
 
 // Guided returns the makespan under schedule(guided, minChunk): chunk
 // sizes start at remaining/threads and decay, bounded below by minChunk;
-// each grab costs perDequeue.
+// each grab costs perDequeue. See Dynamic for the collapsed-loop
+// recovery cost.
 func Guided(work []float64, threads int, minChunk int, perDequeue float64) float64 {
-	if threads < 1 {
-		threads = 1
-	}
-	if minChunk < 1 {
-		minChunk = 1
-	}
-	avail := make([]float64, threads)
-	for c := 0; c < len(work); {
-		remaining := len(work) - c
-		size := remaining / threads
-		if size < minChunk {
-			size = minChunk
-		}
-		if size > remaining {
-			size = remaining
-		}
-		var cw float64
-		for i := c; i < c+size; i++ {
-			cw += work[i]
-		}
-		t := 0
-		for q := 1; q < threads; q++ {
-			if avail[q] < avail[t] {
-				t = q
-			}
-		}
-		avail[t] += perDequeue + cw
-		c += size
-	}
-	var ms float64
-	for _, a := range avail {
-		if a > ms {
-			ms = a
-		}
-	}
-	return ms
+	return Makespan(work, threads, Policy{Kind: PolicyGuided, Chunk: minChunk},
+		CostModel{PerDequeue: perDequeue})
 }
 
 // UniformStatic is Static for n identical units of duration w, in closed

@@ -1,0 +1,307 @@
+package schedsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Arrival-process-driven multi-request traces. A serving deployment of
+// the collapsed runtime does not see one loop nest in isolation: it
+// sees a stream of requests with bursty inter-arrival times and mixed
+// nest shapes. The trace generator produces such streams from the three
+// classical arrival processes (Poisson — memoryless; Gamma — smoother
+// or burstier than Poisson depending on shape; Weibull — heavy-tailed
+// bursts for shape < 1), and SimulateTrace plays a stream through one
+// worksharing team so the planner can score a candidate
+// (schedule, chunk, workers) triple on latency quantiles under load,
+// not just on a single run's makespan.
+
+// ArrivalKind selects the inter-arrival distribution.
+type ArrivalKind int
+
+const (
+	// Poisson arrivals: exponential inter-arrival times (memoryless).
+	Poisson ArrivalKind = iota
+	// Gamma arrivals: Gamma(shape, scale) inter-arrival times; shape 1
+	// degenerates to Poisson, shape > 1 is smoother, shape < 1 burstier.
+	Gamma
+	// Weibull arrivals: Weibull(shape, scale) inter-arrival times;
+	// shape < 1 yields the heavy-tailed bursts of real traffic.
+	Weibull
+)
+
+// String names the arrival kind.
+func (k ArrivalKind) String() string {
+	switch k {
+	case Poisson:
+		return "poisson"
+	case Gamma:
+		return "gamma"
+	case Weibull:
+		return "weibull"
+	}
+	return fmt.Sprintf("ArrivalKind(%d)", int(k))
+}
+
+// Arrivals is a parameterized arrival process with mean rate Rate
+// requests/second. Shape is the Gamma/Weibull shape parameter k
+// (ignored for Poisson; values <= 0 default to 1, which makes both
+// degenerate to Poisson). The scale is always derived from Rate so the
+// configured mean throughput holds for every kind.
+type Arrivals struct {
+	Kind  ArrivalKind
+	Rate  float64
+	Shape float64
+}
+
+func (a Arrivals) shape() float64 {
+	if a.Shape <= 0 {
+		return 1
+	}
+	return a.Shape
+}
+
+// InterArrival draws one inter-arrival gap (seconds) from the process.
+func (a Arrivals) InterArrival(rng *rand.Rand) float64 {
+	rate := a.Rate
+	if rate <= 0 {
+		rate = 1
+	}
+	mean := 1 / rate
+	switch a.Kind {
+	case Gamma:
+		k := a.shape()
+		// Scale so E = k*theta = mean.
+		return gammaSample(rng, k) * (mean / k)
+	case Weibull:
+		k := a.shape()
+		// Scale so E = lambda * Gamma(1+1/k) = mean.
+		lambda := mean / math.Gamma(1+1/k)
+		return lambda * math.Pow(-math.Log(uniform(rng)), 1/k)
+	default: // Poisson
+		return rng.ExpFloat64() * mean
+	}
+}
+
+// uniform draws from (0,1], avoiding the log(0) corner.
+func uniform(rng *rand.Rand) float64 {
+	for {
+		if u := rng.Float64(); u > 0 {
+			return u
+		}
+	}
+}
+
+// gammaSample draws Gamma(k, 1) by Marsaglia–Tsang squeeze (k >= 1)
+// with the standard boost U^{1/k} for k < 1.
+func gammaSample(rng *rand.Rand, k float64) float64 {
+	if k < 1 {
+		return gammaSample(rng, k+1) * math.Pow(uniform(rng), 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := uniform(rng)
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Shape is one nest shape in a workload mix: a per-unit work vector and
+// its sampling weight.
+type Shape struct {
+	Name   string
+	Work   []float64
+	Weight float64
+}
+
+// TraceRequest is one generated request: when it arrives and the
+// per-unit work vector of its (sampled) nest shape.
+type TraceRequest struct {
+	Arrival float64 // seconds since trace start
+	Shape   string
+	Work    []float64
+}
+
+// TraceOptions configure trace generation.
+type TraceOptions struct {
+	Arrivals Arrivals
+	Requests int     // number of requests (default 64)
+	Shapes   []Shape // workload mix; at least one required
+	Seed     int64   // RNG seed (traces are deterministic per seed)
+}
+
+// GenTrace generates a request stream: inter-arrival gaps drawn from
+// the arrival process, shapes sampled by weight. The work vectors are
+// shared (not copied) — SimulateTrace never mutates them.
+func GenTrace(o TraceOptions) []TraceRequest {
+	n := o.Requests
+	if n <= 0 {
+		n = 64
+	}
+	if len(o.Shapes) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	var totalW float64
+	for _, s := range o.Shapes {
+		w := s.Weight
+		if w <= 0 {
+			w = 1
+		}
+		totalW += w
+	}
+	reqs := make([]TraceRequest, n)
+	var t float64
+	for i := range reqs {
+		t += o.Arrivals.InterArrival(rng)
+		pick := rng.Float64() * totalW
+		var acc float64
+		chosen := o.Shapes[len(o.Shapes)-1]
+		for _, s := range o.Shapes {
+			w := s.Weight
+			if w <= 0 {
+				w = 1
+			}
+			acc += w
+			if pick < acc {
+				chosen = s
+				break
+			}
+		}
+		reqs[i] = TraceRequest{Arrival: t, Shape: chosen.Name, Work: chosen.Work}
+	}
+	return reqs
+}
+
+// TraceResult aggregates one simulated trace: per-request execution
+// makespans, end-to-end latencies (queueing + execution, FCFS on one
+// team), and per-request thread-load imbalance.
+type TraceResult struct {
+	Makespans  []float64
+	Latencies  []float64
+	Imbalances []float64
+	End        float64 // completion time of the last request
+}
+
+// MeanMakespan returns the mean per-request execution makespan.
+func (tr TraceResult) MeanMakespan() float64 { return mean(tr.Makespans) }
+
+// P99Latency returns the 99th-percentile end-to-end latency.
+func (tr TraceResult) P99Latency() float64 { return Percentile(tr.Latencies, 0.99) }
+
+// MeanImbalance returns the mean per-request max/mean thread load.
+func (tr TraceResult) MeanImbalance() float64 { return mean(tr.Imbalances) }
+
+// SimulateTrace plays the request stream through a single worksharing
+// team of the given size under pol: requests are served FCFS, one at a
+// time (the daemon executes each admitted nest on the whole team), so a
+// request's latency is its queueing delay plus its own makespan. This
+// is the planner's view of "how does this schedule behave under the
+// traffic we expect", complementing the single-request makespan.
+func SimulateTrace(reqs []TraceRequest, threads int, pol Policy, cm CostModel) TraceResult {
+	tr := TraceResult{
+		Makespans:  make([]float64, len(reqs)),
+		Latencies:  make([]float64, len(reqs)),
+		Imbalances: make([]float64, len(reqs)),
+	}
+	var free float64
+	for i, r := range reqs {
+		ms, loads := Simulate(r.Work, threads, pol, cm)
+		start := free
+		if r.Arrival > start {
+			start = r.Arrival
+		}
+		done := start + ms
+		free = done
+		tr.Makespans[i] = ms
+		tr.Latencies[i] = done - r.Arrival
+		tr.Imbalances[i] = Imbalance(loads)
+		if done > tr.End {
+			tr.End = done
+		}
+	}
+	return tr
+}
+
+// Objective is the fitness-weighted multi-objective score the planner
+// minimizes: a weighted sum of mean makespan, p99 latency and an
+// imbalance penalty (the excess max/mean load, scaled by the mean
+// makespan so the penalty carries time units and the weights stay
+// dimensionless).
+type Objective struct {
+	WMakespan  float64
+	WP99       float64
+	WImbalance float64
+}
+
+// DefaultObjective weights makespan dominantly, with p99 and imbalance
+// as tie-breakers — the single-tenant serving default.
+func DefaultObjective() Objective {
+	return Objective{WMakespan: 1, WP99: 0.25, WImbalance: 0.1}
+}
+
+// Normalized returns the objective with the zero value replaced by
+// DefaultObjective, so callers can treat an unset objective as default.
+func (o Objective) Normalized() Objective {
+	if o.WMakespan == 0 && o.WP99 == 0 && o.WImbalance == 0 {
+		return DefaultObjective()
+	}
+	return o
+}
+
+// Score collapses a trace result into one fitness value (lower is
+// better, seconds).
+func (o Objective) Score(tr TraceResult) float64 {
+	o = o.Normalized()
+	ms := tr.MeanMakespan()
+	excess := tr.MeanImbalance() - 1
+	if excess < 0 {
+		excess = 0
+	}
+	return o.WMakespan*ms + o.WP99*tr.P99Latency() + o.WImbalance*excess*ms
+}
+
+// Percentile returns the q-quantile (0..1) of values by
+// nearest-rank on a sorted copy; 0 for an empty slice.
+func Percentile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s[i]
+}
+
+func mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var t float64
+	for _, v := range values {
+		t += v
+	}
+	return t / float64(len(values))
+}

@@ -1,0 +1,230 @@
+package schedsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The satellite property: every simulated makespan is at least the
+// trivial lower bound max(total/P, max unit), across randomized work
+// vectors, thread counts, chunk sizes and cost models, for every
+// policy. Overheads can only add time, so the bound holds with or
+// without them.
+func TestSimulateMakespanAtLeastLowerBound(t *testing.T) {
+	pols := []PolicyKind{PolicyStatic, PolicyStaticChunk, PolicyDynamic, PolicyGuided}
+	f := func(seed int64, p8, c8 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		P := int(p8%16) + 1
+		n := r.Intn(200)
+		work := make([]float64, n)
+		for i := range work {
+			work[i] = r.Float64() * 100
+		}
+		lb := LowerBound(work, P)
+		chunk := int(c8%64) + 1
+		cm := CostModel{PerChunk: r.Float64() * 5, PerDequeue: r.Float64() * 2}
+		for _, k := range pols {
+			for _, m := range []CostModel{{}, cm} {
+				ms, loads := Simulate(work, P, Policy{Kind: k, Chunk: chunk}, m)
+				if ms < lb-1e-9 {
+					return false
+				}
+				// The makespan is the max per-thread load, and loads
+				// conserve the total work (plus nonnegative overheads).
+				var sum, maxL float64
+				for _, l := range loads {
+					sum += l
+					if l > maxL {
+						maxL = l
+					}
+				}
+				if math.Abs(maxL-ms) > 1e-9 || sum < Total(work)-1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The fix the planner relies on: dynamic/guided pay the measured
+// per-chunk recovery on every grab, so chunk-1 dynamic on a collapsed
+// loop is penalized by recovery x iterations, exactly the §V cost the
+// legacy constant-only simulation missed.
+func TestDynamicChargesPerChunkRecovery(t *testing.T) {
+	work := make([]float64, 1000)
+	for i := range work {
+		work[i] = 1
+	}
+	cm := CostModel{PerChunk: 10, PerDequeue: 0.5}
+	small := Makespan(work, 4, Policy{Kind: PolicyDynamic, Chunk: 1}, cm)
+	big := Makespan(work, 4, Policy{Kind: PolicyDynamic, Chunk: 100}, cm)
+	if small <= big {
+		t.Fatalf("chunk-1 dynamic %g not worse than chunk-100 %g under recovery cost", small, big)
+	}
+	// 1000 chunks across 4 threads, 10.5 overhead each: >= 250*10.5.
+	if small < 250*10.5 {
+		t.Fatalf("chunk-1 dynamic %g does not reflect per-chunk recovery", small)
+	}
+	// Legacy Dynamic (dequeue only) must still match the engine with
+	// PerChunk = 0.
+	if got, want := Dynamic(work, 4, 7, 0.5),
+		Makespan(work, 4, Policy{Kind: PolicyDynamic, Chunk: 7}, CostModel{PerDequeue: 0.5}); got != want {
+		t.Fatalf("legacy Dynamic %g != engine %g", got, want)
+	}
+}
+
+func TestArrivalProcessMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 20000
+	for _, tc := range []struct {
+		name string
+		a    Arrivals
+	}{
+		{"poisson", Arrivals{Kind: Poisson, Rate: 50}},
+		{"gamma-smooth", Arrivals{Kind: Gamma, Rate: 50, Shape: 4}},
+		{"gamma-bursty", Arrivals{Kind: Gamma, Rate: 50, Shape: 0.5}},
+		{"weibull-heavy", Arrivals{Kind: Weibull, Rate: 50, Shape: 0.7}},
+		{"weibull-smooth", Arrivals{Kind: Weibull, Rate: 50, Shape: 2}},
+	} {
+		var sum float64
+		for i := 0; i < n; i++ {
+			g := tc.a.InterArrival(rng)
+			if g < 0 {
+				t.Fatalf("%s: negative gap %g", tc.name, g)
+			}
+			sum += g
+		}
+		mean := sum / n
+		want := 1.0 / 50
+		if math.Abs(mean-want)/want > 0.1 {
+			t.Errorf("%s: mean inter-arrival %g, want ~%g", tc.name, mean, want)
+		}
+	}
+}
+
+func TestGammaShapeControlsBurstiness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cv := func(a Arrivals) float64 {
+		const n = 20000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			g := a.InterArrival(rng)
+			sum += g
+			sq += g * g
+		}
+		m := sum / n
+		return math.Sqrt(sq/n-m*m) / m
+	}
+	smooth := cv(Arrivals{Kind: Gamma, Rate: 10, Shape: 8})
+	bursty := cv(Arrivals{Kind: Gamma, Rate: 10, Shape: 0.25})
+	if smooth >= 1 || bursty <= 1 {
+		t.Errorf("gamma cv ordering wrong: shape=8 cv %g (want <1), shape=0.25 cv %g (want >1)",
+			smooth, bursty)
+	}
+}
+
+func TestGenTraceDeterministicAndMixed(t *testing.T) {
+	shapes := []Shape{
+		{Name: "uniform", Work: []float64{1, 1, 1, 1}, Weight: 1},
+		{Name: "triangle", Work: []float64{4, 3, 2, 1}, Weight: 3},
+	}
+	o := TraceOptions{
+		Arrivals: Arrivals{Kind: Poisson, Rate: 100},
+		Requests: 400,
+		Shapes:   shapes,
+		Seed:     9,
+	}
+	a := GenTrace(o)
+	b := GenTrace(o)
+	if len(a) != 400 {
+		t.Fatalf("len = %d", len(a))
+	}
+	counts := map[string]int{}
+	var prev float64
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Shape != b[i].Shape {
+			t.Fatal("trace not deterministic for a fixed seed")
+		}
+		if a[i].Arrival < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		prev = a[i].Arrival
+		counts[a[i].Shape]++
+	}
+	if counts["triangle"] <= counts["uniform"] {
+		t.Errorf("weights not respected: %v", counts)
+	}
+}
+
+func TestSimulateTraceFCFSLatency(t *testing.T) {
+	work := []float64{1, 1, 1, 1}
+	reqs := []TraceRequest{
+		{Arrival: 0, Work: work},
+		{Arrival: 0.1, Work: work}, // arrives while the first runs
+		{Arrival: 100, Work: work}, // idle gap: no queueing
+	}
+	tr := SimulateTrace(reqs, 2, Policy{Kind: PolicyStatic}, CostModel{})
+	// Each request's makespan: 4 units over 2 threads = 2.
+	for i, ms := range tr.Makespans {
+		if math.Abs(ms-2) > 1e-9 {
+			t.Fatalf("makespan[%d] = %g", i, ms)
+		}
+	}
+	if math.Abs(tr.Latencies[0]-2) > 1e-9 {
+		t.Errorf("latency[0] = %g, want 2", tr.Latencies[0])
+	}
+	// Second waits until t=2, finishes at 4: latency 3.9.
+	if math.Abs(tr.Latencies[1]-3.9) > 1e-9 {
+		t.Errorf("latency[1] = %g, want 3.9", tr.Latencies[1])
+	}
+	if math.Abs(tr.Latencies[2]-2) > 1e-9 {
+		t.Errorf("latency[2] = %g, want 2 (no queueing after idle gap)", tr.Latencies[2])
+	}
+	if math.Abs(tr.End-102) > 1e-9 {
+		t.Errorf("end = %g, want 102", tr.End)
+	}
+}
+
+func TestObjectiveOrdersSchedulesOnImbalancedWork(t *testing.T) {
+	// Triangular work: static (blocked) should score worse than
+	// dynamic under any makespan-dominated objective.
+	work := triangularWork(400)
+	reqs := []TraceRequest{{Arrival: 0, Work: work}}
+	obj := DefaultObjective()
+	stat := obj.Score(SimulateTrace(reqs, 6, Policy{Kind: PolicyStatic}, CostModel{}))
+	dyn := obj.Score(SimulateTrace(reqs, 6, Policy{Kind: PolicyDynamic, Chunk: 4}, CostModel{}))
+	if dyn >= stat {
+		t.Errorf("objective: dynamic %g not better than static %g on triangle", dyn, stat)
+	}
+	// The zero objective normalizes to the default instead of scoring
+	// everything 0.
+	if (Objective{}).Score(SimulateTrace(reqs, 6, Policy{Kind: PolicyStatic}, CostModel{})) != stat {
+		t.Error("zero objective did not normalize to default")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(v, 0.5); got != 3 {
+		t.Errorf("p50 = %g", got)
+	}
+	if got := Percentile(v, 0.99); got != 5 {
+		t.Errorf("p99 = %g", got)
+	}
+	if got := Percentile(v, 0); got != 1 {
+		t.Errorf("p0 = %g", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %g", got)
+	}
+	// Input must not be reordered.
+	if v[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/autotune"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -206,15 +207,21 @@ func (s *Server) handleExecute(ctx context.Context, req *Request) (any, error) {
 		threads = s.cfg.Threads
 	}
 	sched := parseScheduleSpec(req.Schedule)
-	sums := make([]executeAccum, threads)
+	// The autotuner may pick any team size up to the server cap, so the
+	// accumulator array is sized for the cap on the tuned path.
+	accums := threads
+	if sched.Kind == omp.ScheduleAuto && accums < s.cfg.Threads {
+		accums = s.cfg.Threads
+	}
+	sums := make([]executeAccum, accums)
 	body := func(tid int, idx []int64) {
 		sums[tid].count++
 		sums[tid].sum += TupleHash(idx)
 	}
 
-	collapsed, degraded := false, false
+	out := &ExecuteResponse{Threads: threads}
 	if tierFrom(ctx) >= TierForceFallback {
-		degraded = true
+		out.Degraded = true
 		s.reg.Counter("serve.forced_fallback").Inc()
 		err = runUncollapsed(ctx, n, c, req.Params, threads, sched, body)
 	} else {
@@ -227,8 +234,23 @@ func (s *Server) handleExecute(ctx context.Context, req *Request) (any, error) {
 			// attempt (retried, then split, then re-run uncollapsed) instead
 			// of the whole request.
 			return s.executeSharded(ctx, res, req, threads)
+		case err == nil && sched.Kind == omp.ScheduleAuto:
+			// Tuned path: the planner picks (schedule, chunk, workers) by
+			// simulation against the measured work vector, cached per
+			// shape × params bucket × cores, refined from the observed
+			// makespan.
+			out.Collapsed = true
+			var run autotune.Run
+			run, err = s.tuner.CollapsedFor(ctx, res, req.Params, body)
+			if err == nil {
+				out.Tuned = true
+				out.Schedule = run.Plan.Decision.String()
+				out.PredictedMs = run.Plan.Decision.PredictedSec * 1e3
+				out.ActualMs = run.Actual.Seconds() * 1e3
+				out.Threads = run.Plan.Decision.Workers
+			}
 		case err == nil:
-			collapsed = true
+			out.Collapsed = true
 			err = omp.CollapsedForCtx(ctx, res, req.Params, threads, sched, body)
 		case faults.Collapsible(err):
 			// The nest is outside the technique: downgrade to plain
@@ -240,7 +262,6 @@ func (s *Server) handleExecute(ctx context.Context, req *Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &ExecuteResponse{Collapsed: collapsed, Degraded: degraded, Threads: threads}
 	for i := range sums {
 		out.Iterations += sums[i].count
 		out.Checksum += sums[i].sum
@@ -312,8 +333,9 @@ func TupleHash(idx []int64) uint64 {
 }
 
 // parseScheduleSpec maps "static" / "static,64" / "dynamic,16" /
-// "guided" to a runtime schedule (defaulting to static), the same
-// grammar as the OpenMP pragma's schedule clause.
+// "guided" / "auto" to a runtime schedule (defaulting to static), the
+// same grammar as the OpenMP pragma's schedule clause. "auto" delegates
+// the (schedule, chunk, workers) choice to the server's autotuner.
 func parseScheduleSpec(clause string) omp.Schedule {
 	kind, arg, _ := strings.Cut(clause, ",")
 	sch := omp.Schedule{Kind: omp.Static}
@@ -322,6 +344,8 @@ func parseScheduleSpec(clause string) omp.Schedule {
 		sch.Kind = omp.Dynamic
 	case "guided":
 		sch.Kind = omp.Guided
+	case "auto":
+		sch.Kind = omp.ScheduleAuto
 	case "static", "":
 	}
 	if n, err := strconv.ParseInt(strings.TrimSpace(arg), 10, 64); err == nil && n > 0 {

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
@@ -145,6 +146,7 @@ type Server struct {
 	sem     chan struct{}
 	breaker *compileBreaker
 	plane   *obs.Plane
+	tuner   *autotune.Tuner
 
 	mux      *http.ServeMux
 	httpSrv  *http.Server
@@ -170,6 +172,13 @@ func New(cfg Config) *Server {
 		breaker: newCompileBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, 0, cfg.Registry, cfg.Logf),
 		plane:   obs.NewPlane(cfg.Registry),
 	}
+	// The autotuner shares the server's collapse cache (plans live in its
+	// side-table) and telemetry, and never exceeds the serving thread cap.
+	s.tuner = autotune.New(autotune.Options{
+		Registry:   cfg.Registry,
+		Cache:      s.cache,
+		MaxWorkers: cfg.Threads,
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.lifecycle("compile", s.handleCompile))
 	mux.HandleFunc("POST /v1/count", s.lifecycle("count", s.handleCount))

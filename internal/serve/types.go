@@ -146,6 +146,15 @@ type ExecuteResponse struct {
 	ShardRetries    int64 `json:"shard_retries,omitempty"`
 	LeaseExpiries   int64 `json:"lease_expiries,omitempty"`
 	DuplicateShards int64 `json:"duplicate_shards,omitempty"`
+
+	// Tuned reports the request ran under schedule "auto": the server's
+	// autotuner picked Schedule (rendered as a -sched spec plus team
+	// size), predicted PredictedMs by simulation against the measured
+	// cost model, and measured ActualMs; Threads is the chosen team size.
+	Tuned       bool    `json:"tuned,omitempty"`
+	Schedule    string  `json:"schedule,omitempty"`
+	PredictedMs float64 `json:"predicted_ms,omitempty"`
+	ActualMs    float64 `json:"actual_ms,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx answer.

@@ -3,6 +3,7 @@ package stress
 import (
 	"testing"
 
+	"repro/internal/autotune"
 	"repro/internal/core"
 	"repro/internal/omp"
 )
@@ -29,6 +30,7 @@ func FuzzStressNest(f *testing.F) {
 		if err != nil {
 			t.Fatalf("%s: enumerate: %v", c.Name, err)
 		}
+		tuner := autotune.New(autotune.Options{MaxWorkers: 2})
 		for _, v := range Variants() {
 			res, err := core.Collapse(c.Nest, c.C, v.Opts)
 			if err != nil {
@@ -50,6 +52,16 @@ func FuzzStressNest(f *testing.F) {
 			}
 			if err := diffVisitSets(truth, got); err != nil {
 				t.Fatalf("%s at %s (ranges): %v (engine: %+v)", c.Name, v.Name, err, rs)
+			}
+			// The tuned path: whatever triple the planner picks (later
+			// variants recall it from the shared tuner's cache), the
+			// visit set must still be the sequential truth.
+			got, cs, err = runTuned(tuner, res, c.Params)
+			if err != nil {
+				t.Fatalf("%s at %s (auto): %v", c.Name, v.Name, err)
+			}
+			if err := diffVisitSets(truth, got); err != nil {
+				t.Fatalf("%s at %s (auto): %v (stats: %s)", c.Name, v.Name, err, cs.Stats.String())
 			}
 		}
 	})

@@ -2,9 +2,10 @@
 // collapsed-loop pipeline. It generates random affine nests —
 // rectangular, triangular and shifted-triangular shapes like the
 // paper's §VII kernels — and checks that every parallel execution
-// (all four schedules, every rung of the unranker's precision ladder,
-// with and without injected root faults) visits exactly the iteration
-// set of plain sequential enumeration.
+// (all four schedules plus the autotuned "auto" path, every rung of
+// the unranker's precision ladder, with and without injected root
+// faults) visits exactly the iteration set of plain sequential
+// enumeration.
 //
 // The harness is the repository's strongest end-to-end oracle: it does
 // not trust the ranking polynomial, the radical roots, the precision
@@ -13,11 +14,13 @@
 package stress
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
 
+	"repro/internal/autotune"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/nest"
@@ -216,6 +219,9 @@ func RunCase(c *Case, threads int, withFaults bool) (RunStats, error) {
 		}
 		results[i] = res
 	}
+	// One tuner for the whole case: both sweeps share its plan cache, so
+	// the fault-injected sweep exercises the cached-decision path.
+	tuner := autotune.New(autotune.Options{MaxWorkers: threads})
 	sweep := func() error {
 		for i, v := range variants {
 			res := results[i]
@@ -243,6 +249,22 @@ func RunCase(c *Case, threads int, withFaults bool) (RunStats, error) {
 				}
 				st.Runs++
 			}
+
+			// The tuned path (schedule "auto"): the planner picks its own
+			// (schedule, chunk, workers) triple, so it runs once per
+			// variant rather than once per schedule. The second sweep
+			// (fault injection) recalls the plan from the first through
+			// the tuner's cache — the cached-decision path is part of the
+			// differential surface.
+			got, cs, err := runTuned(tuner, res, c.Params)
+			if err != nil {
+				return fmt.Errorf("%s: auto/%s: %w", c.Name, v.Name, err)
+			}
+			if err := diffVisitSets(truth, got); err != nil {
+				return fmt.Errorf("%s: auto/%s: %w", c.Name, v.Name, err)
+			}
+			st.Runs++
+			st.Unrank.Add(cs.Stats)
 		}
 		return nil
 	}
@@ -310,6 +332,28 @@ func runParallel(res *core.Result, params map[string]int64, threads int,
 	}
 	sort.Slice(got, func(a, b int) bool { return lexLess(got[a], got[b]) })
 	return got, cs, nil
+}
+
+// runTuned executes the collapsed nest through the autotuned path
+// (schedule "auto"): the tuner plans or recalls a (schedule, chunk,
+// workers) triple, runs under it, and feeds the measurement back. Only
+// the visit set is checked — whatever triple the planner picks must
+// cover exactly the sequential iteration set.
+func runTuned(tuner *autotune.Tuner, res *core.Result,
+	params map[string]int64) ([][]int64, omp.CollapsedStats, error) {
+	var mu sync.Mutex
+	var got [][]int64
+	run, err := tuner.CollapsedFor(context.Background(), res, params, func(tid int, idx []int64) {
+		cp := append([]int64(nil), idx...)
+		mu.Lock()
+		got = append(got, cp)
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, run.Stats, err
+	}
+	sort.Slice(got, func(a, b int) bool { return lexLess(got[a], got[b]) })
+	return got, run.Stats, nil
 }
 
 // runParallelRanges executes the collapsed nest through the

@@ -70,9 +70,11 @@ func TestDifferentialSweep(t *testing.T) {
 	if err != nil {
 		t.Fatalf("differential sweep: %v (after %d runs)", err, st.Runs)
 	}
-	// Every schedule × variant cell runs twice: once through the
-	// per-iteration driver, once through the range-batched engine.
-	wantRuns := 3 * len(Schedules()) * len(Variants()) * 2
+	// Every schedule × variant cell runs twice — once through the
+	// per-iteration driver, once through the range-batched engine —
+	// plus one autotuned run per variant (the planner picks its own
+	// schedule, so it is swept per variant, not per schedule).
+	wantRuns := 3 * len(Variants()) * (len(Schedules())*2 + 1)
 	if st.Runs != wantRuns {
 		t.Fatalf("ran %d differential runs, want %d", st.Runs, wantRuns)
 	}

@@ -54,7 +54,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
+	"repro/internal/autotune"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/cparse"
@@ -199,6 +201,10 @@ const (
 	StaticChunk = omp.StaticChunk
 	Dynamic     = omp.Dynamic
 	Guided      = omp.Guided
+	// ScheduleAuto delegates the choice of (schedule, chunk, workers) to
+	// the autotuner (see CollapsedForTuned). Passed directly to an
+	// untuned entry point it resolves to guided — safe, never optimal.
+	ScheduleAuto = omp.ScheduleAuto
 )
 
 // Poly is an exact multivariate polynomial over the rationals.
@@ -333,6 +339,56 @@ func CollapsedForAuto(ctx context.Context, n *Nest, c int, params map[string]int
 	// prefix is self-contained); body still sees idx of length c.
 	sub := &nest.Nest{Params: n.Params, Loops: n.Loops[:c]}
 	return false, omp.UncollapsedFor(ctx, sub, params, threads, sched, body)
+}
+
+// Tuner plans (schedule, chunk, workers) triples for collapsed nests by
+// simulation against a measured cost model — see internal/autotune. One
+// Tuner should be shared process-wide: it caches plans keyed by nest
+// shape × parameter bucket × core count and refines them online from
+// observed makespans.
+type Tuner = autotune.Tuner
+
+// TunerOptions configure a Tuner; the zero value works.
+type TunerOptions = autotune.Options
+
+// TunedRun records one autotuned execution: the plan in effect, whether
+// it came from the cache, the measured wall time, and the per-thread
+// runtime breakdown.
+type TunedRun = autotune.Run
+
+// Decision is a planner-chosen (schedule, chunk, workers) triple with
+// its simulated makespan.
+type Decision = autotune.Decision
+
+// NewTuner returns a Tuner with opts' defaults filled in.
+func NewTuner(opts TunerOptions) *Tuner { return autotune.New(opts) }
+
+// defaultTuner backs CollapsedForTuned when the caller passes nil: one
+// shared process-wide planner with default options.
+var (
+	defaultTunerOnce sync.Once
+	defaultTunerVal  *Tuner
+)
+
+func defaultTuner() *Tuner {
+	defaultTunerOnce.Do(func() { defaultTunerVal = autotune.New(autotune.Options{}) })
+	return defaultTunerVal
+}
+
+// CollapsedForTuned executes the collapsed space under the tuner's
+// chosen (schedule, chunk, workers) triple instead of a caller-picked
+// schedule. The first run of a nest shape plans by simulation against
+// its measured work vector (cached thereafter); every run feeds its
+// observed makespan back, so a plan whose prediction drifts more than
+// the configured deviation is re-planned. The visited iteration
+// multiset is identical to any static schedule — only scheduling
+// differs. A nil tuner uses a shared process-wide default.
+func CollapsedForTuned(ctx context.Context, tuner *Tuner, res *Result, params map[string]int64,
+	body func(tid int, idx []int64)) (TunedRun, error) {
+	if tuner == nil {
+		tuner = defaultTuner()
+	}
+	return tuner.CollapsedFor(ctx, res, params, body)
 }
 
 // CollapsedForStats is CollapsedFor returning the per-thread runtime
